@@ -1,0 +1,119 @@
+"""Shared configuration of the benchmark harness.
+
+Every figure/table of the paper has one module here; each prints its
+rows (paper reference value alongside the measured one) and stores the
+rendered text under ``results/``.
+
+Scale selection
+---------------
+The sweep grid is controlled by the ``REPRO_BENCH_SCALE`` environment
+variable:
+
+* ``smoke``   — 10 representative programs × 3 capacities × both
+  technologies, optimization budget 60 (minutes).
+* ``default`` — all 37 programs × 6 capacities (one (a=1, b=16)
+  configuration per capacity) × both technologies, budget 120 — the
+  documented representative subset of the paper's 2664-case grid.
+* ``full``    — the paper's complete 36-configuration grid (offline;
+  hours).
+
+Within one pytest session all figure benches share the sweep through
+the process-wide cache in :mod:`repro.experiments.sweep`.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.experiments.sweep import SweepSpec, default_grid, full_grid
+
+#: Fast, structurally diverse subset used at smoke scale.
+SMOKE_PROGRAMS = (
+    "bs",
+    "bsort100",
+    "crc",
+    "compress",
+    "fdct",
+    "fir",
+    "matmult",
+    "ndes",
+    "statemate",
+    "whet",
+)
+
+#: Figure 5 re-optimizes every program for two extra (scaled) cache
+#: configurations; at default scale it runs this documented
+#: representative subset (sizes from 29 to ~1000 instructions).
+FIG5_PROGRAMS = (
+    "bs",
+    "cnt",
+    "compress",
+    "crc",
+    "fdct",
+    "fir",
+    "lms",
+    "matmult",
+    "ndes",
+    "qurt",
+    "statemate",
+    "whet",
+)
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    """The selected scale (``smoke``/``default``/``full``)."""
+    scale = os.environ.get("REPRO_BENCH_SCALE", "smoke").lower()
+    if scale not in ("smoke", "default", "full"):
+        raise ValueError(f"REPRO_BENCH_SCALE must be smoke/default/full, got {scale}")
+    return scale
+
+
+def make_spec() -> SweepSpec:
+    """The sweep grid for the selected scale."""
+    scale = bench_scale()
+    if scale == "smoke":
+        base = default_grid(programs=SMOKE_PROGRAMS, max_evaluations=60)
+        return SweepSpec(
+            programs=base.programs,
+            config_ids=(base.config_ids[0], base.config_ids[2], base.config_ids[5]),
+            techs=base.techs,
+            seed=base.seed,
+            max_evaluations=base.max_evaluations,
+        )
+    if scale == "default":
+        return default_grid(max_evaluations=120)
+    return full_grid(max_evaluations=120)
+
+
+@pytest.fixture(scope="session")
+def sweep_spec() -> SweepSpec:
+    """Session-wide sweep grid."""
+    return make_spec()
+
+
+@pytest.fixture(scope="session")
+def fig5_spec(sweep_spec) -> SweepSpec:
+    """Figure 5's grid: the session grid at smoke scale, the FIG5
+    subset at default/full scale."""
+    if bench_scale() == "smoke":
+        return sweep_spec
+    return default_grid(programs=FIG5_PROGRAMS, max_evaluations=120)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting the rendered figure/table text."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Print a rendered figure and persist it under ``results/``."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,75 @@
+"""Ablation — prefetch placement strategy (Section 2.2 of the paper).
+
+The paper criticises the earlier WCET-prefetching work [5] for
+inserting the prefetch "at the beginning of the basic block where the
+prefetched instruction belongs", where "the distance between them might
+be insufficient to hide the latency".  Both strategies are implemented;
+this bench quantifies the criticism on cache-pressured programs.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.bench.registry import load
+from repro.cache.config import CacheConfig
+from repro.core.optimizer import OptimizerOptions, optimize
+from repro.energy.cacti import cacti_model
+from repro.energy.technology import TECH_45NM
+
+CONFIG = CacheConfig(1, 16, 256)
+TIMING = cacti_model(CONFIG, TECH_45NM).timing_model()
+PROGRAMS = ("fdct", "jfdctint", "statemate", "ndes")
+
+
+def _run(strategy: str):
+    rows = []
+    for name in PROGRAMS:
+        cfg = load(name)
+        _, report = optimize(
+            cfg,
+            CONFIG,
+            TIMING,
+            options=OptimizerOptions(
+                placement=strategy, max_evaluations=120
+            ),
+        )
+        rows.append((name, report.prefetch_count, report.wcet_reduction))
+    return rows
+
+
+def test_ablation_placement(benchmark, results_dir):
+    data = benchmark.pedantic(
+        lambda: {
+            "earliest-survivable": _run("earliest-survivable"),
+            "block-begin": _run("block-begin"),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    lines = [
+        "Ablation — placement strategy (paper vs ref. [5])",
+        f"{'program':<12} {'paper pf':>9} {'paper ΔWCET':>12} "
+        f"{'[5] pf':>7} {'[5] ΔWCET':>10}",
+    ]
+    paper_rows = {r[0]: r for r in data["earliest-survivable"]}
+    ref5_rows = {r[0]: r for r in data["block-begin"]}
+    total_paper = total_ref5 = 0.0
+    for name in PROGRAMS:
+        _, p_pf, p_dw = paper_rows[name]
+        _, b_pf, b_dw = ref5_rows[name]
+        total_paper += p_dw
+        total_ref5 += b_dw
+        lines.append(
+            f"{name:<12} {p_pf:>9d} {100 * p_dw:>11.1f}% "
+            f"{b_pf:>7d} {100 * b_dw:>9.1f}%"
+        )
+    lines.append(
+        "(the paper's placement wins because the replacement point "
+        "maximises the slack\n available to hide Λ; block-begin often "
+        "leaves too little distance)"
+    )
+    emit(results_dir, "ablation_placement", "\n".join(lines))
+    # The paper's criticism must be measurable: its placement strictly
+    # dominates on aggregate.
+    assert total_paper >= total_ref5

@@ -1,0 +1,25 @@
+"""Figure 3 — impact on energy efficiency.
+
+Paper: average improvement of 11.2 % (energy), 10.2 % (ACET), 17.4 %
+(WCET) across the sweep; energy savings for all use cases without
+increasing the memory's ACET contribution.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.figures import figure3
+from repro.experiments.report import render_figure3
+
+
+def test_fig3_energy_efficiency(benchmark, sweep_spec, results_dir):
+    data = benchmark.pedantic(figure3, args=(sweep_spec,), rounds=1, iterations=1)
+    text = render_figure3(data)
+    emit(results_dir, "fig3", text)
+    # Shape checks (who wins, direction), not absolute numbers:
+    assert data.overall_wcet >= 0.0, "Theorem 1 must hold on average too"
+    assert data.overall_energy > 0.0, "optimization must save energy overall"
+    assert data.overall_acet >= 0.0, "Condition 3: ACET must not degrade"
+    # the 6-point (3 at smoke scale) capacity axis is present
+    assert len(data.energy.points) >= 3

@@ -1,0 +1,24 @@
+"""Figure 4 — impact on miss rate.
+
+Paper: the optimization lowers the average miss rate at every cache
+capacity (the pre-optimization rates were chosen to span ~1-10 %).
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_figure4
+
+
+def test_fig4_miss_rate(benchmark, sweep_spec, results_dir):
+    data = benchmark.pedantic(figure4, args=(sweep_spec,), rounds=1, iterations=1)
+    text = render_figure4(data)
+    emit(results_dir, "fig4", text)
+    capacities = sorted(data.before.points)
+    # miss rate decreases (or stays) at every capacity
+    for capacity in capacities:
+        assert data.after.points[capacity] <= data.before.points[capacity] + 1e-9
+    # miss rate shrinks with growing capacity (cache behaviour sanity)
+    assert data.before.points[capacities[0]] >= data.before.points[capacities[-1]]

@@ -1,0 +1,23 @@
+"""Figure 7 — WCET ratio per use case at 32 nm.
+
+Paper: Inequation 12 holds for every use case — the optimized program's
+memory contribution to the WCET never exceeds the original's.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.experiments.figures import figure7
+from repro.experiments.report import render_figure7
+
+
+def test_fig7_wcet_per_usecase(benchmark, sweep_spec, results_dir):
+    data = benchmark.pedantic(
+        figure7, args=(sweep_spec, "32nm"), rounds=1, iterations=1
+    )
+    text = render_figure7(data, limit=None)
+    emit(results_dir, "fig7", text)
+    # Theorem 1, use case by use case — the paper's hard guarantee.
+    assert data.all_below_one
+    assert data.best < 1.0, "at least one use case must actually improve"

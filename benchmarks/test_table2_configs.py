@@ -1,0 +1,39 @@
+"""Table 2 — cache configurations.
+
+Regenerates the 36 configurations k1..k36 together with their derived
+CACTI-model figures per technology.
+"""
+
+from __future__ import annotations
+
+from conftest import emit
+
+from repro.cache.config import TABLE2
+from repro.energy.cacti import cacti_model
+from repro.energy.technology import TECH_32NM, TECH_45NM
+from repro.experiments.tables import table2
+
+
+def _render() -> str:
+    lines = [
+        "Table 2 — cache configurations k = (a, b, c)",
+        f"{'id':<5} {'a':>2} {'b':>3} {'c':>5}  "
+        f"{'rd pJ@45':>9} {'leak uW@45':>11} {'miss cyc@45':>12} {'miss cyc@32':>12}",
+    ]
+    for row in table2():
+        config = TABLE2[row.config_id]
+        m45 = cacti_model(config, TECH_45NM)
+        m32 = cacti_model(config, TECH_32NM)
+        lines.append(
+            f"{row.config_id:<5} {row.associativity:>2d} {row.block_size:>3d} "
+            f"{row.capacity:>5d}  {m45.read_energy_j * 1e12:>9.2f} "
+            f"{m45.leakage_w * 1e6:>11.1f} {m45.miss_penalty_cycles:>12d} "
+            f"{m32.miss_penalty_cycles:>12d}"
+        )
+    return "\n".join(lines)
+
+
+def test_table2_configs(benchmark, results_dir):
+    text = benchmark.pedantic(_render, rounds=1, iterations=1)
+    emit(results_dir, "table2", text)
+    assert text.count("k") >= 36

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Cache downsizing with prefetching (the paper's Figure 5 scenario).
+
+The headline of the paper: by precluding misses in software, a program
+optimized for a *smaller* cache can match or beat the original program
+on a larger cache — reclaiming the smaller cache's lower leakage and
+per-access energy, up to 21 % total savings.
+
+This script takes one program, runs the original on its full-size
+cache, then optimizes it for 1/2 and 1/4 of that capacity and compares
+ACET, guaranteed WCET, and energy across the three deployments.
+
+Run:  python examples/capacity_downsizing.py [program] [config-id] [tech]
+e.g.  python examples/capacity_downsizing.py compress k13 32nm
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import load
+from repro.cache import TABLE2
+from repro.core import optimize
+from repro.energy import DRAMModel, account_energy, cacti_model, technology
+from repro.program import build_acfg
+from repro.analysis import analyze_wcet
+from repro.sim import simulate
+
+
+def deployment(cfg, config, tech, optimize_first):
+    """Measure one (program, cache) deployment; returns a result dict."""
+    model = cacti_model(config, tech)
+    timing = model.timing_model()
+    program = cfg
+    prefetches = 0
+    if optimize_first:
+        program, report = optimize(cfg, config, timing)
+        prefetches = report.prefetch_count
+    acfg = build_acfg(program, config.block_size)
+    wcet = analyze_wcet(acfg, config, timing)
+    sim = simulate(program, config, timing, seed=2)
+    energy = account_energy(sim.event_counts(), model, DRAMModel(tech))
+    return {
+        "config": config,
+        "prefetches": prefetches,
+        "tau_w": wcet.tau_w,
+        "acet": sim.memory_cycles,
+        "miss_rate": sim.miss_rate,
+        "energy": energy.total_j,
+        "leakage": model.leakage_w,
+    }
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "compress"
+    config_id = sys.argv[2] if len(sys.argv) > 2 else "k13"
+    tech = technology(sys.argv[3] if len(sys.argv) > 3 else "32nm")
+
+    full = TABLE2[config_id]
+    cfg = load(program)
+    print(f"{program} on {config_id} = {full.label()} @ {tech.name} "
+          f"(code {cfg.instruction_count * 4} B)\n")
+
+    rows = [("original, full cache", deployment(cfg, full, tech, False))]
+    for factor, label in ((0.5, "optimized, 1/2 cache"), (0.25, "optimized, 1/4 cache")):
+        small = full.scaled_capacity(factor)
+        if small.capacity < small.associativity * small.block_size:
+            print(f"({label}: infeasible, skipping)")
+            continue
+        rows.append((label, deployment(cfg, small, tech, True)))
+
+    base = rows[0][1]
+    print(f"{'deployment':<24} {'capacity':>8} {'pf':>3} {'ACET':>9} "
+          f"{'WCET':>9} {'miss%':>6} {'leak uW':>8} {'energy nJ':>10} {'vs base':>8}")
+    for label, row in rows:
+        print(f"{label:<24} {row['config'].capacity:>8d} {row['prefetches']:>3d} "
+              f"{row['acet']:>9.0f} {row['tau_w']:>9.0f} "
+              f"{100 * row['miss_rate']:>5.1f}% {row['leakage'] * 1e6:>8.1f} "
+              f"{row['energy'] * 1e9:>10.1f} "
+              f"{100 * (row['energy'] / base['energy'] - 1):>+7.1f}%")
+
+    print("\n(the paper's Fig. 5: within the feasible region the optimized "
+          "program on a\n 2-4x smaller cache sustains the original's "
+          "performance at lower energy)")
+
+
+if __name__ == "__main__":
+    main()

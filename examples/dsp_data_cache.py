@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The Section-6 extension in action: unlocked *data* cache prefetching.
+
+A DSP filter kernel streams samples through a coefficient table.  The
+WCET data-cache analysis cannot know the stream's addresses statically,
+so it must conservatively assume every streamed access may alias the
+coefficient table's sets — wrecking the table's hit guarantees.  The
+data prefetcher re-pins the table blocks each iteration with WCET-safe
+data prefetches, repairing the combined (instruction + data) bound.
+
+Run:  python examples/dsp_data_cache.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import TimingModel
+from repro.cache import CacheConfig
+from repro.data import combined_wcet, optimize_data, simulate_split
+from repro.program import ProgramBuilder, build_acfg
+
+ICACHE = CacheConfig(2, 16, 512)
+DCACHE = CacheConfig(2, 16, 256)
+TIMING = TimingModel(hit_cycles=1, miss_penalty_cycles=30, prefetch_issue_cycles=1)
+
+
+def fir_kernel():
+    """FIR filter: coefficient table + streaming sample buffer."""
+    b = ProgramBuilder("fir-data")
+    b.data_region("coef", 64)        # 4 blocks of filter taps
+    b.data_region("samples", 8192)   # streaming input
+    b.code(6)
+    with b.loop(bound=48, sim_iterations=40, name="samples_loop"):
+        b.load("samples", stride=4)          # x[n]   (streaming)
+        b.code(2)
+        b.load("coef", offset=0)             # taps 0..3
+        b.code(2)
+        b.load("coef", offset=16)            # taps 4..7
+        b.code(2)
+        b.load("coef", offset=32)            # taps 8..11
+        b.code(3)
+        b.store("samples", offset=4096, stride=4)  # y[n]  (streaming)
+        b.code(2)
+    b.code(4)
+    return b.build()
+
+
+def main() -> None:
+    cfg = fir_kernel()
+    acfg = build_acfg(cfg, ICACHE.block_size)
+    before = combined_wcet(acfg, ICACHE, DCACHE, TIMING)
+    print("FIR kernel on split caches "
+          f"I{ICACHE.label()} / D{DCACHE.label()}")
+    print(f"  instruction-only τ_w : {before.instruction.tau_w:8.0f} cycles")
+    print(f"  combined τ_w         : {before.tau_w:8.0f} cycles")
+    print(f"  worst-case data misses: {before.data_misses}")
+
+    optimized, report = optimize_data(cfg, ICACHE, DCACHE, TIMING)
+    print(f"\ndata prefetches inserted: {len(report.inserted)}")
+    for block, index, region, offset in report.inserted:
+        print(f"  dpf {region}+{offset} at {block}[{index}]")
+    print(f"combined τ_w : {report.tau_original:8.0f} -> {report.tau_final:8.0f} "
+          f"({100 * report.wcet_reduction:+.1f}%)")
+    print(f"data misses  : {report.data_misses_original:8d} -> "
+          f"{report.data_misses_final:8d}  (worst case)")
+
+    base_sim = simulate_split(cfg, ICACHE, DCACHE, TIMING, seed=3)
+    opt_sim = simulate_split(optimized, ICACHE, DCACHE, TIMING, seed=3)
+    print(f"\nsimulated (average case):")
+    print(f"  memory cycles: {base_sim.memory_cycles:8.0f} -> "
+          f"{opt_sim.memory_cycles:8.0f}")
+    print(f"  data misses  : {base_sim.data.demand_misses:8d} -> "
+          f"{opt_sim.data.demand_misses:8d}")
+    print("\n(the bound improves far more than the average: the prefetches "
+          "mostly repair\n analysis conservatism about unknown stream "
+          "addresses — guarantees, not speed)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Shootout: the paper's technique vs hardware prefetchers vs locking.
+
+Section 2 of the paper reviews the alternatives; this script runs them
+all on one program and one cache and prints the three-way trade-off
+each scheme makes:
+
+* hardware prefetchers (next-line, next-2-line, target/RPT, wrong-path)
+  can improve the *average* case but spend energy on guesses and leave
+  the *guaranteed* WCET untouched (no analysis covers them);
+* static cache locking makes the WCET trivially analysable but gives up
+  most of the cache's performance;
+* WCET-driven software prefetching (the paper) improves the guaranteed
+  bound, the average case, and energy at once.
+
+Run:  python examples/prefetcher_shootout.py [program] [config-id]
+e.g.  python examples/prefetcher_shootout.py ndes k7
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.analysis import analyze_wcet
+from repro.bench import load
+from repro.cache import TABLE2
+from repro.core import optimize
+from repro.energy import DRAMModel, account_energy, cacti_model, technology
+from repro.program import build_acfg
+from repro.sim import (
+    NextLinePrefetcher,
+    TargetPrefetcher,
+    WrongPathPrefetcher,
+    locked_wcet,
+    select_locked_blocks,
+    simulate,
+    simulate_locked,
+)
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "ndes"
+    config_id = sys.argv[2] if len(sys.argv) > 2 else "k7"
+    config = TABLE2[config_id]
+    tech = technology("45nm")
+    model = cacti_model(config, tech)
+    timing = model.timing_model()
+    dram = DRAMModel(tech)
+
+    cfg = load(program)
+    acfg = build_acfg(cfg, config.block_size)
+    base_wcet = analyze_wcet(acfg, config, timing).tau_w
+
+    def energy(sim):
+        return account_energy(sim.event_counts(), model, dram).total_j
+
+    rows = []
+    base = simulate(cfg, config, timing, seed=1)
+    rows.append(("on-demand fetching", base, base_wcet, 0))
+
+    for label, prefetcher in (
+        ("hw next-line (miss)", NextLinePrefetcher("miss")),
+        ("hw next-2-line", NextLinePrefetcher("always", degree=2)),
+        ("hw target (RPT)", TargetPrefetcher()),
+        ("hw wrong-path", WrongPathPrefetcher()),
+    ):
+        sim = simulate(cfg, config, timing, seed=1, prefetcher=prefetcher)
+        rows.append((label, sim, base_wcet, sim.hw_table_probes))
+
+    locked_blocks = select_locked_blocks(acfg, config)
+    locked_sim = simulate_locked(cfg, config, timing, locked_blocks, seed=1)
+    locked_bound = locked_wcet(acfg, timing, locked_blocks).objective
+    rows.append(("static cache locking", locked_sim, locked_bound, 0))
+
+    optimized, report = optimize(cfg, config, timing)
+    sw_sim = simulate(optimized, config, timing, seed=1)
+    rows.append(
+        (f"sw prefetch (paper, {report.prefetch_count} π)", sw_sim,
+         report.tau_final, 0)
+    )
+
+    print(f"{program} on {config_id} = {config.label()} @ {tech.name}\n")
+    print(f"{'scheme':<28} {'ACET':>8} {'WCET*':>8} {'miss%':>6} "
+          f"{'xfers':>6} {'probes':>7} {'energy nJ':>10}")
+    for label, sim, wcet, probes in rows:
+        transfers = sim.demand_misses + sim.prefetch_transfers
+        print(f"{label:<28} {sim.memory_cycles:>8.0f} {wcet:>8.0f} "
+              f"{100 * sim.miss_rate:>5.1f}% {transfers:>6d} {probes:>7d} "
+              f"{energy(sim) * 1e9:>10.1f}")
+    print("\n*WCET = guaranteed memory contribution; hardware prefetching "
+          "is invisible to\n the analysis, so its guaranteed bound is the "
+          "on-demand one (Section 2.2).")
+
+
+if __name__ == "__main__":
+    main()

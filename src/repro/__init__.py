@@ -1,0 +1,21 @@
+"""repro — WCET-safe unlocked-cache software prefetching.
+
+Reproduction of E. Wuerges, R. S. de Oliveira, L. C. V. dos Santos,
+"Reconciling real-time guarantees and energy efficiency through
+unlocked-cache prefetching", DAC 2013.
+
+The public API re-exports the pieces a downstream user needs:
+
+* build programs (:class:`~repro.program.ProgramBuilder`) or use the
+  Malardalen-style suite (:mod:`repro.bench`),
+* configure caches (:class:`~repro.cache.CacheConfig`, Table 2 presets)
+  and technologies (:mod:`repro.energy`),
+* analyse (:func:`~repro.analysis.analyze_wcet`) and simulate
+  (:func:`~repro.sim.simulate`),
+* optimize (:func:`~repro.core.optimize`) — the paper's contribution,
+* regenerate the paper's tables and figures (:mod:`repro.experiments`).
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,26 @@
+"""WCET analysis: timing model, structural/ILP IPET, end-to-end driver."""
+
+from repro.analysis.ipet import ILPSolution, edge_list, solve_ipet
+from repro.analysis.slack import (
+    min_path_slack,
+    rest_instance_spans,
+    wraparound_slack,
+)
+from repro.analysis.structural import PathSolution, solve_wcet_path
+from repro.analysis.timing import TimingModel
+from repro.analysis.wcet import WCETResult, analyze_wcet, compute_ref_times
+
+__all__ = [
+    "ILPSolution",
+    "PathSolution",
+    "TimingModel",
+    "WCETResult",
+    "analyze_wcet",
+    "compute_ref_times",
+    "edge_list",
+    "min_path_slack",
+    "rest_instance_spans",
+    "solve_ipet",
+    "solve_wcet_path",
+    "wraparound_slack",
+]

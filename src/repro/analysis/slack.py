@@ -1,0 +1,105 @@
+"""Path-slack computations over the ACFG (Eq. 5 and variants).
+
+Shared by the optimizer's joint improvement criterion
+(:mod:`repro.core.profit`), the guarantee checkers, and the WCET
+driver's prefetch-latency guard.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import OptimizationError
+from repro.program.acfg import ACFG
+
+
+def min_path_slack(
+    acfg: ACFG,
+    t_w: Sequence[float],
+    from_rid: int,
+    to_rid: int,
+) -> float:
+    """Minimum memory time between two vertices (conservative Eq. 5).
+
+    Sums ``t_w`` over the references *strictly between* ``from_rid`` and
+    ``to_rid`` along the cheapest DAG path; endpoint weights are
+    excluded, matching Eq. 5's span ``r_{i+1} .. r_{j-1}``.
+
+    Returns:
+        The slack in cycles; ``inf`` when ``to_rid`` is unreachable from
+        ``from_rid``.
+    """
+    if not 0 <= from_rid < len(acfg.vertices) or not 0 <= to_rid < len(acfg.vertices):
+        raise OptimizationError("slack endpoints out of range")
+    if to_rid <= from_rid:
+        raise OptimizationError(
+            f"slack requires from_rid < to_rid, got {from_rid} >= {to_rid}"
+        )
+    infinity = math.inf
+    dist = [infinity] * (to_rid + 1)
+    dist[from_rid] = 0.0
+    for rid in range(from_rid + 1, to_rid + 1):
+        best = infinity
+        for pred in acfg.predecessors(rid):
+            if pred >= from_rid and dist[pred] < best:
+                best = dist[pred]
+        if best is infinity:
+            continue
+        if rid == to_rid:
+            return best  # exclude the endpoint's own weight
+        weight = t_w[rid] if acfg.vertex(rid).is_ref else 0.0
+        dist[rid] = best + weight
+    return infinity
+
+
+def wraparound_slack(
+    acfg: ACFG,
+    t_w: Sequence[float],
+    evictor_rid: int,
+    use_rid: int,
+    join_rid: int,
+    exit_rids: Sequence[int],
+) -> float:
+    """Eq. 5 slack for a loop-carried (wrap-around) reuse.
+
+    The covered references are those from the anchor to the loop latch,
+    plus those from the loop entry to the use:
+
+    ``slack = min over latches e of (minpath(anchor→e) + t_w(e))
+            + minpath(join→use)``.
+    """
+    best_tail = math.inf
+    for exit_rid in exit_rids:
+        if exit_rid == evictor_rid:
+            tail = 0.0
+        elif exit_rid > evictor_rid:
+            part = min_path_slack(acfg, t_w, evictor_rid, exit_rid)
+            weight = t_w[exit_rid] if acfg.vertex(exit_rid).is_ref else 0.0
+            tail = part + weight
+        else:
+            continue
+        best_tail = min(best_tail, tail)
+    if best_tail is math.inf:
+        return math.inf
+    if use_rid <= join_rid:
+        raise OptimizationError("wrap-around use must follow the loop join")
+    head = min_path_slack(acfg, t_w, join_rid, use_rid)
+    return best_tail + head
+
+
+def rest_instance_spans(acfg: ACFG) -> List[Tuple[int, int, Tuple[int, ...]]]:
+    """REST instance spans ``(entry_join, last_rid, exit_rids)``.
+
+    Derived from the analysis-only back edges, sorted by entry join so
+    ``reversed()`` visits innermost instances first.
+    """
+    by_join: Dict[int, List[int]] = {}
+    for src, dst in acfg.back_edges:
+        by_join.setdefault(dst, []).append(src)
+    spans = [
+        (join, max(exits), tuple(sorted(exits)))
+        for join, exits in by_join.items()
+    ]
+    spans.sort()
+    return spans

@@ -1,0 +1,59 @@
+"""Memory-system timing model.
+
+The paper's cost terms (Section 3.3) need, per reference, the time spent
+in the memory system in the WCET scenario.  With an instruction cache in
+front of a DRAM level-two memory that is:
+
+* ``hit_cycles`` for a fetch served by the cache,
+* ``hit_cycles + miss_penalty_cycles`` for a fetch that must go to DRAM,
+* for a software prefetch: its own fetch cost plus one issue slot — the
+  block transfer itself proceeds on the non-blocking port and is *not*
+  charged, which is exactly why the effectiveness condition
+  (Definition 4/10: latency Λ must be covered by downstream accesses)
+  matters.
+
+Concrete cycle numbers come from the CACTI-style energy/latency model
+(:mod:`repro.energy`), which builds a :class:`TimingModel` per cache
+configuration and technology node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Cycle-level costs of the memory system.
+
+    Attributes:
+        hit_cycles: Cache-hit service time.
+        miss_penalty_cycles: Extra cycles to fetch a block from the
+            level-two memory (DRAM).
+        prefetch_issue_cycles: Pipeline slot consumed by executing a
+            prefetch instruction (its transfer is non-blocking).
+    """
+
+    hit_cycles: int = 1
+    miss_penalty_cycles: int = 30
+    prefetch_issue_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.hit_cycles < 1:
+            raise AnalysisError("hit_cycles must be >= 1")
+        if self.miss_penalty_cycles < 1:
+            raise AnalysisError("miss_penalty_cycles must be >= 1")
+        if self.prefetch_issue_cycles < 0:
+            raise AnalysisError("prefetch_issue_cycles must be >= 0")
+
+    @property
+    def miss_cycles(self) -> int:
+        """Total service time of a demand miss."""
+        return self.hit_cycles + self.miss_penalty_cycles
+
+    @property
+    def prefetch_latency(self) -> int:
+        """Λ (Definition 4): cycles for a prefetch to place its block."""
+        return self.miss_penalty_cycles

@@ -1,0 +1,301 @@
+"""End-to-end WCET analysis driver.
+
+Composes the pieces the paper's preliminary analysis provides to the
+optimizer (Section 4.4 preconditions):
+
+1. cache classification of every reference (must/may abstract
+   interpretation, :mod:`repro.cache.classify`),
+2. per-reference worst-case memory times ``t_w(r)``,
+3. the WCET scenario — execution counts ``n^w`` and the memory
+   contribution ``τ^p_w`` (Eqs. 1-3), via the structural solver or the
+   explicit ILP.
+
+The result object is the interface the optimizer's joint improvement
+criterion (:mod:`repro.core.profit`) consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.analysis.ipet import solve_ipet
+from repro.analysis.structural import PathSolution, solve_wcet_path
+from repro.analysis.timing import TimingModel
+from repro.cache.classify import (
+    CacheAnalysis,
+    Classification,
+    analyze_cache,
+)
+from repro.cache.config import CacheConfig
+from repro.errors import AnalysisError
+from repro.program.acfg import ACFG
+
+
+def compute_ref_times(
+    acfg: ACFG, analysis: CacheAnalysis, timing: TimingModel
+) -> List[float]:
+    """Per-execution worst-case memory time ``t_w(r)`` for every vertex.
+
+    References classified always-hit cost the hit latency; always-miss
+    and not-classified references are conservatively charged the miss
+    latency.  A software prefetch additionally occupies its issue slot
+    (its block transfer is non-blocking and not charged here).
+    Non-reference vertices cost nothing.
+    """
+    times: List[float] = [0.0] * len(acfg.vertices)
+    for vertex in acfg.ref_vertices():
+        rid = vertex.rid
+        if analysis.classification(rid).is_hit:
+            cost = float(timing.hit_cycles)
+        else:
+            cost = float(timing.miss_cycles)
+        if vertex.is_prefetch:
+            cost += float(timing.prefetch_issue_cycles)
+        times[rid] = cost
+    return times
+
+
+@dataclass
+class WCETResult:
+    """The paper's preliminary-analysis bundle for one program/config.
+
+    Attributes:
+        acfg: The analysed ACFG.
+        cache: Cache classification results.
+        timing: Timing model used.
+        t_w: Per-rid per-execution worst-case time.
+        solution: WCET path and counts (``n^w``).
+        persistent_charged_blocks: Memory blocks classified persistent
+            (first-miss) whose one-time miss penalty is charged on top
+            of the path objective.  A block already paying a full
+            always-miss/not-classified reference on the path is not
+            charged again.
+    """
+
+    acfg: ACFG
+    cache: CacheAnalysis
+    timing: TimingModel
+    t_w: List[float]
+    solution: PathSolution
+    persistent_charged_blocks: frozenset = frozenset()
+    #: References charged the miss latency by the prefetch-latency
+    #: guard: they would hit only thanks to a prefetch issued less than
+    #: Λ before them, which the hardware cannot guarantee.
+    latency_guarded: frozenset = frozenset()
+
+    @property
+    def persistence_penalty(self) -> float:
+        """One-time first-miss penalties added to the path objective."""
+        return float(
+            len(self.persistent_charged_blocks) * self.timing.miss_penalty_cycles
+        )
+
+    @property
+    def tau_w(self) -> float:
+        """``τ^p_w`` (Eq. 3): memory contribution to the WCET."""
+        return self.solution.objective + self.persistence_penalty
+
+    def tau_of(self, rid: int) -> float:
+        """``τ^p_w(r)`` (Eq. 2): one reference's overall contribution."""
+        return self.t_w[rid] * self.solution.n_w[rid]
+
+    def n_w(self, rid: int) -> int:
+        """``n^w`` of the basic-block instance holding ``rid``."""
+        return self.solution.n_w[rid]
+
+    def on_wcet_path(self, rid: int) -> bool:
+        """Whether the vertex lies on the WCET path."""
+        return self.solution.on_path[rid]
+
+    @property
+    def wcet_path_misses(self) -> int:
+        """Worst-case number of demand misses (Condition 2 tracking).
+
+        Counts every always-miss/not-classified reference on the WCET
+        path weighted by its execution count, plus one first-miss per
+        charged persistent block.  Cached after the first computation.
+        """
+        cached = getattr(self, "_misses_cache", None)
+        if cached is not None:
+            return cached
+        total = len(self.persistent_charged_blocks)
+        n_w = self.solution.n_w
+        classifications = self.cache.classifications
+        for vertex in self.acfg.ref_vertices():
+            rid = vertex.rid
+            classification = classifications[rid]
+            assert classification is not None
+            if n_w[rid] and (
+                not classification.is_hit or rid in self.latency_guarded
+            ):
+                total += n_w[rid]
+        self._misses_cache = total
+        return total
+
+    @property
+    def wcet_path_fetches(self) -> int:
+        """Worst-case number of instruction fetches (prefetches included)."""
+        return sum(
+            self.solution.n_w[v.rid] for v in self.acfg.ref_vertices()
+        )
+
+    @property
+    def wcet_miss_rate(self) -> float:
+        """Miss rate along the WCET scenario."""
+        fetches = self.wcet_path_fetches
+        if fetches == 0:
+            return 0.0
+        return self.wcet_path_misses / fetches
+
+
+def analyze_wcet(
+    acfg: ACFG,
+    config: CacheConfig,
+    timing: TimingModel,
+    backend: str = "structural",
+    cache_analysis: Optional[CacheAnalysis] = None,
+    with_may: bool = True,
+    with_persistence: bool = True,
+    locked_blocks: Optional[frozenset] = None,
+) -> WCETResult:
+    """Run the full preliminary WCET analysis.
+
+    Args:
+        acfg: Program ACFG (built with the cache's block size).
+        config: Cache configuration.
+        timing: Timing model.
+        backend: ``"structural"`` (exact DP, default) or ``"ilp"``
+            (scipy/HiGHS IPET; slower, used for cross-validation).
+        cache_analysis: Optionally reuse an existing classification.
+        with_may: Forwarded to :func:`repro.cache.classify.analyze_cache`
+            (the WCET bound is identical either way; ``False`` is faster).
+        with_persistence: Include the persistence ("first miss") domain.
+            ``True`` is the tighter modern baseline; ``False`` is the
+            classic must/may baseline of the paper's era — see
+            EXPERIMENTS.md for the impact of this choice on the
+            reproduced improvement magnitudes.
+        locked_blocks: Hybrid locking+prefetching: blocks pinned in
+            locked ways (always hit; ``config`` must then be the
+            reduced-way residual configuration).
+
+    Returns:
+        The :class:`WCETResult`.
+    """
+    cache = cache_analysis or analyze_cache(
+        acfg,
+        config,
+        with_may=with_may,
+        with_persistence=with_persistence,
+        locked_blocks=locked_blocks,
+    )
+    t_w = compute_ref_times(acfg, cache, timing)
+    guarded = _latency_guard(acfg, cache, timing, t_w)
+    for rid in guarded:
+        t_w[rid] = float(timing.miss_cycles)
+    if backend == "structural":
+        solution = solve_wcet_path(acfg, t_w)
+    elif backend == "ilp":
+        ilp = solve_ipet(acfg, t_w)
+        on_path = [count > 0 for count in ilp.n_w]
+        solution = PathSolution(
+            objective=ilp.objective,
+            n_w=ilp.n_w,
+            on_path=on_path,
+            path=[rid for rid, used in enumerate(on_path) if used],
+        )
+    else:
+        raise AnalysisError(f"unknown WCET backend {backend!r}")
+    charged = _charged_persistent_blocks(acfg, cache, solution)
+    return WCETResult(
+        acfg=acfg,
+        cache=cache,
+        timing=timing,
+        t_w=t_w,
+        solution=solution,
+        persistent_charged_blocks=charged,
+        latency_guarded=guarded,
+    )
+
+
+def _latency_guard(acfg, cache, timing, t_w) -> frozenset:
+    """References whose hit classification cannot be guaranteed in time.
+
+    The abstract semantics install a prefetched block immediately; the
+    hardware needs Λ cycles.  Any hit-classified reference to a
+    prefetched block lying (on some path — minimum slack) closer than Λ
+    behind the prefetch is therefore charged the miss latency, covering
+    both straight-line and loop-carried (wrap-around) proximity.  This
+    is the conservative counterpart of the prefetching-aware abstract
+    semantics of the paper's ref. [22].
+    """
+    from repro.analysis.slack import (
+        min_path_slack,
+        rest_instance_spans,
+        wraparound_slack,
+    )
+
+    prefetches = [v for v in acfg.ref_vertices() if v.is_prefetch]
+    if not prefetches:
+        return frozenset()
+    uses_by_block: dict = {}
+    for vertex in acfg.ref_vertices():
+        if vertex.is_prefetch:
+            continue
+        classification = cache.classifications[vertex.rid]
+        assert classification is not None
+        if classification.is_hit:
+            uses_by_block.setdefault(acfg.block_of(vertex.rid), []).append(
+                vertex.rid
+            )
+    spans = rest_instance_spans(acfg)
+    latency = float(timing.prefetch_latency)
+    guarded = set()
+    for prefetch in prefetches:
+        target = acfg.target_block_or_none(prefetch.rid)
+        if target is None:
+            continue  # data prefetch: no instruction-cache effect
+        uses = uses_by_block.get(target, ())
+        for use in uses:
+            if use in guarded:
+                continue
+            if use > prefetch.rid:
+                slack = min_path_slack(acfg, t_w, prefetch.rid, use)
+                if slack < latency:
+                    guarded.add(use)
+            else:
+                # Loop-carried proximity: prefetch late in the body,
+                # use early in the next iteration of the same instance.
+                for join_rid, last_rid, exit_rids in reversed(spans):
+                    if not join_rid <= prefetch.rid <= last_rid:
+                        continue
+                    if join_rid <= use <= prefetch.rid:
+                        slack = wraparound_slack(
+                            acfg, t_w, prefetch.rid, use, join_rid, exit_rids
+                        )
+                        if slack < latency:
+                            guarded.add(use)
+                    break
+    return frozenset(guarded)
+
+
+def _charged_persistent_blocks(acfg, cache, solution) -> frozenset:
+    """Blocks owing a one-time first-miss penalty.
+
+    A persistent block is charged when it has an on-path PERSISTENT
+    reference and no on-path reference already paying a full miss
+    (which would cover the single real miss).
+    """
+    persistent: set = set()
+    fully_charged: set = set()
+    for vertex in acfg.ref_vertices():
+        rid = vertex.rid
+        if solution.n_w[rid] == 0:
+            continue
+        block = acfg.block_of(rid)
+        classification = cache.classification(rid)
+        if classification is Classification.PERSISTENT:
+            persistent.add(block)
+        elif not classification.is_hit:
+            fully_charged.add(block)
+    return frozenset(persistent - fully_charged)

@@ -1,0 +1,39 @@
+"""Benchmark substrate: Mälardalen structural clones + generators."""
+
+from repro.bench.generator import (
+    branch_chain,
+    loop_nest,
+    random_data_program,
+    random_program,
+    recursion_as_loop,
+    state_machine,
+    switch_fan,
+    unrolled_kernel,
+)
+from repro.bench.malardalen import FACTORIES
+from repro.bench.registry import (
+    PROGRAM_IDS,
+    TABLE1,
+    load,
+    load_all,
+    program_id,
+    program_names,
+)
+
+__all__ = [
+    "FACTORIES",
+    "PROGRAM_IDS",
+    "TABLE1",
+    "branch_chain",
+    "load",
+    "load_all",
+    "loop_nest",
+    "program_id",
+    "program_names",
+    "random_data_program",
+    "random_program",
+    "recursion_as_loop",
+    "state_machine",
+    "switch_fan",
+    "unrolled_kernel",
+]

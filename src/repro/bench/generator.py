@@ -1,0 +1,261 @@
+"""Parametric program generators.
+
+Building blocks for the Mälardalen structural clones
+(:mod:`repro.bench.malardalen`) and for property-based tests that need a
+stream of diverse, valid, deterministic programs
+(:func:`random_program`).
+
+Every generator takes the :class:`~repro.program.builder.ProgramBuilder`
+it should emit into, so clones can compose them freely.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.errors import ProgramModelError
+from repro.program.builder import ProgramBuilder
+from repro.program.cfg import ControlFlowGraph
+
+
+def loop_nest(
+    b: ProgramBuilder,
+    bounds: Sequence[int],
+    body_size: int,
+    sim_iterations: Optional[Sequence[int]] = None,
+    pre_size: int = 0,
+    post_size: int = 0,
+) -> None:
+    """A rectangular loop nest with straight-line work at each level.
+
+    Args:
+        b: Builder to emit into.
+        bounds: WCET bounds per nesting level, outermost first.
+        body_size: Instructions in the innermost body.
+        sim_iterations: Concrete iteration counts (defaults to bounds).
+        pre_size: Instructions before entering each level's inner part.
+        post_size: Instructions after leaving each level's inner part.
+    """
+    if not bounds:
+        raise ProgramModelError("loop_nest needs at least one bound")
+    sims = list(sim_iterations) if sim_iterations is not None else list(bounds)
+    if len(sims) != len(bounds):
+        raise ProgramModelError("sim_iterations must match bounds")
+
+    def emit(level: int) -> None:
+        with b.loop(bound=bounds[level], sim_iterations=sims[level]):
+            if pre_size:
+                b.code(pre_size)
+            if level + 1 < len(bounds):
+                emit(level + 1)
+            else:
+                b.code(body_size)
+            if post_size:
+                b.code(post_size)
+
+    emit(0)
+
+
+def branch_chain(
+    b: ProgramBuilder,
+    count: int,
+    then_size: int,
+    else_size: int = 0,
+    taken_prob: float = 0.5,
+    spacer: int = 1,
+) -> None:
+    """A chain of ``count`` conditionals (decision-heavy code).
+
+    ``else_size == 0`` emits if-then constructs; otherwise if-then-else.
+    """
+    if count < 1:
+        raise ProgramModelError("branch_chain needs count >= 1")
+    for _ in range(count):
+        if else_size > 0:
+            with b.if_else(taken_prob=taken_prob) as arms:
+                with arms.then_():
+                    b.code(then_size)
+                with arms.else_():
+                    b.code(else_size)
+        else:
+            with b.if_then(taken_prob=taken_prob):
+                b.code(then_size)
+        if spacer:
+            b.code(spacer)
+
+
+def switch_fan(
+    b: ProgramBuilder,
+    cases: int,
+    case_size: int,
+    weights: Optional[Sequence[float]] = None,
+    varying: int = 0,
+) -> None:
+    """One switch with ``cases`` arms of ``case_size`` instructions.
+
+    ``varying`` adds ``i * varying`` extra instructions to case ``i`` so
+    arms differ (forces the WCET path through the largest one).
+    """
+    if cases < 1:
+        raise ProgramModelError("switch_fan needs cases >= 1")
+    with b.switch(weights=weights) as sw:
+        for i in range(cases):
+            with sw.case():
+                b.code(case_size + i * varying)
+
+
+def state_machine(
+    b: ProgramBuilder,
+    states: int,
+    handler_size: int,
+    steps_bound: int,
+    sim_steps: Optional[int] = None,
+    varying: int = 0,
+) -> None:
+    """A dispatch loop over ``states`` handlers (statemate/icall shape).
+
+    Per step one handler runs, selected uniformly in simulation; the
+    WCET path always takes the biggest handler.
+    """
+    with b.loop(bound=steps_bound, sim_iterations=sim_steps):
+        b.code(3)  # state load + dispatch computation
+        switch_fan(b, states, handler_size, varying=varying)
+        b.code(1)  # state store
+
+
+def unrolled_kernel(b: ProgramBuilder, chunks: int, chunk_size: int) -> None:
+    """A long straight-line region (duff/fdct-style unrolled code)."""
+    for _ in range(chunks):
+        b.code(chunk_size)
+
+
+def recursion_as_loop(
+    b: ProgramBuilder,
+    depth_bound: int,
+    sim_depth: Optional[int],
+    pre_size: int,
+    post_size: int,
+) -> None:
+    """Documented substitution for bounded self-recursion (DESIGN.md).
+
+    A self-recursive function of bounded depth repeatedly fetches its own
+    small body; cache-wise this is a loop over ``pre`` (descending calls)
+    followed by a loop over ``post`` (unwinding returns).  The two loops
+    share the loop bound = recursion depth.
+    """
+    with b.loop(bound=depth_bound, sim_iterations=sim_depth):
+        b.code(pre_size)
+    b.code(2)  # base case
+    with b.loop(bound=depth_bound, sim_iterations=sim_depth):
+        b.code(post_size)
+
+
+def random_data_program(
+    seed: int,
+    target_size: int = 80,
+    name: Optional[str] = None,
+) -> ControlFlowGraph:
+    """A deterministic pseudo-random program *with data accesses*.
+
+    Extends :func:`random_program`'s role to the data-cache extension's
+    property tests: every seed yields a valid program mixing scalar
+    table loads, strided stream walks, and stores inside loops.
+    """
+    rng = random.Random(seed ^ 0x5EED)
+    b = ProgramBuilder(name or f"randdata{seed}")
+    n_tables = rng.randint(1, 3)
+    for t in range(n_tables):
+        b.data_region(f"tab{t}", rng.choice([32, 64, 128]))
+    b.data_region("stream", rng.choice([1024, 2048, 4096]))
+    b.code(rng.randint(2, 6))
+    for _ in range(rng.randint(1, 3)):
+        bound = rng.randint(4, 24)
+        with b.loop(bound=bound, sim_iterations=rng.randint(1, bound)):
+            if rng.random() < 0.8:
+                b.load("stream", stride=rng.choice([4, 8, 16]))
+            b.code(rng.randint(1, 6))
+            for t in range(n_tables):
+                if rng.random() < 0.6:
+                    b.load(f"tab{t}", offset=rng.randrange(0, 32, 4))
+            b.code(rng.randint(1, 4))
+            if rng.random() < 0.4:
+                b.store("stream", offset=0, stride=rng.choice([4, 8]))
+        b.code(rng.randint(1, 4))
+    return b.build()
+
+
+def random_program(
+    seed: int,
+    target_size: int = 120,
+    max_depth: int = 3,
+    name: Optional[str] = None,
+) -> ControlFlowGraph:
+    """A deterministic pseudo-random structured program.
+
+    Used by the property-based tests: for any seed the result is a valid
+    CFG, so invariants (Theorem 1, soundness of the classification,
+    prefetch equivalence...) can be checked across a large family of
+    shapes.
+
+    Args:
+        seed: Shape seed (same seed, same program).
+        target_size: Approximate number of instructions.
+        max_depth: Maximum structure nesting.
+        name: Program name (defaults to ``rand<seed>``).
+
+    Returns:
+        A built :class:`~repro.program.cfg.ControlFlowGraph`.
+    """
+    rng = random.Random(seed)
+    b = ProgramBuilder(name or f"rand{seed}")
+    budget = [max(10, target_size)]
+
+    def spend(n: int) -> int:
+        n = min(n, budget[0])
+        budget[0] -= n
+        return n
+
+    def emit(depth: int) -> None:
+        while budget[0] > 0:
+            choice = rng.random()
+            if choice < 0.35 or depth >= max_depth:
+                b.code(max(1, spend(rng.randint(2, 12))))
+            elif choice < 0.6:
+                bound = rng.randint(2, 12)
+                sim = rng.randint(1, bound)
+                size_before = budget[0]
+                with b.loop(bound=bound, sim_iterations=sim):
+                    b.code(max(1, spend(rng.randint(2, 8))))
+                    if depth + 1 < max_depth and rng.random() < 0.5 and budget[0] > 8:
+                        emit_one(depth + 1)
+                if budget[0] >= size_before:  # pragma: no cover - defensive
+                    budget[0] -= 1
+            elif choice < 0.85:
+                with b.if_else(taken_prob=rng.uniform(0.1, 0.9)) as arms:
+                    with arms.then_():
+                        b.code(max(1, spend(rng.randint(1, 8))))
+                    with arms.else_():
+                        b.code(max(1, spend(rng.randint(1, 8))))
+            else:
+                cases = rng.randint(2, 5)
+                with b.switch() as sw:
+                    for _ in range(cases):
+                        with sw.case():
+                            b.code(max(1, spend(rng.randint(1, 6))))
+            if rng.random() < 0.15:
+                break
+
+    def emit_one(depth: int) -> None:
+        choice = rng.random()
+        if choice < 0.5:
+            b.code(max(1, spend(rng.randint(2, 10))))
+        else:
+            with b.if_then(taken_prob=rng.uniform(0.2, 0.8)):
+                b.code(max(1, spend(rng.randint(1, 6))))
+
+    b.code(2)
+    while budget[0] > 0:
+        emit(0)
+    b.code(1)
+    return b.build()

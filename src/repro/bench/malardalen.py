@@ -1,0 +1,816 @@
+"""Structural clones of the 37 Mälardalen WCET benchmark programs.
+
+The paper optimizes the Mälardalen suite [10] compiled for ARMv7.  The C
+sources cannot be compiled here (see DESIGN.md's substitution table), so
+each program is re-created *structurally*: the clone reproduces the
+documented control structure of the original — loop nests and their
+bounds, branch/switch topology, straight-line region sizes, call
+structure — because that structure (together with the address layout) is
+the only thing the instruction-cache behaviour depends on in this model.
+
+Sizes are proportional to the originals' code sizes; iteration counts
+are scaled down where the original iterates thousands of times (noted
+per program) to keep pure-Python simulation practical, which scales the
+absolute cycle numbers but not who-wins comparisons.
+
+Self-recursive programs (``fac``, ``fibcall``, ``recursion``) use the
+recursion-as-loop substitution of
+:func:`repro.bench.generator.recursion_as_loop` (documented in
+DESIGN.md): cache-wise, bounded self-recursion over a small body is a
+loop over that body.
+
+Every factory is deterministic and returns a freshly built CFG.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.bench.generator import (
+    branch_chain,
+    loop_nest,
+    recursion_as_loop,
+    state_machine,
+    switch_fan,
+    unrolled_kernel,
+)
+from repro.program.builder import ProgramBuilder
+from repro.program.cfg import ControlFlowGraph
+
+#: name -> factory registry, filled by the ``@_program`` decorator.
+FACTORIES: Dict[str, Callable[[], ControlFlowGraph]] = {}
+
+
+def _program(name: str):
+    def register(fn: Callable[[], ControlFlowGraph]):
+        FACTORIES[name] = fn
+        fn.__benchmark_name__ = name
+        return fn
+
+    return register
+
+
+@_program("adpcm")
+def adpcm() -> ControlFlowGraph:
+    """ADPCM encoder/decoder: the suite's largest DSP program.
+
+    Several filter/quantizer functions called from encode and decode
+    loops, with branchy quantization logic inside.
+    """
+    b = ProgramBuilder("adpcm")
+    with b.function("filtez"):
+        b.code(12)
+        with b.loop(bound=6):
+            b.code(22)
+        b.code(10)
+    with b.function("filtep"):
+        b.code(26)
+    with b.function("quantl"):
+        with b.loop(bound=30, sim_iterations=15):
+            b.code(8)
+            with b.if_then(taken_prob=0.5):
+                b.code(4)
+        b.code(14)
+    with b.function("logscl"):
+        b.code(28)
+        with b.if_else(taken_prob=0.3) as arms:
+            with arms.then_():
+                b.code(9)
+            with arms.else_():
+                b.code(8)
+    with b.function("scalel"):
+        b.code(22)
+    with b.function("upzero"):
+        b.code(8)
+        with b.loop(bound=6):
+            b.code(14)
+        b.code(6)
+    with b.function("uppol"):
+        b.code(20)
+        branch_chain(b, count=4, then_size=7, else_size=6, taken_prob=0.5)
+        b.code(12)
+    b.code(60)  # table and state initialisation
+    with b.loop(bound=10, sim_iterations=10, name="encode_loop"):
+        b.code(24)
+        b.call("filtez")
+        b.call("filtep")
+        b.call("quantl")
+        b.call("logscl")
+        b.call("scalel")
+        b.call("upzero")
+        b.call("uppol")
+        b.code(38)
+    with b.loop(bound=10, sim_iterations=10, name="decode_loop"):
+        b.code(20)
+        b.call("filtez")
+        b.call("filtep")
+        b.call("logscl")
+        b.call("scalel")
+        b.call("upzero")
+        b.call("uppol")
+        b.code(30)
+    b.code(18)
+    return b.build()
+
+
+@_program("bs")
+def bs() -> ControlFlowGraph:
+    """Binary search over 15 elements: one loop, one three-way decision."""
+    b = ProgramBuilder("bs")
+    b.code(6)
+    with b.loop(bound=4, sim_iterations=4):
+        b.code(5)
+        with b.if_else(taken_prob=0.5) as arms:
+            with arms.then_():
+                b.code(3)
+            with arms.else_():
+                with b.if_else(taken_prob=0.5) as inner:
+                    with inner.then_():
+                        b.code(3)
+                    with inner.else_():
+                        b.code(2)
+    b.code(3)
+    return b.build()
+
+
+@_program("bsort100")
+def bsort100() -> ControlFlowGraph:
+    """Bubble sort of 100 elements: double nest with a swap conditional.
+
+    Bounds scaled 100 -> 24 for simulation tractability.
+    """
+    b = ProgramBuilder("bsort100")
+    b.code(5)
+    with b.loop(bound=24, sim_iterations=20):
+        b.code(3)
+        with b.loop(bound=24, sim_iterations=20):
+            b.code(6)
+            with b.if_then(taken_prob=0.5):
+                b.code(7)  # swap
+        b.code(2)
+    b.code(3)
+    return b.build()
+
+
+@_program("cnt")
+def cnt() -> ControlFlowGraph:
+    """Counts positive numbers in a 10x10 matrix: 2-level nest + test."""
+    b = ProgramBuilder("cnt")
+    b.code(6)
+    with b.loop(bound=10):
+        b.code(2)
+        with b.loop(bound=10):
+            b.code(5)
+            with b.if_else(taken_prob=0.5) as arms:
+                with arms.then_():
+                    b.code(3)
+                with arms.else_():
+                    b.code(3)
+        b.code(2)
+    b.code(4)
+    return b.build()
+
+
+@_program("compress")
+def compress() -> ControlFlowGraph:
+    """Data compression kernel: hash loop with branchy match logic."""
+    b = ProgramBuilder("compress")
+    b.code(50)  # table setup
+    with b.loop(bound=50, sim_iterations=40):
+        b.code(20)
+        with b.if_else(taken_prob=0.6) as arms:
+            with arms.then_():
+                b.code(18)  # match found
+            with arms.else_():
+                b.code(10)
+                with b.loop(bound=6, sim_iterations=3):
+                    b.code(12)  # probe chain
+                with b.if_then(taken_prob=0.3):
+                    b.code(26)  # emit code / table clear
+        b.code(12)
+    with b.loop(bound=30, sim_iterations=25, name="output"):
+        b.code(16)
+        with b.if_then(taken_prob=0.5):
+            b.code(8)
+    b.code(20)
+    return b.build()
+
+
+@_program("cover")
+def cover() -> ControlFlowGraph:
+    """Artificial coverage program: three big switches inside loops."""
+    b = ProgramBuilder("cover")
+    b.code(4)
+    with b.loop(bound=10, sim_iterations=10):
+        switch_fan(b, cases=20, case_size=4, varying=0)
+    with b.loop(bound=10, sim_iterations=10):
+        switch_fan(b, cases=30, case_size=4, varying=0)
+    with b.loop(bound=10, sim_iterations=10):
+        switch_fan(b, cases=10, case_size=4, varying=0)
+    b.code(3)
+    return b.build()
+
+
+@_program("crc")
+def crc() -> ControlFlowGraph:
+    """CRC over a 40-byte message: table init loop + per-byte loop + call."""
+    b = ProgramBuilder("crc")
+    with b.function("icrc1"):
+        with b.loop(bound=8):
+            b.code(3)
+            with b.if_else(taken_prob=0.5) as arms:
+                with arms.then_():
+                    b.code(3)
+                with arms.else_():
+                    b.code(2)
+    b.code(8)
+    with b.loop(bound=32, sim_iterations=32, name="tab_init"):
+        b.code(4)
+        b.call("icrc1")
+    with b.loop(bound=40, sim_iterations=40, name="message"):
+        b.code(7)
+    b.code(5)
+    return b.build()
+
+
+@_program("duff")
+def duff() -> ControlFlowGraph:
+    """Duff's device copy: switch into an unrolled loop body."""
+    b = ProgramBuilder("duff")
+    b.code(6)
+    switch_fan(b, cases=8, case_size=3, varying=0)  # remainder entry
+    with b.loop(bound=5, sim_iterations=5):
+        unrolled_kernel(b, chunks=8, chunk_size=4)  # 8-way unrolled copy
+    b.code(4)
+    return b.build()
+
+
+@_program("edn")
+def edn() -> ControlFlowGraph:
+    """Signal-processing suite: several sequential filter loop nests."""
+    b = ProgramBuilder("edn")
+    b.code(16)
+    loop_nest(b, bounds=[8, 8], body_size=18)          # vec_mpy / mac
+    with b.loop(bound=25, sim_iterations=25):          # fir
+        b.code(9)
+        with b.loop(bound=8, sim_iterations=8):
+            b.code(14)
+    with b.loop(bound=25, sim_iterations=20):          # fir_no_red_ld
+        b.code(22)
+    loop_nest(b, bounds=[10], body_size=26)            # latsynth
+    loop_nest(b, bounds=[16], body_size=15)            # iir1
+    loop_nest(b, bounds=[8, 4], body_size=20)          # codebook
+    loop_nest(b, bounds=[16], body_size=18)            # jpegdct
+    b.code(14)
+    return b.build()
+
+
+@_program("expint")
+def expint() -> ControlFlowGraph:
+    """Exponential integral: outer series loop with data-dependent arm."""
+    b = ProgramBuilder("expint")
+    b.code(8)
+    with b.loop(bound=15, sim_iterations=12):
+        b.code(4)
+        with b.if_else(taken_prob=0.5) as arms:
+            with arms.then_():
+                b.code(6)
+                with b.loop(bound=10, sim_iterations=5):
+                    b.code(5)
+            with arms.else_():
+                b.code(8)
+    b.code(4)
+    return b.build()
+
+
+@_program("fac")
+def fac() -> ControlFlowGraph:
+    """Factorial via self-recursion (recursion-as-loop substitution)."""
+    b = ProgramBuilder("fac")
+    b.code(4)
+    recursion_as_loop(b, depth_bound=10, sim_depth=8, pre_size=4, post_size=3)
+    b.code(3)
+    return b.build()
+
+
+@_program("fdct")
+def fdct() -> ControlFlowGraph:
+    """Fast DCT: two loops with very large straight-line bodies."""
+    b = ProgramBuilder("fdct")
+    b.code(8)
+    with b.loop(bound=8, sim_iterations=8, name="rows"):
+        unrolled_kernel(b, chunks=8, chunk_size=24)
+    with b.loop(bound=8, sim_iterations=8, name="cols"):
+        unrolled_kernel(b, chunks=8, chunk_size=26)
+    b.code(6)
+    return b.build()
+
+
+@_program("fft1")
+def fft1() -> ControlFlowGraph:
+    """1024-point FFT (scaled): butterfly nest + sine call.
+
+    Stage/butterfly bounds scaled to 6/16.
+    """
+    b = ProgramBuilder("fft1")
+    with b.function("my_sin"):
+        b.code(10)
+        with b.loop(bound=6):
+            b.code(14)
+        b.code(6)
+    b.code(18)
+    with b.loop(bound=16, sim_iterations=16, name="init"):
+        b.code(6)
+        b.call("my_sin")
+    with b.loop(bound=6, sim_iterations=6, name="stages"):
+        b.code(12)
+        with b.loop(bound=16, sim_iterations=8, name="butterflies"):
+            b.code(28)
+            with b.if_then(taken_prob=0.5):
+                b.code(9)
+    b.code(12)
+    return b.build()
+
+
+@_program("fibcall")
+def fibcall() -> ControlFlowGraph:
+    """Iterative Fibonacci: one tiny loop."""
+    b = ProgramBuilder("fibcall")
+    b.code(4)
+    with b.loop(bound=30, sim_iterations=30):
+        b.code(6)
+    b.code(2)
+    return b.build()
+
+
+@_program("fir")
+def fir() -> ControlFlowGraph:
+    """FIR filter over a signal: outer sample loop, inner tap loop."""
+    b = ProgramBuilder("fir")
+    b.code(8)
+    with b.loop(bound=40, sim_iterations=30):
+        b.code(3)
+        with b.loop(bound=8, sim_iterations=8):
+            b.code(5)
+        b.code(3)
+    b.code(3)
+    return b.build()
+
+
+@_program("icall")
+def icall() -> ControlFlowGraph:
+    """Indirect call dispatch: a loop selecting among 4 handlers."""
+    b = ProgramBuilder("icall")
+    with b.function("h0"):
+        b.code(6)
+    with b.function("h1"):
+        b.code(8)
+    with b.function("h2"):
+        b.code(5)
+    with b.function("h3"):
+        b.code(9)
+    b.code(5)
+    with b.loop(bound=12, sim_iterations=12):
+        b.code(2)
+        with b.switch() as sw:
+            with sw.case():
+                b.call("h0")
+            with sw.case():
+                b.call("h1")
+            with sw.case():
+                b.call("h2")
+            with sw.case():
+                b.call("h3")
+        b.code(1)
+    b.code(3)
+    return b.build()
+
+
+@_program("insertsort")
+def insertsort() -> ControlFlowGraph:
+    """Insertion sort of 10 elements: nested while with early exit arm."""
+    b = ProgramBuilder("insertsort")
+    b.code(5)
+    with b.loop(bound=9, sim_iterations=9):
+        b.code(3)
+        with b.loop(bound=9, sim_iterations=4):
+            b.code(4)
+            with b.if_then(taken_prob=0.6):
+                b.code(4)  # shift element
+        b.code(2)
+    b.code(2)
+    return b.build()
+
+
+@_program("janne_complex")
+def janne_complex() -> ControlFlowGraph:
+    """Two nested loops whose inner bound depends on the outer variable."""
+    b = ProgramBuilder("janne_complex")
+    b.code(4)
+    with b.loop(bound=11, sim_iterations=9):
+        b.code(2)
+        with b.loop(bound=8, sim_iterations=5):
+            b.code(3)
+            with b.if_else(taken_prob=0.4) as arms:
+                with arms.then_():
+                    b.code(3)
+                with arms.else_():
+                    b.code(4)
+        b.code(2)
+    b.code(2)
+    return b.build()
+
+
+@_program("jfdctint")
+def jfdctint() -> ControlFlowGraph:
+    """JPEG integer DCT: two loops with very large bodies (like fdct)."""
+    b = ProgramBuilder("jfdctint")
+    b.code(10)
+    with b.loop(bound=8, sim_iterations=8, name="pass1"):
+        unrolled_kernel(b, chunks=9, chunk_size=25)
+    with b.loop(bound=8, sim_iterations=8, name="pass2"):
+        unrolled_kernel(b, chunks=9, chunk_size=27)
+    b.code(6)
+    return b.build()
+
+
+@_program("lcdnum")
+def lcdnum() -> ControlFlowGraph:
+    """LCD digit driver: loop over digits with a 10-case decode switch."""
+    b = ProgramBuilder("lcdnum")
+    b.code(3)
+    with b.loop(bound=10, sim_iterations=10):
+        b.code(2)
+        switch_fan(b, cases=10, case_size=3, varying=0)
+        b.code(1)
+    b.code(2)
+    return b.build()
+
+
+@_program("lms")
+def lms() -> ControlFlowGraph:
+    """LMS adaptive filter: per-sample loop with two inner tap loops."""
+    b = ProgramBuilder("lms")
+    with b.function("gaussian"):
+        b.code(12)
+        with b.loop(bound=4):
+            b.code(10)
+        b.code(8)
+    b.code(20)
+    with b.loop(bound=25, sim_iterations=20, name="samples"):
+        b.call("gaussian")
+        b.code(10)
+        with b.loop(bound=8, sim_iterations=8, name="filter"):
+            b.code(12)
+        b.code(8)
+        with b.loop(bound=8, sim_iterations=8, name="update"):
+            b.code(14)
+        b.code(8)
+    b.code(10)
+    return b.build()
+
+
+@_program("ludcmp")
+def ludcmp() -> ControlFlowGraph:
+    """LU decomposition of a 5x5 system: triangular triple nests."""
+    b = ProgramBuilder("ludcmp")
+    b.code(8)
+    with b.loop(bound=5, sim_iterations=5):
+        b.code(3)
+        with b.loop(bound=5, sim_iterations=3):
+            b.code(4)
+            with b.loop(bound=5, sim_iterations=3):
+                b.code(5)
+            b.code(3)
+        with b.loop(bound=5, sim_iterations=3):
+            b.code(4)
+            with b.loop(bound=5, sim_iterations=2):
+                b.code(5)
+            with b.if_then(taken_prob=0.2):
+                b.code(3)
+    with b.loop(bound=5, sim_iterations=5, name="subst"):
+        b.code(4)
+        with b.loop(bound=5, sim_iterations=3):
+            b.code(4)
+    b.code(5)
+    return b.build()
+
+
+@_program("matmult")
+def matmult() -> ControlFlowGraph:
+    """20x20 matrix multiply (scaled to 8x8): classic triple nest."""
+    b = ProgramBuilder("matmult")
+    b.code(6)
+    loop_nest(
+        b,
+        bounds=[8, 8],
+        body_size=3,
+        pre_size=2,
+        post_size=1,
+    )  # initialisation of the two operand matrices
+    with b.loop(bound=8, sim_iterations=8, name="i"):
+        b.code(2)
+        with b.loop(bound=8, sim_iterations=8, name="j"):
+            b.code(2)
+            with b.loop(bound=8, sim_iterations=8, name="k"):
+                b.code(5)
+            b.code(2)
+    b.code(3)
+    return b.build()
+
+
+@_program("minver")
+def minver() -> ControlFlowGraph:
+    """3x3 matrix inversion: several small nests with pivoting branches."""
+    b = ProgramBuilder("minver")
+    b.code(10)
+    with b.loop(bound=3, sim_iterations=3, name="pivot"):
+        b.code(4)
+        with b.loop(bound=3, sim_iterations=3):
+            b.code(3)
+            with b.if_then(taken_prob=0.4):
+                b.code(4)
+        with b.if_then(taken_prob=0.3):
+            with b.loop(bound=3, sim_iterations=3):
+                b.code(5)  # row swap
+        with b.loop(bound=3, sim_iterations=3, name="eliminate"):
+            b.code(3)
+            with b.loop(bound=3, sim_iterations=3):
+                b.code(4)
+    with b.loop(bound=3, sim_iterations=3, name="mmult"):
+        with b.loop(bound=3, sim_iterations=3):
+            b.code(2)
+            with b.loop(bound=3, sim_iterations=3):
+                b.code(4)
+    b.code(6)
+    return b.build()
+
+
+@_program("ndes")
+def ndes() -> ControlFlowGraph:
+    """DES-like block cipher: bit permutation loops + round function."""
+    b = ProgramBuilder("ndes")
+    with b.function("getbit"):
+        b.code(8)
+        with b.if_else(taken_prob=0.5) as arms:
+            with arms.then_():
+                b.code(4)
+            with arms.else_():
+                b.code(4)
+    with b.function("ks"):
+        b.code(12)
+        with b.loop(bound=8):
+            b.code(10)
+        b.code(8)
+    b.code(30)
+    with b.loop(bound=16, sim_iterations=16, name="rounds"):
+        b.code(14)
+        b.call("ks")
+        with b.loop(bound=8, sim_iterations=8, name="sboxes"):
+            b.code(16)
+            b.call("getbit")
+            b.code(10)
+        with b.loop(bound=32, sim_iterations=16, name="perm"):
+            b.code(8)
+        b.code(12)
+    b.code(18)
+    return b.build()
+
+
+@_program("ns")
+def ns() -> ControlFlowGraph:
+    """Search in a 4-dimensional array: 4-deep nest with early exit."""
+    b = ProgramBuilder("ns")
+    b.code(4)
+    with b.loop(bound=5, sim_iterations=5):
+        with b.loop(bound=5, sim_iterations=5):
+            with b.loop(bound=5, sim_iterations=4):
+                with b.loop(bound=5, sim_iterations=3):
+                    b.code(4)
+                    with b.if_then(taken_prob=0.1):
+                        b.code(3)  # found
+    b.code(2)
+    return b.build()
+
+
+@_program("nsichneu")
+def nsichneu() -> ControlFlowGraph:
+    """Simulated Petri net: hundreds of independent if-then updates.
+
+    The original is ~4000 lines of generated transitions in a loop that
+    runs twice; the clone keeps the shape (120 transitions of ~9
+    instructions each) at a tractable size.
+    """
+    b = ProgramBuilder("nsichneu")
+    b.code(4)
+    with b.loop(bound=2, sim_iterations=2):
+        for _ in range(120):
+            with b.if_then(taken_prob=0.35):
+                b.code(7)
+            b.code(2)
+    b.code(2)
+    return b.build()
+
+
+@_program("prime")
+def prime() -> ControlFlowGraph:
+    """Primality test: trial division loop with even/odd fast path."""
+    b = ProgramBuilder("prime")
+    b.code(5)
+    with b.if_else(taken_prob=0.5) as arms:
+        with arms.then_():
+            b.code(3)
+        with arms.else_():
+            with b.loop(bound=18, sim_iterations=14):
+                b.code(5)
+                with b.if_then(taken_prob=0.1):
+                    b.code(2)  # divisor found
+    b.code(3)
+    return b.build()
+
+
+@_program("qsort-exam")
+def qsort_exam() -> ControlFlowGraph:
+    """Non-recursive quicksort of 20 elements: partition loops + stack."""
+    b = ProgramBuilder("qsort-exam")
+    b.code(8)
+    with b.loop(bound=12, sim_iterations=8, name="stack"):
+        b.code(5)
+        with b.loop(bound=20, sim_iterations=10, name="partition"):
+            with b.loop(bound=10, sim_iterations=3, name="scan_up"):
+                b.code(3)
+            with b.loop(bound=10, sim_iterations=3, name="scan_down"):
+                b.code(3)
+            with b.if_else(taken_prob=0.7) as arms:
+                with arms.then_():
+                    b.code(6)  # swap
+                with arms.else_():
+                    b.code(2)
+        with b.if_else(taken_prob=0.5) as arms:
+            with arms.then_():
+                b.code(5)  # push
+            with arms.else_():
+                b.code(3)  # pop
+    b.code(4)
+    return b.build()
+
+
+@_program("qurt")
+def qurt() -> ControlFlowGraph:
+    """Quadratic root computation: sqrt helper called under branches."""
+    b = ProgramBuilder("qurt")
+    with b.function("my_sqrt"):
+        b.code(4)
+        with b.loop(bound=19, sim_iterations=12):
+            b.code(6)
+        b.code(3)
+    b.code(10)
+    with b.if_else(taken_prob=0.5) as arms:
+        with arms.then_():
+            b.code(4)
+            b.call("my_sqrt")
+            b.code(5)
+        with arms.else_():
+            b.code(3)
+            b.call("my_sqrt")
+            b.code(6)
+    b.code(4)
+    return b.build()
+
+
+@_program("recursion")
+def recursion() -> ControlFlowGraph:
+    """Recursive Fibonacci (depth-bounded), as the loop substitution."""
+    b = ProgramBuilder("recursion")
+    b.code(3)
+    recursion_as_loop(b, depth_bound=25, sim_depth=20, pre_size=6, post_size=5)
+    b.code(2)
+    return b.build()
+
+
+@_program("select")
+def select() -> ControlFlowGraph:
+    """Select the k-th smallest of 20: partition loops like qsort."""
+    b = ProgramBuilder("select")
+    b.code(6)
+    with b.loop(bound=10, sim_iterations=6, name="outer"):
+        b.code(4)
+        with b.loop(bound=20, sim_iterations=9, name="walk"):
+            b.code(3)
+            with b.if_else(taken_prob=0.5) as arms:
+                with arms.then_():
+                    b.code(4)
+                with arms.else_():
+                    b.code(2)
+        with b.if_then(taken_prob=0.4):
+            b.code(6)  # swap pivot
+    b.code(3)
+    return b.build()
+
+
+@_program("sqrt")
+def sqrt() -> ControlFlowGraph:
+    """Square root by Taylor iteration: one small loop and a guard."""
+    b = ProgramBuilder("sqrt")
+    b.code(4)
+    with b.if_then(taken_prob=0.9):
+        with b.loop(bound=19, sim_iterations=15):
+            b.code(7)
+    b.code(3)
+    return b.build()
+
+
+@_program("st")
+def st() -> ControlFlowGraph:
+    """Statistics package: sequential array passes + sqrt calls."""
+    b = ProgramBuilder("st")
+    with b.function("my_sqrt"):
+        b.code(8)
+        with b.loop(bound=19, sim_iterations=12):
+            b.code(12)
+    b.code(16)
+    with b.loop(bound=25, sim_iterations=25, name="init"):
+        b.code(15)
+    with b.loop(bound=25, sim_iterations=25, name="sum"):
+        b.code(9)
+    with b.loop(bound=25, sim_iterations=25, name="var"):
+        b.code(13)
+    b.call("my_sqrt")
+    with b.loop(bound=25, sim_iterations=25, name="cov"):
+        b.code(11)
+    b.call("my_sqrt")
+    b.code(12)
+    return b.build()
+
+
+@_program("statemate")
+def statemate() -> ControlFlowGraph:
+    """Generated car-window controller: a big flat state machine.
+
+    The original is ~1200 lines of generated if-chains; the clone drives
+    a 10-state, ~30-instruction-handler machine for 8 steps plus long
+    guard chains.
+    """
+    b = ProgramBuilder("statemate")
+    b.code(14)
+    branch_chain(b, count=18, then_size=7, else_size=5, taken_prob=0.4, spacer=3)
+    state_machine(
+        b, states=12, handler_size=34, steps_bound=8, sim_steps=8, varying=1
+    )
+    branch_chain(b, count=14, then_size=8, else_size=4, taken_prob=0.3, spacer=3)
+    b.code(8)
+    return b.build()
+
+
+@_program("ud")
+def ud() -> ControlFlowGraph:
+    """LU-based linear equation solver (like ludcmp, different shape)."""
+    b = ProgramBuilder("ud")
+    b.code(6)
+    with b.loop(bound=5, sim_iterations=5):
+        with b.loop(bound=5, sim_iterations=3):
+            b.code(4)
+            with b.loop(bound=5, sim_iterations=2):
+                b.code(4)
+    with b.loop(bound=5, sim_iterations=5, name="forward"):
+        b.code(3)
+        with b.loop(bound=5, sim_iterations=2):
+            b.code(4)
+    with b.loop(bound=5, sim_iterations=5, name="backward"):
+        b.code(3)
+        with b.loop(bound=5, sim_iterations=2):
+            b.code(4)
+    b.code(4)
+    return b.build()
+
+
+@_program("whet")
+def whet() -> ControlFlowGraph:
+    """Whetstone: mixed loop modules with transcendental helper calls."""
+    b = ProgramBuilder("whet")
+    with b.function("p3"):
+        b.code(20)
+    with b.function("p0"):
+        b.code(16)
+    with b.function("pa"):
+        b.code(10)
+        with b.loop(bound=6):
+            b.code(14)
+    b.code(16)
+    with b.loop(bound=12, sim_iterations=12, name="mod1"):
+        b.code(18)
+    with b.loop(bound=14, sim_iterations=14, name="mod2"):
+        b.code(14)
+        b.call("pa")
+    with b.loop(bound=12, sim_iterations=12, name="mod3"):
+        b.code(10)
+        b.call("p3")
+    with b.loop(bound=16, sim_iterations=16, name="mod4"):
+        b.code(12)
+        with b.if_then(taken_prob=0.5):
+            b.code(9)
+    with b.loop(bound=12, sim_iterations=12, name="mod5"):
+        b.code(8)
+        b.call("p0")
+    b.code(12)
+    return b.build()

@@ -1,0 +1,58 @@
+"""Benchmark registry and the paper's Table 1 (program identification).
+
+Programs are identified ``p1``..``p37`` in alphabetical order of their
+names, matching the reading order of the paper's Table 1 (``adpcm`` =
+p1 ... last program = p37).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.bench.malardalen import FACTORIES
+from repro.errors import ExperimentError
+from repro.program.cfg import ControlFlowGraph
+
+
+def program_names() -> List[str]:
+    """All benchmark names, alphabetical (Table 1 order)."""
+    return sorted(FACTORIES)
+
+
+#: Table 1: program id ("p1".."p37") -> program name.
+TABLE1: Dict[str, str] = {
+    f"p{i + 1}": name for i, name in enumerate(sorted(FACTORIES))
+}
+
+#: Inverse of :data:`TABLE1`.
+PROGRAM_IDS: Dict[str, str] = {name: pid for pid, name in TABLE1.items()}
+
+
+def load(name: str) -> ControlFlowGraph:
+    """Build a fresh instance of a benchmark program.
+
+    Accepts either the program name (``"matmult"``) or its Table 1 id
+    (``"p23"``).
+    """
+    if name in TABLE1:
+        name = TABLE1[name]
+    try:
+        factory = FACTORIES[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown benchmark {name!r}; known: {', '.join(program_names())}"
+        ) from None
+    return factory()
+
+
+def load_all() -> List[Tuple[str, ControlFlowGraph]]:
+    """Build every benchmark; returns ``(name, cfg)`` pairs in Table 1 order."""
+    return [(name, load(name)) for name in program_names()]
+
+
+def program_id(name: str) -> str:
+    """Table 1 id of a program name."""
+    try:
+        return PROGRAM_IDS[name]
+    except KeyError:
+        raise ExperimentError(f"unknown benchmark {name!r}") from None

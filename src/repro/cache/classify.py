@@ -1,0 +1,303 @@
+"""Cache-behaviour classification over the ACFG.
+
+Runs the must/may abstract interpretation of
+:mod:`repro.cache.abstract` over an :class:`~repro.program.acfg.ACFG`
+and classifies every reference vertex as
+
+* ``ALWAYS_HIT`` — the referenced block is in the must state before the
+  access (hit on every path, every iteration the context covers),
+* ``ALWAYS_MISS`` — the block is absent from the may state,
+* ``NOT_CLASSIFIED`` — neither provable; WCET analysis must assume a
+  miss.
+
+Loop ``REST`` contexts are closed through the ACFG's analysis-only back
+edges with a Kleene fixpoint: the state entering a REST instance joins
+the first iteration's exit with the REST instance's own exit, iterated
+until stable.  This is the standard way the VIVU "rest" context
+summarises iterations 2..bound soundly.
+
+Software prefetch vertices update the state twice: once for their own
+fetch (a prefetch is an instruction and occupies a block), once for the
+block they load.  The *timing* validity of that second update (the
+latency Λ must be hidden) is enforced by the optimizer's effectiveness
+gate (Definition 10) and re-checked by
+:mod:`repro.core.guarantees`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cache.abstract import AbstractCacheState, MayState, MustState
+from repro.cache.config import CacheConfig
+from repro.cache.persistence import PersistenceState
+from repro.errors import AnalysisError
+from repro.program.acfg import ACFG, RefVertex, VertexKind
+
+#: Hard cap on fixpoint passes; reaching it indicates a bug, since the
+#: must/may lattices have height bounded by associativity x blocks.
+MAX_FIXPOINT_PASSES = 64
+
+
+class Classification(enum.Enum):
+    """Static classification of one reference.
+
+    ``PERSISTENT`` ("first miss") means the referenced block is never
+    evicted once loaded: WCET analysis charges the miss penalty once per
+    block and the hit latency per access (see
+    :mod:`repro.cache.persistence`).
+    """
+
+    ALWAYS_HIT = "AH"
+    ALWAYS_MISS = "AM"
+    PERSISTENT = "PS"
+    NOT_CLASSIFIED = "NC"
+
+    @property
+    def is_hit(self) -> bool:
+        """True when WCET analysis charges only the hit latency per access."""
+        return self in (Classification.ALWAYS_HIT, Classification.PERSISTENT)
+
+    @property
+    def is_always_hit(self) -> bool:
+        """True only for the must-proven always-hit class."""
+        return self is Classification.ALWAYS_HIT
+
+
+@dataclass
+class DataflowResult:
+    """Per-vertex in/out states of one abstract interpretation run."""
+
+    in_states: List[Optional[AbstractCacheState]]
+    out_states: List[Optional[AbstractCacheState]]
+    passes: int
+
+
+#: Marker for a statically-unknown access in a custom access plan.
+UNKNOWN_ACCESS = "?"
+
+
+def propagate(
+    acfg: ACFG,
+    config: CacheConfig,
+    initial: AbstractCacheState,
+    locked_blocks: Optional[frozenset] = None,
+    plan: Optional[List[Optional[tuple]]] = None,
+) -> DataflowResult:
+    """Run one abstract domain over the ACFG to fixpoint.
+
+    Pass 1 is a full topological sweep; every later pass only
+    re-processes vertices whose (forward or back-edge) inputs changed —
+    the standard worklist optimisation, which matters because this
+    routine is the inner loop of the optimizer's candidate evaluation.
+
+    Args:
+        acfg: The program's ACFG.
+        config: Cache configuration (defines set mapping).
+        initial: State at the source — typically the all-invalid state
+            of the chosen domain (``MustState(config)``/``MayState(config)``).
+
+    Returns:
+        A :class:`DataflowResult` with the converged states.
+    """
+    n = len(acfg.vertices)
+    in_states: List[Optional[AbstractCacheState]] = [None] * n
+    out_states: List[Optional[AbstractCacheState]] = [None] * n
+    back_by_target: Dict[int, List[int]] = {}
+    for src, dst in acfg.back_edges:
+        back_by_target.setdefault(dst, []).append(src)
+
+    # Per-rid access plan: None for no accesses, else a tuple of ops —
+    # each op a memory-block id or :data:`UNKNOWN_ACCESS`.  The default
+    # plan is the instruction-fetch stream (own block, then a prefetch's
+    # target); the data-cache extension passes its own plan.  Locked
+    # blocks live in pinned ways and never touch the LRU state.
+    locked = locked_blocks or frozenset()
+    if plan is None:
+        plan = [None] * n
+        for vertex in acfg.ref_vertices():
+            ops = []
+            own = acfg.block_of(vertex.rid)
+            if own not in locked:
+                ops.append(own)
+            target = acfg.target_block_or_none(vertex.rid)
+            if target is not None and target not in locked:
+                ops.append(target)
+            if ops:
+                plan[vertex.rid] = tuple(ops)
+    elif len(plan) != n:
+        raise AnalysisError(
+            f"custom plan has {len(plan)} entries, ACFG has {n} vertices"
+        )
+
+    preds = [acfg.predecessors(rid) for rid in range(n)]
+    source = acfg.source
+    back_src_changed: Dict[int, bool] = {}
+
+    for pass_count in range(1, MAX_FIXPOINT_PASSES + 1):
+        changed = [False] * n
+        any_changed = False
+        first_pass = pass_count == 1
+        for rid in range(n):
+            if not first_pass:
+                need = any(changed[p] for p in preds[rid]) or any(
+                    back_src_changed.get(src, False)
+                    for src in back_by_target.get(rid, ())
+                )
+                if not need:
+                    continue
+            if rid == source:
+                new_in: Optional[AbstractCacheState] = initial
+            else:
+                contributions = [
+                    out_states[p] for p in preds[rid] if out_states[p] is not None
+                ]
+                for src in back_by_target.get(rid, ()):
+                    if out_states[src] is not None:
+                        contributions.append(out_states[src])
+                if not contributions:
+                    continue  # unreachable this pass (back edge pending)
+                new_in = contributions[0]
+                for extra in contributions[1:]:
+                    new_in = new_in.join(extra)
+            access = plan[rid]
+            if access is None:
+                new_out = new_in
+            else:
+                new_out = new_in
+                for op in access:
+                    if op == UNKNOWN_ACCESS:
+                        new_out = new_out.unknown_access()
+                    else:
+                        new_out = new_out.update(op)
+            if new_out != out_states[rid]:
+                changed[rid] = True
+                any_changed = True
+                out_states[rid] = new_out
+            if new_in != in_states[rid]:
+                any_changed = True
+                in_states[rid] = new_in
+        back_src_changed = {
+            src: changed[src] for src, _ in acfg.back_edges
+        }
+        if not any_changed:
+            return DataflowResult(in_states, out_states, pass_count)
+    raise AnalysisError(
+        f"abstract interpretation did not converge within "
+        f"{MAX_FIXPOINT_PASSES} passes"
+    )
+
+
+@dataclass
+class CacheAnalysis:
+    """Bundled must(+may) results with per-reference classifications.
+
+    Attributes:
+        config: Cache configuration analysed.
+        classifications: Per-rid classification (``None`` for non-REF
+            vertices).
+        must: Must-domain dataflow result.
+        may: May-domain dataflow result, or ``None`` when the analysis
+            ran in must-only mode (the optimizer's hot loop: for WCET
+            timing, always-miss and not-classified are both charged the
+            miss latency, so the may domain adds nothing).
+    """
+
+    config: CacheConfig
+    classifications: List[Optional[Classification]]
+    must: DataflowResult
+    may: Optional[DataflowResult]
+    persistence: Optional[DataflowResult] = None
+
+    def classification(self, rid: int) -> Classification:
+        """Classification of a REF vertex (raises for non-REF)."""
+        result = self.classifications[rid]
+        if result is None:
+            raise AnalysisError(f"vertex {rid} is not a reference")
+        return result
+
+    def count(self, kind: Classification) -> int:
+        """Number of references with the given classification."""
+        return sum(1 for c in self.classifications if c is kind)
+
+    def hit_ratio_static(self) -> float:
+        """Fraction of references provably hitting (static, unweighted)."""
+        refs = sum(1 for c in self.classifications if c is not None)
+        if refs == 0:
+            return 0.0
+        return self.count(Classification.ALWAYS_HIT) / refs
+
+
+def analyze_cache(
+    acfg: ACFG,
+    config: CacheConfig,
+    with_may: bool = True,
+    with_persistence: bool = True,
+    locked_blocks: Optional[frozenset] = None,
+) -> CacheAnalysis:
+    """Classify every reference of ``acfg`` under ``config``.
+
+    The cache starts all-invalid (``ĉ_I``), matching the paper's setup
+    where each program fully owns the instruction cache.
+
+    Classification precedence per reference: ``ALWAYS_HIT`` (must) >
+    ``PERSISTENT`` (first-miss) > ``ALWAYS_MISS`` (may) >
+    ``NOT_CLASSIFIED``.
+
+    Args:
+        acfg: The program's ACFG.
+        config: Cache configuration.
+        with_may: Run the may analysis (distinguishes always-miss from
+            not-classified; irrelevant for the WCET bound).
+        with_persistence: Run the persistence analysis (tightens the
+            bound for blocks first touched under conditionals).
+        locked_blocks: For the hybrid locking+prefetching scheme
+            ([16]/[2], the paper's planned extension): blocks pinned in
+            locked ways.  References to them classify ``ALWAYS_HIT`` and
+            their accesses do not disturb the LRU state of the unlocked
+            ways, which ``config`` then describes (use the reduced-way
+            residual configuration).
+    """
+    if config.block_size != acfg.memory_map.block_size:
+        raise AnalysisError(
+            f"ACFG was built for block size {acfg.memory_map.block_size}, "
+            f"cache uses {config.block_size}"
+        )
+    must = propagate(acfg, config, MustState(config), locked_blocks)
+    may = (
+        propagate(acfg, config, MayState(config), locked_blocks)
+        if with_may
+        else None
+    )
+    persistence = (
+        propagate(acfg, config, PersistenceState(config), locked_blocks)
+        if with_persistence
+        else None
+    )
+    classifications: List[Optional[Classification]] = [None] * len(acfg.vertices)
+    locked = locked_blocks or frozenset()
+    for vertex in acfg.ref_vertices():
+        rid = vertex.rid
+        block = acfg.block_of(rid)
+        must_in = must.in_states[rid]
+        may_in = may.in_states[rid] if may is not None else None
+        pers_in = persistence.in_states[rid] if persistence is not None else None
+        if block in locked:
+            classifications[rid] = Classification.ALWAYS_HIT
+        elif must_in is not None and block in must_in:
+            classifications[rid] = Classification.ALWAYS_HIT
+        elif pers_in is not None and pers_in.is_persistent(block):
+            classifications[rid] = Classification.PERSISTENT
+        elif may is None:
+            classifications[rid] = Classification.NOT_CLASSIFIED
+        elif may_in is not None and block not in may_in:
+            classifications[rid] = Classification.ALWAYS_MISS
+        elif may_in is None:
+            # Vertex never reached by the may analysis: dead under the
+            # given bounds; treat as always-miss (it contributes nothing).
+            classifications[rid] = Classification.ALWAYS_MISS
+        else:
+            classifications[rid] = Classification.NOT_CLASSIFIED
+    return CacheAnalysis(config, classifications, must, may, persistence)

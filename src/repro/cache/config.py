@@ -1,0 +1,142 @@
+"""Cache configurations (Table 2 of the paper).
+
+A configuration is the triple ``k = (a, b, c)``: associativity, block
+size in bytes, capacity in bytes.  The paper evaluates 36 configurations
+(k1..k36) spanning a ∈ {1, 2, 4}, b ∈ {16, 32}, c ∈ {256 .. 8192}.
+
+Capacities should be read as *effective capacities allocated to one
+program* (Section 5): in a real system many tasks share the cache, so
+these are per-task shares, not total cache sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import CacheConfigError
+
+
+def _is_pow2(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """An instruction-cache configuration ``(a, b, c)``.
+
+    Attributes:
+        associativity: Number of blocks per set (``a``).
+        block_size: Bytes per cache block (``b``).
+        capacity: Total bytes of the cache (``c``).
+    """
+
+    associativity: int
+    block_size: int
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if self.associativity < 1:
+            raise CacheConfigError(
+                f"associativity must be >= 1, got {self.associativity}"
+            )
+        if not _is_pow2(self.block_size):
+            raise CacheConfigError(
+                f"block size must be a power of two, got {self.block_size}"
+            )
+        if self.capacity < self.associativity * self.block_size:
+            raise CacheConfigError(
+                f"capacity {self.capacity} too small for {self.associativity}-way "
+                f"sets of {self.block_size}-byte blocks"
+            )
+        way_bytes = self.associativity * self.block_size
+        if self.capacity % way_bytes:
+            raise CacheConfigError(
+                f"capacity {self.capacity} is not a whole number of "
+                f"{self.associativity}-way {self.block_size}-byte sets"
+            )
+        # Set indexing slices address bits: the set count must be a
+        # power of two (associativity/capacity may be odd — e.g. the
+        # residual ways of a partially locked cache).
+        if not _is_pow2(self.capacity // way_bytes):
+            raise CacheConfigError(
+                f"number of sets must be a power of two, got "
+                f"{self.capacity // way_bytes}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets (lines in the paper's terminology)."""
+        return self.capacity // (self.associativity * self.block_size)
+
+    @property
+    def num_blocks(self) -> int:
+        """Total number of cache blocks."""
+        return self.capacity // self.block_size
+
+    def set_index(self, memory_block: int) -> int:
+        """Cache set a memory block maps to (modulo placement)."""
+        return memory_block % self.num_sets
+
+    def block_of_address(self, address: int) -> int:
+        """Memory block id containing a byte address."""
+        if address < 0:
+            raise CacheConfigError(f"negative address {address}")
+        return address // self.block_size
+
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``"(2, 16, 1024)"``."""
+        return f"({self.associativity}, {self.block_size}, {self.capacity})"
+
+    def scaled_capacity(self, factor: float) -> "CacheConfig":
+        """A configuration with capacity scaled by ``factor``.
+
+        Used by the Figure-5 experiment (optimized programs on 1/2 and
+        1/4 capacity).  The result keeps associativity and block size; the
+        scaled capacity must stay a legal power of two.
+        """
+        new_capacity = int(self.capacity * factor)
+        return CacheConfig(self.associativity, self.block_size, new_capacity)
+
+
+def _table2() -> Dict[str, CacheConfig]:
+    """Build the paper's Table 2: k1..k36."""
+    table: Dict[str, CacheConfig] = {}
+    index = 1
+    for capacity in (256, 512, 1024, 2048, 4096, 8192):
+        for block_size in (16, 32):
+            for assoc in (1, 2, 4):
+                table[f"k{index}"] = CacheConfig(assoc, block_size, capacity)
+                index += 1
+    return table
+
+
+#: The paper's 36 configurations, keyed ``"k1"``..``"k36"``.
+#:
+#: Ordering follows Table 2 reading order: capacity-major, then block
+#: size, then associativity — e.g. k1=(1,16,256), k2=(2,16,256),
+#: k3=(4,16,256), k4=(1,32,256), ..., k36=(4,32,8192).
+TABLE2: Dict[str, CacheConfig] = _table2()
+
+#: Cache capacities evaluated in the paper (x-axis of Figs 3-5).
+CAPACITIES: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
+
+
+def config_id(config: CacheConfig) -> str:
+    """The Table 2 id (``"k7"``...) of a configuration.
+
+    Raises :class:`CacheConfigError` when the configuration is not one of
+    the paper's 36.
+    """
+    for key, value in TABLE2.items():
+        if value == config:
+            return key
+    raise CacheConfigError(f"configuration {config.label()} is not in Table 2")
+
+
+def configs_with_capacity(capacity: int) -> List[CacheConfig]:
+    """All Table-2 configurations of a given capacity (6 of them)."""
+    found = [cfg for cfg in TABLE2.values() if cfg.capacity == capacity]
+    if not found:
+        raise CacheConfigError(f"no Table-2 configuration has capacity {capacity}")
+    return found

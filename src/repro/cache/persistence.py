@@ -1,0 +1,182 @@
+"""Persistence ("first miss") cache analysis.
+
+The third classical domain of the Ferdinand/Wilhelm framework the paper
+builds on.  Must analysis proves *always hit*; may analysis proves
+*always miss*; persistence analysis proves *at most one miss*: once a
+persistent block has been loaded it is never evicted, so every later
+reference hits and the WCET charges the miss penalty exactly once.
+
+Without it, a block first touched under a conditional inside a loop is
+``NOT_CLASSIFIED`` forever (the must-join intersects it away at the
+convergence point) and IPET charges a full miss on *every* iteration —
+wildly pessimistic for exactly the references the suite is full of.
+
+Domain: per cache set, a map ``block -> age bound`` where ages run
+``0 .. associativity``; the saturated value ``associativity`` is the
+sticky ⊤ meaning "may have been evicted at some point".  Blocks never
+referenced are simply absent (⊥).  The update is the LRU aging of the
+must domain with saturation instead of disappearance; the join keeps
+the maximum age (present-in-one-side keeps its age — absence means
+"never loaded on that path", which does not endanger persistence).
+
+A reference is *persistent* when the block's in-state age bound is
+below ⊤ — covering both "already resident" and "never loaded yet" (the
+one charged miss).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.cache.config import CacheConfig
+from repro.errors import AnalysisError
+
+
+class PersistenceState:
+    """Immutable persistence abstract state.
+
+    Stored as ``{set_index: {block: age_bound}}`` with ages in
+    ``0..associativity`` (the maximum being the sticky evicted-⊤).
+    """
+
+    __slots__ = ("config", "_sets", "_hash")
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        sets: Optional[Dict[int, Dict[int, int]]] = None,
+    ):
+        self.config = config
+        top = config.associativity
+        cleaned: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        for index, ages in (sets or {}).items():
+            if ages:
+                for block, age in ages.items():
+                    if not 0 <= age <= top:
+                        raise AnalysisError(
+                            f"persistence age {age} out of range 0..{top}"
+                        )
+                cleaned[index] = tuple(sorted(ages.items()))
+        self._sets = cleaned
+        self._hash: Optional[int] = None
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def top(self) -> int:
+        """The saturated "may be evicted" age value."""
+        return self.config.associativity
+
+    def ages(self, set_index: int) -> Dict[int, int]:
+        """Block -> age-bound map of one set (copy)."""
+        return dict(self._sets.get(set_index, ()))
+
+    def age_of(self, block: int) -> Optional[int]:
+        """Age bound of ``block``; ``None`` when never loaded (⊥)."""
+        ages = dict(self._sets.get(self.config.set_index(block), ()))
+        return ages.get(block)
+
+    def is_persistent(self, block: int) -> bool:
+        """Whether a reference to ``block`` here is at-most-one-miss."""
+        age = self.age_of(block)
+        return age is None or age < self.top
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PersistenceState):
+            return NotImplemented
+        return self.config == other.config and self._sets == other._sets
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            self._hash = hash(tuple(sorted(self._sets.items())))
+        return self._hash
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = []
+        for index in sorted(self._sets):
+            inner = ",".join(f"{b}:{a}" for b, a in self._sets[index])
+            parts.append(f"s{index}{{{inner}}}")
+        return f"<PersistenceState {' '.join(parts) or 'empty'}>"
+
+    # ------------------------------------------------------------------
+    # domain operations
+    # ------------------------------------------------------------------
+    def update(self, block: int) -> "PersistenceState":
+        """LRU aging with sticky saturation on an access to ``block``.
+
+        Only the accessed set is rebuilt; all other sets are shared with
+        the predecessor state (structural sharing keeps the analysis
+        linear in *touched* sets, not program size).
+        """
+        config = self.config
+        top = self.top
+        set_index = config.set_index(block)
+        ages = dict(self._sets.get(set_index, ()))
+        old_age = ages.get(block, top)  # absent behaves like oldest
+        new_ages: Dict[int, int] = {}
+        for other, age in ages.items():
+            if other == block:
+                continue
+            if age < old_age:
+                new_ages[other] = min(age + 1, top)
+            else:
+                new_ages[other] = age
+        new_ages[block] = 0
+        fresh = PersistenceState.__new__(PersistenceState)
+        fresh.config = config
+        new_sets = dict(self._sets)  # shares untouched per-set tuples
+        new_sets[set_index] = tuple(sorted(new_ages.items()))
+        fresh._sets = new_sets
+        fresh._hash = None
+        return fresh
+
+    def unknown_access(self) -> "PersistenceState":
+        """An unknown access may land in any set: every tracked block's
+        age bound grows by one (saturating at the sticky ⊤)."""
+        top = self.top
+        new_sets: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        for index, pairs in self._sets.items():
+            new_sets[index] = tuple(
+                (block, min(age + 1, top)) for block, age in pairs
+            )
+        fresh = PersistenceState.__new__(PersistenceState)
+        fresh.config = self.config
+        fresh._sets = new_sets
+        fresh._hash = None
+        return fresh
+
+    def join(self, other: "PersistenceState") -> "PersistenceState":
+        """Pointwise maximum of age bounds (⊤ is sticky).
+
+        Identical per-set tuples (the common case thanks to structural
+        sharing) are reused without merging.
+        """
+        if other.config != self.config:
+            raise AnalysisError("persistence-join requires matching configs")
+        new_sets: Dict[int, Tuple[Tuple[int, int], ...]] = {}
+        for index in set(self._sets) | set(other._sets):
+            mine_t = self._sets.get(index, ())
+            theirs_t = other._sets.get(index, ())
+            if mine_t == theirs_t:
+                new_sets[index] = mine_t
+                continue
+            mine = dict(mine_t)
+            theirs = dict(theirs_t)
+            merged: Dict[int, int] = {}
+            for block in set(mine) | set(theirs):
+                if block in mine and block in theirs:
+                    merged[block] = max(mine[block], theirs[block])
+                else:
+                    # Absent on one path = never loaded there; the age
+                    # bound from the other path still holds once loaded.
+                    merged[block] = mine.get(block, theirs.get(block, 0))
+            new_sets[index] = tuple(sorted(merged.items()))
+        fresh = PersistenceState.__new__(PersistenceState)
+        fresh.config = self.config
+        fresh._sets = new_sets
+        fresh._hash = None
+        return fresh

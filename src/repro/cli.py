@@ -1,0 +1,198 @@
+"""Command-line interface.
+
+Exposes the library's main entry points without writing Python::
+
+    python -m repro list-programs
+    python -m repro list-configs
+    python -m repro optimize fdct k1 45nm
+    python -m repro usecase matmult k13 32nm
+    python -m repro figure 3 --programs bs crc fdct --configs k1 k13
+    python -m repro table 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.bench.registry import TABLE1, load, program_names
+from repro.cache.config import TABLE2
+from repro.core.guarantees import verify_wcet_guarantee
+from repro.core.optimizer import OptimizerOptions, optimize
+from repro.energy.cacti import cacti_model
+from repro.energy.technology import TECHNOLOGIES, technology
+from repro.experiments.figures import figure3, figure4, figure5, figure7, figure8
+from repro.experiments.report import (
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure7,
+    render_figure8,
+)
+from repro.experiments.sweep import SweepSpec, default_grid
+from repro.experiments.tables import table1, table2
+from repro.experiments.usecase import UseCase, run_usecase
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="WCET-safe unlocked-cache prefetching (DAC 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-programs", help="the 37 Mälardalen clones (Table 1)")
+    sub.add_parser("list-configs", help="the 36 cache configurations (Table 2)")
+
+    opt = sub.add_parser("optimize", help="optimize one program and verify")
+    opt.add_argument("program", help="program name or Table 1 id")
+    opt.add_argument("config", help="Table 2 id, e.g. k1")
+    opt.add_argument("tech", choices=sorted(TECHNOLOGIES), nargs="?", default="45nm")
+    opt.add_argument(
+        "--baseline",
+        choices=("classic", "persistence"),
+        default="persistence",
+        help="analysis fidelity (see EXPERIMENTS.md)",
+    )
+    opt.add_argument("--budget", type=int, default=None, metavar="N",
+                     help="optimization budget (candidate evaluations)")
+
+    usecase = sub.add_parser(
+        "usecase", help="paired original/optimized measurement of one use case"
+    )
+    usecase.add_argument("program")
+    usecase.add_argument("config")
+    usecase.add_argument("tech", choices=sorted(TECHNOLOGIES), nargs="?",
+                         default="45nm")
+
+    fig = sub.add_parser("figure", help="regenerate a figure of the paper")
+    fig.add_argument("number", type=int, choices=(3, 4, 5, 7, 8))
+    fig.add_argument("--programs", nargs="*", default=None,
+                     help="subset of programs (default: all 37)")
+    fig.add_argument("--configs", nargs="*", default=None,
+                     help="subset of Table 2 ids (default: one per capacity)")
+    fig.add_argument("--techs", nargs="*", default=("45nm", "32nm"))
+    fig.add_argument("--budget", type=int, default=120)
+    fig.add_argument("--baseline", choices=("classic", "persistence"),
+                     default="classic")
+    fig.add_argument("--factor", type=float, default=0.5,
+                     help="capacity factor for figure 5")
+
+    tab = sub.add_parser("table", help="print a table of the paper")
+    tab.add_argument("number", type=int, choices=(1, 2))
+    return parser
+
+
+def _cmd_list_programs() -> int:
+    for pid, name in TABLE1.items():
+        cfg = load(name)
+        print(f"{pid:<5} {name:<15} {cfg.instruction_count:>6} instrs "
+              f"{cfg.instruction_count * 4:>7} B  {len(cfg.loops)} loops")
+    return 0
+
+
+def _cmd_list_configs() -> int:
+    for kid, config in TABLE2.items():
+        print(f"{kid:<4} a={config.associativity} b={config.block_size:>2} "
+              f"c={config.capacity:>5}  ({config.num_sets} sets)")
+    return 0
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    config = TABLE2[args.config]
+    tech = technology(args.tech)
+    timing = cacti_model(config, tech).timing_model()
+    cfg = load(args.program)
+    options = OptimizerOptions(
+        with_persistence=args.baseline == "persistence",
+        max_evaluations=args.budget,
+    )
+    optimized, report = optimize(cfg, config, timing, options=options)
+    check = verify_wcet_guarantee(
+        cfg, optimized, config, timing,
+        with_persistence=args.baseline == "persistence",
+    )
+    print(f"{cfg.name} on {args.config}={config.label()} @ {tech.name} "
+          f"[{args.baseline} baseline]")
+    print(f"prefetches : {report.prefetch_count} "
+          f"({report.candidates_evaluated} evaluated, "
+          f"{report.candidates_rejected} rejected, {report.passes} passes)")
+    print(f"τ_w        : {report.tau_original:.0f} -> {report.tau_final:.0f} "
+          f"({100 * report.wcet_reduction:+.1f}%)")
+    print(f"worst miss : {report.misses_original} -> {report.misses_final}")
+    print(f"Theorem 1  : {check.theorem1_holds}   Condition 2: "
+          f"{check.condition2_holds}   latency-sound: {check.all_effective}")
+    return 0 if check.theorem1_holds else 1
+
+
+def _cmd_usecase(args: argparse.Namespace) -> int:
+    result = run_usecase(UseCase(args.program, args.config, args.tech))
+    print(f"{args.program} on {args.config} @ {args.tech}")
+    print(f"  WCET ratio   : {result.wcet_ratio:.3f}")
+    print(f"  ACET ratio   : {result.acet_ratio:.3f}")
+    print(f"  energy ratio : {result.energy_ratio:.3f} "
+          f"(paper-mode {result.energy_ratio_paper_mode:.3f})")
+    print(f"  instr ratio  : {result.instruction_ratio:.4f}")
+    print(f"  miss rate    : {100 * result.original.miss_rate_acet:.2f}% -> "
+          f"{100 * result.optimized.miss_rate_acet:.2f}%")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    base = default_grid(
+        programs=args.programs,
+        techs=tuple(args.techs),
+        max_evaluations=args.budget,
+    )
+    spec = SweepSpec(
+        programs=base.programs,
+        config_ids=tuple(args.configs) if args.configs else base.config_ids,
+        techs=base.techs,
+        seed=base.seed,
+        max_evaluations=args.budget,
+        baseline=args.baseline,
+    )
+    if args.number == 3:
+        print(render_figure3(figure3(spec)))
+    elif args.number == 4:
+        print(render_figure4(figure4(spec)))
+    elif args.number == 5:
+        print(render_figure5(figure5(args.factor, spec)))
+    elif args.number == 7:
+        print(render_figure7(figure7(spec)))
+    elif args.number == 8:
+        print(render_figure8(figure8(spec)))
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    if args.number == 1:
+        for row in table1():
+            print(f"{row.program_id:<5} {row.name}")
+    else:
+        for row in table2():
+            print(f"{row.config_id:<4} ({row.associativity}, "
+                  f"{row.block_size}, {row.capacity})")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    dispatch = {
+        "list-programs": lambda: _cmd_list_programs(),
+        "list-configs": lambda: _cmd_list_configs(),
+        "optimize": lambda: _cmd_optimize(args),
+        "usecase": lambda: _cmd_usecase(args),
+        "figure": lambda: _cmd_figure(args),
+        "table": lambda: _cmd_table(args),
+    }
+    try:
+        return dispatch[args.command]()
+    except BrokenPipeError:  # output piped into head & friends
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,539 @@
+"""The prefetching optimization algorithm (Section 4.4, Algorithm 3).
+
+Iterative improvement over prefetch-equivalent programs:
+
+1. run the preliminary WCET analysis (classification + IPET counts),
+2. walk the ACFG's references in **reverse execution order**, replaying
+   the optimization cache state (``Û_e``/``J_SE``,
+   :mod:`repro.core.update`) to detect replacements (Property 3),
+3. for each replacement whose evicted block is demanded again on the
+   WCET path, evaluate the joint improvement criterion
+   (:mod:`repro.core.profit`) and — if it passes — insert a prefetch at
+   the replacement point,
+4. re-analyse the transformed program and *keep the insertion only if*
+   the memory contribution to the WCET did not grow (Condition 1) and
+   the worst-case miss count shrank (Condition 2) — the authoritative
+   re-analysis gate that makes Theorem 1 hold by construction,
+5. repeat from 1 until no further insertion is accepted.
+
+Termination: every accepted insertion strictly decreases the worst-case
+miss count, which is bounded below; rejected candidates are memoised.
+
+The ablation switches in :class:`OptimizerOptions` exist to *demonstrate*
+why each gate matters (see ``benchmarks/test_ablations.py``): disabling
+the WCET gate breaks Theorem 1, disabling effectiveness inserts
+prefetches that cannot hide their latency, disabling the miss gate stops
+the optimization from paying for itself.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.timing import TimingModel
+from repro.analysis.wcet import WCETResult, analyze_wcet
+from repro.cache.classify import Classification
+from repro.cache.config import CacheConfig
+from repro.core.profit import ProfitTerms, estimate_profit, wraparound_slack
+from repro.core.relocation import (
+    InsertionPoint,
+    insertion_point_after,
+    relocation_cost,
+)
+from repro.core.update import PrefetchCandidateEvent, collect_reverse_events
+from repro.errors import GuaranteeViolation, OptimizationError
+from repro.program.acfg import ACFG, build_acfg
+from repro.program.cfg import ControlFlowGraph
+
+#: Numerical slack for float comparisons of τ_w values.
+TAU_EPSILON = 1e-6
+
+
+@dataclass(frozen=True)
+class OptimizerOptions:
+    """Tuning knobs and ablation switches.
+
+    Attributes:
+        max_insertions: Hard cap on accepted prefetches.
+        require_effectiveness: Gate on Definition 10 (Λ fits the slack).
+        require_wcet_nonincrease: Gate on Condition 1 (τ_w must not grow).
+            Disabling this is the ablation that *breaks* Theorem 1.
+        require_miss_decrease: Gate on Condition 2 (worst-case misses
+            must shrink).
+        use_prefilter: Apply the static profit estimate before paying
+            for a re-analysis.
+        verify_guarantee: Re-assert Theorem 1 on the final program and
+            raise :class:`~repro.errors.GuaranteeViolation` on failure.
+        base_address: Code base address for layouts.
+        max_evaluations: Optimization budget: total number of candidate
+            re-analyses allowed (``None`` = unlimited).  Every gate still
+            applies — exhausting the budget only stops the search early,
+            it can never admit a bad insertion.  Sweeps over the full
+            suite set this to bound worst-case programs (the search is
+            O(|R|^2), matching the paper's complexity bound).
+        placement: Where candidate prefetches go.
+            ``"earliest-survivable"`` (the paper): at the reverse
+            analysis' replacement point — the earliest spot from which
+            the block survives until its use, maximising latency slack.
+            ``"block-begin"`` (the strategy of the paper's ref. [5],
+            which Section 2.2 criticises): at the beginning of the basic
+            block containing the missing reference — often too close to
+            hide Λ.  Exists for the ablation benchmark.
+    """
+
+    max_insertions: int = 256
+    require_effectiveness: bool = True
+    require_wcet_nonincrease: bool = True
+    require_miss_decrease: bool = True
+    use_prefilter: bool = True
+    verify_guarantee: bool = True
+    base_address: int = 0
+    max_evaluations: Optional[int] = None
+    placement: str = "earliest-survivable"
+    #: When the gate rejects a candidate, retry the insertion up to this
+    #: many instruction slots later in the same block.  Rejections are
+    #: usually relocation artefacts (the 4-byte shift re-aligns blocks
+    #: unfavourably); a nearby slot often relocates benignly while still
+    #: covering the latency.  Part of the paper's "iterative improvement
+    #: as far as an improvement can be observed" reading.
+    placement_retries: int = 2
+    #: Analysis fidelity for the preliminary WCET analysis: ``True``
+    #: includes the persistence domain (tighter modern baseline),
+    #: ``False`` is the classic must/may baseline of the paper's era.
+    with_persistence: bool = True
+    #: Hybrid locking+prefetching ([16]/[2], the paper's planned
+    #: extension): memory blocks pinned in locked ways.  They always
+    #: hit, never disturb the unlocked ways, and are never prefetch
+    #: targets; the cache configuration passed to :func:`optimize` must
+    #: then be the reduced-way residual configuration (see
+    #: :func:`repro.sim.locking.optimize_with_locking`).
+    locked_blocks: frozenset = frozenset()
+
+    def __post_init__(self) -> None:
+        if self.placement not in ("earliest-survivable", "block-begin"):
+            raise OptimizationError(
+                f"unknown placement strategy {self.placement!r}"
+            )
+
+
+@dataclass
+class InsertedPrefetch:
+    """Record of one accepted insertion.
+
+    Attributes:
+        prefetch_uid: uid of the new prefetch instruction.
+        target_uid: uid of the instruction whose block it loads.
+        block_name: Block receiving the prefetch.
+        index: Position within the block at insertion time.
+        evictor_uid: Instruction whose access evicted the block
+            (Property 3 detection site).
+        miss_uid: The reference whose miss was precluded (``r_j``).
+        terms: Criterion terms at decision time.
+        rcost: Exact relocation cost (Eq. 8) measured by re-analysis.
+        tau_before: τ_w before this insertion.
+        tau_after: τ_w after this insertion.
+        misses_before: Worst-case miss count before.
+        misses_after: Worst-case miss count after.
+    """
+
+    prefetch_uid: int
+    target_uid: int
+    block_name: str
+    index: int
+    evictor_uid: int
+    miss_uid: int
+    terms: ProfitTerms
+    rcost: float
+    tau_before: float
+    tau_after: float
+    misses_before: int
+    misses_after: int
+
+
+@dataclass
+class OptimizationReport:
+    """Outcome of one :func:`optimize` run.
+
+    All τ values are the memory system's contribution to the WCET.
+    """
+
+    program: str
+    config: CacheConfig
+    timing: TimingModel
+    tau_original: float
+    tau_final: float
+    misses_original: int
+    misses_final: int
+    static_instructions_original: int
+    static_instructions_final: int
+    inserted: List[InsertedPrefetch] = field(default_factory=list)
+    candidates_evaluated: int = 0
+    candidates_rejected: int = 0
+    passes: int = 0
+
+    @property
+    def prefetch_count(self) -> int:
+        """Number of accepted prefetches."""
+        return len(self.inserted)
+
+    @property
+    def wcet_reduction(self) -> float:
+        """Relative τ_w reduction: ``1 - τ_final / τ_original``."""
+        if self.tau_original == 0:
+            return 0.0
+        return 1.0 - self.tau_final / self.tau_original
+
+    @property
+    def miss_reduction(self) -> float:
+        """Relative worst-case miss reduction."""
+        if self.misses_original == 0:
+            return 0.0
+        return 1.0 - self.misses_final / self.misses_original
+
+    @property
+    def instruction_overhead(self) -> float:
+        """Static instruction growth, Fig. 8's metric at the static level."""
+        if self.static_instructions_original == 0:
+            return 0.0
+        return (
+            self.static_instructions_final / self.static_instructions_original
+            - 1.0
+        )
+
+
+def optimize(
+    cfg: ControlFlowGraph,
+    config: CacheConfig,
+    timing: TimingModel,
+    options: Optional[OptimizerOptions] = None,
+    inplace: bool = False,
+) -> Tuple[ControlFlowGraph, OptimizationReport]:
+    """Run the paper's optimization on a program.
+
+    Args:
+        cfg: The program (must be prefetch-free unless resuming).
+        config: Cache configuration to optimize for.
+        timing: Timing model (from the energy model of the target
+            technology).
+        options: Gates and limits; defaults to the paper's setting.
+        inplace: Mutate ``cfg`` instead of working on a clone.
+
+    Returns:
+        ``(optimized_program, report)``.  The optimized program is
+        prefetch-equivalent to the input (Definition 5) and satisfies
+        ``τ_w(optimized) <= τ_w(input)`` (Theorem 1) unless the
+        corresponding gates were disabled.
+    """
+    opts = options or OptimizerOptions()
+    work = cfg if inplace else cfg.clone()
+
+    acfg = build_acfg(work, config.block_size, opts.base_address)
+    wcet = analyze_wcet(
+        acfg, config, timing, with_may=False,
+        with_persistence=opts.with_persistence,
+        locked_blocks=opts.locked_blocks or None,
+    )
+    report = OptimizationReport(
+        program=work.name,
+        config=config,
+        timing=timing,
+        tau_original=wcet.tau_w,
+        tau_final=wcet.tau_w,
+        misses_original=wcet.wcet_path_misses,
+        misses_final=wcet.wcet_path_misses,
+        static_instructions_original=work.instruction_count,
+        static_instructions_final=work.instruction_count,
+    )
+
+    rejected: Set[Tuple] = set()
+    while len(report.inserted) < opts.max_insertions:
+        report.passes += 1
+        accepted = _run_pass(work, config, timing, opts, acfg, wcet, rejected, report)
+        if accepted is None:
+            break
+        acfg, wcet = accepted
+
+    report.tau_final = wcet.tau_w
+    report.misses_final = wcet.wcet_path_misses
+    report.static_instructions_final = work.instruction_count
+
+    if opts.verify_guarantee and opts.require_wcet_nonincrease:
+        if report.tau_final > report.tau_original + TAU_EPSILON:
+            raise GuaranteeViolation(
+                f"Theorem 1 violated: τ_w grew from {report.tau_original} "
+                f"to {report.tau_final}"
+            )
+    return work, report
+
+
+def _run_pass(
+    work: ControlFlowGraph,
+    config: CacheConfig,
+    timing: TimingModel,
+    opts: OptimizerOptions,
+    acfg: ACFG,
+    wcet: WCETResult,
+    rejected: Set[Tuple],
+    report: OptimizationReport,
+) -> Optional[Tuple[ACFG, WCETResult]]:
+    """One reverse walk; returns the new (acfg, wcet) on acceptance."""
+    events = collect_reverse_events(
+        acfg, config, wcet.solution, locked_blocks=opts.locked_blocks or None
+    )
+    uses_by_block = _on_path_miss_uses(acfg, wcet)
+    exec_count_by_uid = _exec_counts(acfg, wcet)
+    loop_ranges = {j: (last, exits) for j, last, exits in _loop_ranges(acfg)}
+
+    for event in events:
+        located = _locate_candidate(
+            acfg, wcet, event, uses_by_block, loop_ranges, opts
+        )
+        if located is None:
+            continue
+        key, point, miss_rid, wrap_join, price_anchor = located
+        if key in rejected:
+            continue
+        terms = _price_candidate(
+            acfg, wcet, timing, price_anchor, miss_rid, wrap_join,
+            loop_ranges, exec_count_by_uid,
+        )
+        miss_vertex = acfg.vertex(miss_rid)
+        assert miss_vertex.instr is not None
+        if opts.require_effectiveness and not terms.effective:
+            rejected.add(key)
+            continue
+        if opts.use_prefilter and not terms.profitable:
+            rejected.add(key)
+            continue
+        # Evaluate the candidate point and, on rejection, a few slots
+        # further down the block (rejections are mostly relocation
+        # artefacts of the exact byte position).
+        accepted = None
+        block_len = len(work.block(point.block_name).instructions)
+        for offset in range(opts.placement_retries + 1):
+            index = point.index + offset
+            if index > block_len:
+                break
+            if (
+                opts.max_evaluations is not None
+                and report.candidates_evaluated >= opts.max_evaluations
+            ):
+                return None  # budget exhausted: end the search
+            report.candidates_evaluated += 1
+            prefetch = work.insert_prefetch(
+                point.block_name, index, miss_vertex.instr.uid
+            )
+            new_acfg = build_acfg(work, config.block_size, opts.base_address)
+            new_wcet = analyze_wcet(
+                new_acfg, config, timing, with_may=False,
+                with_persistence=opts.with_persistence,
+                locked_blocks=opts.locked_blocks or None,
+            )
+            ok = True
+            if (
+                opts.require_wcet_nonincrease
+                and new_wcet.tau_w > wcet.tau_w + TAU_EPSILON
+            ):
+                ok = False
+            if (
+                opts.require_miss_decrease
+                and new_wcet.wcet_path_misses >= wcet.wcet_path_misses
+            ):
+                ok = False
+            # Note: lateness of earlier prefetches eroded by this
+            # insertion needs no extra gate — analyze_wcet's
+            # prefetch-latency guard charges any hit closer than Λ
+            # behind a prefetch the full miss latency, so erosion shows
+            # up in new_wcet.tau_w directly.
+            if ok:
+                accepted = (prefetch, new_acfg, new_wcet, index)
+                break
+            work.remove_prefetch(prefetch.uid)
+            report.candidates_rejected += 1
+        if accepted is None:
+            rejected.add(key)
+            continue
+        prefetch, new_acfg, new_wcet, chosen_index = accepted
+        point = InsertionPoint(point.block_name, chosen_index)
+
+        evictor = acfg.vertex(event.insert_after_rid)
+        evictor_uid = evictor.instr.uid if evictor.instr is not None else -1
+        report.inserted.append(
+            InsertedPrefetch(
+                prefetch_uid=prefetch.uid,
+                target_uid=miss_vertex.instr.uid,
+                block_name=point.block_name,
+                index=point.index,
+                evictor_uid=evictor_uid,
+                miss_uid=miss_vertex.instr.uid,
+                terms=terms,
+                rcost=relocation_cost(
+                    wcet, new_wcet, prefetch.uid, miss_vertex.instr.uid
+                ),
+                tau_before=wcet.tau_w,
+                tau_after=new_wcet.tau_w,
+                misses_before=wcet.wcet_path_misses,
+                misses_after=new_wcet.wcet_path_misses,
+            )
+        )
+        return new_acfg, new_wcet
+    return None
+
+
+def _locate_candidate(
+    acfg: ACFG,
+    wcet: WCETResult,
+    event: PrefetchCandidateEvent,
+    uses_by_block: Dict[int, List[int]],
+    loop_ranges: Dict[int, Tuple[int, Tuple[int, ...]]],
+    opts: OptimizerOptions,
+) -> Optional[Tuple[Tuple, InsertionPoint, int, int, int]]:
+    """Cheap half of candidate construction: find the precluded miss.
+
+    The event already names the earliest survivable insertion point;
+    this locates the dropped block's next on-path non-hit use —
+    downstream for straight-line events, circularly (through the back
+    edge) for wrapped events — and builds the memo key.  No slack or
+    profit is computed here, so rejected candidates cost one bisect per
+    pass.
+
+    Returns:
+        ``(key, point, miss_rid, wrap_join_rid)`` with ``wrap_join_rid
+        == -1`` for non-circular reuse, or ``None``.
+    """
+    uses = uses_by_block.get(event.dropped_block)
+    if not uses:
+        return None
+    if event.insert_after_rid == acfg.source:
+        # Cold-miss candidate: the prefetch opens the program.
+        point = InsertionPoint(acfg.cfg.blocks[0].name, 0)
+        anchor_uid: int = -1
+        anchor_ctx: Tuple = ()
+    else:
+        anchor = acfg.vertex(event.insert_after_rid)
+        assert anchor.instr is not None
+        maybe_point = insertion_point_after(acfg, event.insert_after_rid)
+        if maybe_point is None:
+            return None
+        point = maybe_point
+        anchor_uid, anchor_ctx = anchor.instr.uid, anchor.context
+
+    miss_rid: Optional[int] = None
+    wrap_join = -1
+    pos = bisect.bisect_right(uses, event.insert_after_rid)
+    if not event.wrapped:
+        if pos < len(uses):
+            miss_rid = uses[pos]
+    else:
+        join_rid = event.loop_join_rid
+        last_rid, _ = loop_ranges[join_rid]
+        # Circularly-next use: rest of this iteration first, then the
+        # top of the body (reached through the back edge).
+        if pos < len(uses) and uses[pos] <= last_rid:
+            miss_rid = uses[pos]
+        else:
+            lo = bisect.bisect_left(uses, join_rid)
+            if lo < len(uses) and uses[lo] <= event.insert_after_rid:
+                miss_rid = uses[lo]
+                wrap_join = join_rid
+    if miss_rid is None:
+        return None
+    miss_vertex = acfg.vertex(miss_rid)
+    assert miss_vertex.instr is not None
+    price_anchor = event.insert_after_rid
+    if opts.placement == "block-begin":
+        # The strategy of ref. [5]: the prefetch opens the basic block
+        # containing the missing reference.
+        assert miss_vertex.block_name is not None
+        point = InsertionPoint(miss_vertex.block_name, 0)
+        wrap_join = -1
+        block = acfg.cfg.block(miss_vertex.block_name)
+        first_rid = acfg.by_key(block.instructions[0].uid, miss_vertex.context)
+        price_anchor = first_rid if first_rid is not None else miss_rid
+        anchor_uid = block.instructions[0].uid
+        anchor_ctx = miss_vertex.context
+    key = (anchor_uid, anchor_ctx, miss_vertex.instr.uid, miss_vertex.context)
+    return key, point, miss_rid, wrap_join, price_anchor
+
+
+def _price_candidate(
+    acfg: ACFG,
+    wcet: WCETResult,
+    timing: TimingModel,
+    anchor_rid: int,
+    miss_rid: int,
+    wrap_join: int,
+    loop_ranges: Dict[int, Tuple[int, Tuple[int, ...]]],
+    exec_count_by_uid: Dict[int, int],
+) -> ProfitTerms:
+    """Expensive half: Eq. 5 slack and the Eq. 9 profit terms."""
+    slack: Optional[float] = None
+    if wrap_join >= 0:
+        _, exit_rids = loop_ranges[wrap_join]
+        slack = wraparound_slack(
+            acfg, wcet.t_w, anchor_rid, miss_rid, wrap_join, exit_rids
+        )
+    elif anchor_rid >= miss_rid:
+        slack = 0.0  # block-begin placement right at (or past) the use
+    # A persistent (first-miss) reference pays one real miss regardless
+    # of its execution count.
+    if wcet.cache.classification(miss_rid) is Classification.PERSISTENT:
+        n_miss = 1
+    else:
+        n_miss = wcet.n_w(miss_rid)
+    anchor = acfg.vertex(anchor_rid)
+    anchor_uid = anchor.instr.uid if anchor.instr is not None else -1
+    return estimate_profit(
+        acfg,
+        wcet.t_w,
+        timing,
+        insert_after_rid=anchor_rid,
+        miss_rid=miss_rid,
+        n_miss=n_miss,
+        n_insert=exec_count_by_uid.get(anchor_uid, 1),
+        slack=slack,
+    )
+
+
+def _loop_ranges(acfg: ACFG) -> List[Tuple[int, int, Tuple[int, ...]]]:
+    """REST instance spans: ``(entry_join_rid, last_rid, exit_rids)``.
+
+    Derived from the analysis-only back edges; sorted by entry join so
+    ``reversed()`` visits innermost instances first.
+    """
+    by_join: Dict[int, List[int]] = defaultdict(list)
+    for src, dst in acfg.back_edges:
+        by_join[dst].append(src)
+    ranges = [
+        (join, max(exits), tuple(sorted(exits)))
+        for join, exits in by_join.items()
+    ]
+    ranges.sort()
+    return ranges
+
+
+def _on_path_miss_uses(acfg: ACFG, wcet: WCETResult) -> Dict[int, List[int]]:
+    """Per memory block: sorted rids of on-path references still paying
+    for a miss — always-miss, not-classified, or first-miss persistent —
+    the misses a prefetch could preclude."""
+    uses: Dict[int, List[int]] = defaultdict(list)
+    for vertex in acfg.ref_vertices():
+        rid = vertex.rid
+        if wcet.solution.n_w[rid] == 0:
+            continue
+        if wcet.cache.classification(rid).is_always_hit:
+            continue
+        uses[acfg.block_of(rid)].append(rid)
+    return uses
+
+
+def _exec_counts(acfg: ACFG, wcet: WCETResult) -> Dict[int, int]:
+    """Worst-case executions per *static instruction* (summed contexts)."""
+    counts: Dict[int, int] = defaultdict(int)
+    for vertex in acfg.ref_vertices():
+        assert vertex.instr is not None
+        counts[vertex.instr.uid] += wcet.solution.n_w[vertex.rid]
+    return counts

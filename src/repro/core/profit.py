@@ -1,0 +1,125 @@
+"""The joint improvement criterion (Section 4.3, Eqs. 4-9).
+
+Five notions decide whether inserting a prefetch ``π_{s'}`` at program
+point ``(r_i, r_{i+1})`` to preclude the miss at ``r_j`` is worthwhile:
+
+* **effectiveness** (Definition 10): the prefetch latency ``Λ`` must be
+  covered by the memory time of the references between insertion point
+  and use — :func:`min_path_slack` computes the *minimum* such time over
+  all DAG paths, a conservative form of Eq. 5;
+* **mcost** (Eq. 6): what the miss at ``r_j`` costs per execution;
+* **pcost** (Eq. 7): what the prefetch instruction plus the resulting
+  hit cost;
+* **rcost** (Eq. 8): the WCET delta caused by relocating every
+  instruction behind the insertion point (computed exactly by
+  re-analysis, see :mod:`repro.core.relocation`);
+* **profit** (Eq. 9): ``mcost - pcost`` when effective, with counts
+  applied — :class:`ProfitTerms.value`.
+
+The static estimate here is a *pre-filter*: the optimizer's final accept
+decision re-analyses the transformed program (Conditions 1 and 2 checked
+on the real ``τ_w`` and worst-case miss count), so an optimistic
+estimate can never break the guarantee — it only costs an evaluation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.analysis.timing import TimingModel
+from repro.errors import OptimizationError
+from repro.program.acfg import ACFG
+
+
+#: Re-exported from :mod:`repro.analysis.slack` (shared with the WCET
+#: driver's prefetch-latency guard and the guarantee checkers).
+from repro.analysis.slack import min_path_slack, wraparound_slack  # noqa: E402
+
+@dataclass(frozen=True)
+class ProfitTerms:
+    """All criterion terms for one candidate prefetch.
+
+    Attributes:
+        mcost: Per-execution cost of the precluded miss (Eq. 6).
+        pcost: Per-execution cost after the prefetch: issue slot + the
+            prefetch's own fetch + the now-hitting reference (Eq. 7,
+            optimistic pre-filter form).
+        slack: Minimum memory time between insertion point and use.
+        latency: ``Λ`` (Definition 4).
+        n_miss: Worst-case executions of the precluded miss
+            (``n^w_{B(r_j)}``).
+        n_insert: Worst-case executions of the insertion point.
+    """
+
+    mcost: float
+    pcost: float
+    slack: float
+    latency: float
+    n_miss: int
+    n_insert: int
+
+    @property
+    def effective(self) -> bool:
+        """Definition 10: the latency fits in the slack."""
+        return self.latency <= self.slack
+
+    @property
+    def value(self) -> float:
+        """Eq. 9 with execution counts applied (0 when ineffective)."""
+        if not self.effective:
+            return 0.0
+        hit_saving = self.mcost * self.n_miss
+        prefetch_cost = self.pcost * max(self.n_insert, 1)
+        return hit_saving - prefetch_cost
+
+    @property
+    def profitable(self) -> bool:
+        """Pre-filter verdict (the re-analysis gate has the last word)."""
+        return self.value > 0.0
+
+
+def estimate_profit(
+    acfg: ACFG,
+    t_w: Sequence[float],
+    timing: TimingModel,
+    insert_after_rid: int,
+    miss_rid: int,
+    n_miss: int,
+    n_insert: int,
+    slack: Optional[float] = None,
+) -> ProfitTerms:
+    """Build the :class:`ProfitTerms` for one candidate.
+
+    Args:
+        acfg: Current ACFG.
+        t_w: Per-execution worst-case times (current program).
+        timing: Timing model (provides ``Λ`` and the hit/miss costs).
+        insert_after_rid: The eviction vertex ``r_i`` (prefetch goes at
+            ``(r_i, r_{i+1})``).
+        miss_rid: The reference ``r_j`` whose miss is to be precluded.
+        n_miss: ``n^w`` of ``r_j``.
+        n_insert: ``n^w`` (or multiplier, for off-path points) of the
+            insertion point.
+        slack: Precomputed Eq. 5 slack (wrap-around candidates pass
+            :func:`wraparound_slack`); computed via
+            :func:`min_path_slack` when omitted.
+
+    Returns:
+        The candidate's :class:`ProfitTerms`.
+    """
+    mcost = float(timing.miss_cycles) - float(timing.hit_cycles)
+    # Optimistic pcost: the prefetch's own fetch hits (it lands inside an
+    # already-resident block most of the time) and costs its issue slot.
+    pcost = float(timing.prefetch_issue_cycles) + float(timing.hit_cycles)
+    if slack is None:
+        slack = min_path_slack(acfg, t_w, insert_after_rid, miss_rid)
+    return ProfitTerms(
+        mcost=mcost,
+        pcost=pcost,
+        slack=slack,
+        latency=float(timing.prefetch_latency),
+        n_miss=n_miss,
+        n_insert=n_insert,
+    )

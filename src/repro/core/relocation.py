@@ -1,0 +1,131 @@
+"""Relocation effects of inserting a prefetch (Eq. 8 context).
+
+A prefetch is a real instruction: inserting one shifts every later
+instruction by :data:`~repro.program.instructions.INSTRUCTION_SIZE`
+bytes, which can move instructions across memory-block boundaries,
+change their cache sets, and thereby change the hit/miss classification
+of references that have nothing to do with the precluded miss.  The
+paper folds this into ``rcost`` (Eq. 8): the WCET delta over all other
+references, which must not be positive for the insertion to stand
+(Lemma 2).
+
+This module provides
+
+* :func:`insertion_point_after` — mapping the ACFG program point
+  ``(r_i, r_{i+1})`` to a static ``(block, index)`` position (Algorithm 1
+  lines 5-7 splice the ACFG edge; in the binary this is one insertion
+  location shared by all contexts of the block),
+* :func:`relocation_cost` — the exact ``rcost``, measured by comparing
+  the full re-analysis of the transformed program against the original,
+  excluding the inserted prefetch and the precluded miss themselves,
+* :func:`moved_blocks` — which instructions changed memory block, for
+  diagnostics and tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.analysis.wcet import WCETResult
+from repro.errors import OptimizationError
+from repro.program.acfg import ACFG, VertexKind
+from repro.program.instructions import InstrKind
+from repro.program.layout import MemoryMap
+
+
+@dataclass(frozen=True)
+class InsertionPoint:
+    """A static location for a new prefetch instruction.
+
+    The prefetch is inserted *before* position ``index`` of ``block``.
+    """
+
+    block_name: str
+    index: int
+
+
+def insertion_point_after(acfg: ACFG, rid: int) -> Optional[InsertionPoint]:
+    """Static position realising the program point ``(r_i, succ(r_i))``.
+
+    When ``r_i`` is a mid-block instruction the prefetch goes right
+    after it.  When ``r_i`` terminates its block with a control transfer
+    (branch/jump/call/return), nothing can be placed behind it in the
+    same block; the prefetch goes at the top of the next reference's
+    block instead — found by following successors (skipping JOIN
+    vertices, preferring the smallest rid for determinism).
+
+    Returns:
+        The :class:`InsertionPoint`, or ``None`` when ``r_i`` has no
+        downstream reference (it borders the sink).
+    """
+    vertex = acfg.vertex(rid)
+    if not vertex.is_ref:
+        raise OptimizationError(f"vertex {rid} is not a reference")
+    assert vertex.instr is not None and vertex.block_name is not None
+    block = acfg.cfg.block(vertex.block_name)
+    is_last = vertex.index_in_block == len(block.instructions) - 1
+    if not (is_last and vertex.instr.is_control):
+        return InsertionPoint(vertex.block_name, vertex.index_in_block + 1)
+    # Follow the graph to the next reference vertex.
+    cursor = rid
+    for _ in range(len(acfg.vertices)):
+        succs = acfg.successors(cursor)
+        if not succs:
+            return None
+        cursor = min(succs)
+        nxt = acfg.vertex(cursor)
+        if nxt.kind is VertexKind.SINK:
+            return None
+        if nxt.is_ref:
+            return InsertionPoint(nxt.block_name, nxt.index_in_block)
+        # JOIN: keep walking.
+    raise OptimizationError("insertion-point walk did not terminate")
+
+
+def relocation_cost(
+    before: WCETResult,
+    after: WCETResult,
+    prefetch_uid: int,
+    miss_uid: int,
+) -> float:
+    """Exact ``rcost`` (Eq. 8): WCET delta over all *other* references.
+
+    Sums ``τ_w(r)`` over every reference except the inserted prefetch
+    (all its contexts) and the precluded reference (all contexts), in
+    both programs, and returns ``after - before``.  A non-positive value
+    means the relocation alone did not lengthen the worst case.
+    """
+    return _tau_excluding(after, prefetch_uid, miss_uid) - _tau_excluding(
+        before, prefetch_uid, miss_uid
+    )
+
+
+def _tau_excluding(result: WCETResult, prefetch_uid: int, miss_uid: int) -> float:
+    total = 0.0
+    for vertex in result.acfg.ref_vertices():
+        assert vertex.instr is not None
+        if vertex.instr.uid in (prefetch_uid, miss_uid):
+            continue
+        total += result.tau_of(vertex.rid)
+    return total
+
+
+def moved_blocks(
+    old_map: MemoryMap, new_map: MemoryMap
+) -> FrozenSet[int]:
+    """Instruction uids whose memory block changed between two layouts.
+
+    Only instructions present in both layouts are compared (the inserted
+    prefetch exists only in the new one).
+    """
+    moved = set()
+    for instr in old_map.layout.instructions_in_order():
+        uid = instr.uid
+        try:
+            new_block = new_map.block_of(uid)
+        except Exception:  # instruction removed (undo paths)
+            continue
+        if new_block != old_map.block_of(uid):
+            moved.add(uid)
+    return frozenset(moved)

@@ -1,0 +1,56 @@
+"""Unlocked data-cache extension (the paper's Section-6 future work).
+
+Data accesses on instructions, split-cache WCET analysis, split-cache
+simulation, and WCET-safe data prefetch insertion::
+
+    from repro.data import combined_wcet, optimize_data, simulate_split
+
+    b = ProgramBuilder("dsp")
+    b.data_region("samples", 4096)
+    with b.loop(bound=64):
+        b.load("samples", stride=4)
+        b.code(6)
+    cfg = b.build()
+
+    optimized, report = optimize_data(cfg, icache, dcache, timing)
+"""
+
+from repro.data.analysis import (
+    CombinedWCET,
+    DataCacheAnalysis,
+    analyze_data_cache,
+    build_data_plan,
+    combined_wcet,
+    data_access_of,
+    data_ref_times,
+    exact_data_block,
+)
+from repro.data.machine import SplitSimulationResult, simulate_split
+from repro.data.model import (
+    DATA_SEGMENT_BASE,
+    DataAccess,
+    DataKind,
+    DataLayout,
+    DataRegion,
+)
+from repro.data.prefetch import DataPrefetchReport, optimize_data
+
+__all__ = [
+    "CombinedWCET",
+    "DATA_SEGMENT_BASE",
+    "DataAccess",
+    "DataCacheAnalysis",
+    "DataKind",
+    "DataLayout",
+    "DataPrefetchReport",
+    "DataRegion",
+    "SplitSimulationResult",
+    "analyze_data_cache",
+    "build_data_plan",
+    "combined_wcet",
+    "data_access_of",
+    "data_ref_times",
+    "exact_data_block",
+    "optimize_data",
+    "simulate_split",
+]

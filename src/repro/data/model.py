@@ -1,0 +1,145 @@
+"""Data-access model for the unlocked *data* cache extension.
+
+Section 6 of the paper: "We also intend to generalize our algorithms for
+handling unlocked data caches."  This package is that generalization,
+built on the same substrate:
+
+* instructions may carry a :class:`DataAccess` — a load/store/prefetch
+  against a named :class:`DataRegion`,
+* scalar accesses (fixed offset) have an exact address; array-walking
+  accesses carry a ``stride`` against their innermost loop, so their
+  address is exact in the loop's FIRST context (iteration 1) and
+  input-dependent in REST contexts — the standard precision split of
+  WCET data-cache analyses,
+* the data segment lives at :data:`DATA_SEGMENT_BASE`, far above any
+  code, so code and data block ids never collide even though both flow
+  through the same abstract domains.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ProgramModelError
+
+#: Base byte address of the data segment (code starts near 0).
+DATA_SEGMENT_BASE = 1 << 24
+
+
+class DataKind(enum.Enum):
+    """What a data access does."""
+
+    LOAD = "load"
+    STORE = "store"
+    PREFETCH = "prefetch"
+
+
+@dataclass(frozen=True)
+class DataRegion:
+    """A named data object (array, struct, scalar).
+
+    Attributes:
+        name: Unique region name.
+        size: Byte size.
+        base: Byte address (assigned by :class:`DataLayout`).
+    """
+
+    name: str
+    size: int
+    base: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ProgramModelError(
+                f"data region {self.name!r} must have positive size"
+            )
+
+    def address(self, offset: int) -> int:
+        """Byte address of ``offset`` within the region (bounds-checked)."""
+        if not 0 <= offset < self.size:
+            raise ProgramModelError(
+                f"offset {offset} outside region {self.name!r} "
+                f"of size {self.size}"
+            )
+        return self.base + offset
+
+
+@dataclass(frozen=True)
+class DataAccess:
+    """One data-memory access attached to an instruction.
+
+    Attributes:
+        kind: Load, store, or software data prefetch.
+        region: Name of the accessed :class:`DataRegion`.
+        offset: Byte offset of the *first* access within the region.
+        stride: Bytes advanced per iteration of ``stride_loop`` (0 for
+            scalars).
+        stride_loop: Name of the loop whose iterations advance the
+            address (``None`` for scalars).  The address is statically
+            exact whenever the access's VIVU context takes this loop's
+            FIRST element; in REST contexts it is input-dependent and
+            analysed conservatively.
+    """
+
+    kind: DataKind
+    region: str
+    offset: int = 0
+    stride: int = 0
+    stride_loop: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise ProgramModelError("data access offset must be >= 0")
+        if (self.stride != 0) != (self.stride_loop is not None):
+            raise ProgramModelError(
+                "stride and stride_loop must be given together"
+            )
+
+
+class DataLayout:
+    """Assigns base addresses to data regions in the data segment."""
+
+    def __init__(self, base_address: int = DATA_SEGMENT_BASE):
+        self.base_address = base_address
+        self._regions: Dict[str, DataRegion] = {}
+        self._next = base_address
+
+    def add_region(self, name: str, size: int, align: int = 16) -> DataRegion:
+        """Place a new region after the existing ones (aligned)."""
+        if name in self._regions:
+            raise ProgramModelError(f"duplicate data region {name!r}")
+        if align <= 0 or align & (align - 1):
+            raise ProgramModelError(f"alignment must be a power of two")
+        start = (self._next + align - 1) & ~(align - 1)
+        region = DataRegion(name=name, size=size, base=start)
+        self._regions[name] = region
+        self._next = start + size
+        return region
+
+    def region(self, name: str) -> DataRegion:
+        """Look up a region by name."""
+        try:
+            return self._regions[name]
+        except KeyError:
+            raise ProgramModelError(f"unknown data region {name!r}") from None
+
+    def regions(self) -> Dict[str, DataRegion]:
+        """All regions by name (copy)."""
+        return dict(self._regions)
+
+    @property
+    def segment_size(self) -> int:
+        """Bytes of data segment in use."""
+        return self._next - self.base_address
+
+    def address_of(self, access: DataAccess, iteration: int = 0) -> int:
+        """Concrete address of an access at a given loop iteration."""
+        region = self.region(access.region)
+        offset = access.offset + access.stride * iteration
+        # Streaming accesses wrap within their region (circular buffers),
+        # keeping simulated traces well-defined for any trip count.
+        if region.size:
+            offset %= region.size
+        return region.base + offset

@@ -1,0 +1,32 @@
+"""Energy substrate: technology nodes, CACTI-style cache model, DRAM,
+and per-run accounting."""
+
+from repro.energy.cacti import CacheEnergyModel, cacti_model
+from repro.energy.dram import DRAM_SIZE_BYTES, DRAMModel
+from repro.energy.metrics import (
+    EnergyBreakdown,
+    MemoryEventCounts,
+    account_energy,
+)
+from repro.energy.technology import (
+    TECH_32NM,
+    TECH_45NM,
+    TECHNOLOGIES,
+    TechnologyNode,
+    technology,
+)
+
+__all__ = [
+    "CacheEnergyModel",
+    "DRAM_SIZE_BYTES",
+    "DRAMModel",
+    "EnergyBreakdown",
+    "MemoryEventCounts",
+    "TECH_32NM",
+    "TECH_45NM",
+    "TECHNOLOGIES",
+    "TechnologyNode",
+    "account_energy",
+    "cacti_model",
+    "technology",
+]

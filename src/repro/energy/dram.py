@@ -1,0 +1,48 @@
+"""Level-two memory model: the paper's 128 MB DRAM.
+
+Every cache miss and every software prefetch transfers one block from
+this memory.  Energy is an activation cost plus a per-byte transfer
+cost; latency comes from the technology node (and feeds the miss
+penalty computed in :mod:`repro.energy.cacti`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.technology import TechnologyNode
+from repro.errors import ReproError
+
+#: Size of the modelled level-two memory (informational; the model is
+#: flat, matching the paper's single-DRAM setup).
+DRAM_SIZE_BYTES = 128 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class DRAMModel:
+    """Energy/latency of the level-two memory for one technology node."""
+
+    tech: TechnologyNode
+
+    def access_energy_j(self, block_size: int) -> float:
+        """Energy of transferring one block of ``block_size`` bytes."""
+        if block_size <= 0:
+            raise ReproError(f"block size must be positive, got {block_size}")
+        return (
+            self.tech.dram_base_energy_j
+            + self.tech.dram_energy_per_byte_j * block_size
+        )
+
+    @property
+    def background_power_w(self) -> float:
+        """Standby + refresh power of the array (time-proportional)."""
+        return self.tech.dram_background_power_w
+
+    @property
+    def latency_s(self) -> float:
+        """Random access latency in seconds."""
+        return self.tech.dram_latency_s
+
+    def latency_cycles(self) -> int:
+        """Random access latency in core cycles."""
+        return self.tech.cycles(self.tech.dram_latency_s)

@@ -1,0 +1,119 @@
+"""Energy accounting for a simulated run.
+
+Turns the event counts a trace simulation produces into the paper's
+``e_a`` — the memory system's energy consumption in the ACET scenario
+(Section S.4) — split into its dynamic and static parts:
+
+* dynamic: cache reads (every fetch probes the cache, prefetch
+  instructions included), block fills, and DRAM transfers (demand misses
+  and prefetch fetches alike — a prefetch moves the same block a miss
+  would, it just moves it earlier);
+* static: cache leakage integrated over the memory time of the run —
+  which is why a shorter ACET directly saves energy, the effect the
+  paper's Condition 3 protects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.energy.cacti import CacheEnergyModel
+from repro.energy.dram import DRAMModel
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class MemoryEventCounts:
+    """Event counts of one run, as produced by :mod:`repro.sim`.
+
+    Attributes:
+        fetches: Instruction fetches (cache reads), prefetches included.
+        demand_misses: Fetches that went to DRAM.
+        prefetch_transfers: Blocks moved by software prefetches.
+        fills: Blocks installed into the cache (miss fills + prefetch
+            fills).
+        memory_cycles: Total cycles spent in the memory system.
+    """
+
+    fetches: int
+    demand_misses: int
+    prefetch_transfers: int
+    fills: int
+    memory_cycles: float
+
+    def __post_init__(self) -> None:
+        for name in ("fetches", "demand_misses", "prefetch_transfers", "fills"):
+            if getattr(self, name) < 0:
+                raise ReproError(f"{name} must be >= 0")
+        if self.memory_cycles < 0:
+            raise ReproError("memory_cycles must be >= 0")
+        if self.demand_misses > self.fetches:
+            raise ReproError("demand_misses cannot exceed fetches")
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one run in joules.
+
+    ``total_j = cache_dynamic_j + dram_dynamic_j + cache_static_j +
+    dram_static_j``.
+    """
+
+    cache_dynamic_j: float
+    dram_dynamic_j: float
+    cache_static_j: float
+    dram_static_j: float
+
+    @property
+    def static_j(self) -> float:
+        """Time-proportional part: cache leakage + DRAM background."""
+        return self.cache_static_j + self.dram_static_j
+
+    @property
+    def total_j(self) -> float:
+        """Total memory-system energy."""
+        return self.dynamic_j + self.static_j
+
+    @property
+    def dynamic_j(self) -> float:
+        """Dynamic (switching) part."""
+        return self.cache_dynamic_j + self.dram_dynamic_j
+
+    @property
+    def static_share(self) -> float:
+        """Fraction of the total that is time-proportional."""
+        total = self.total_j
+        if total == 0:
+            return 0.0
+        return self.static_j / total
+
+
+def account_energy(
+    counts: MemoryEventCounts,
+    cache_model: CacheEnergyModel,
+    dram: DRAMModel,
+) -> EnergyBreakdown:
+    """Compute the memory system's energy for one run.
+
+    Args:
+        counts: Event counts from the simulation.
+        cache_model: CACTI-style model of the primary cache.
+        dram: Level-two memory model.
+
+    Returns:
+        The :class:`EnergyBreakdown`.
+    """
+    block_size = cache_model.config.block_size
+    cache_dynamic = (
+        counts.fetches * cache_model.read_energy_j
+        + counts.fills * cache_model.fill_energy_j
+    )
+    transfers = counts.demand_misses + counts.prefetch_transfers
+    dram_dynamic = transfers * dram.access_energy_j(block_size)
+    seconds = cache_model.tech.seconds(counts.memory_cycles)
+    return EnergyBreakdown(
+        cache_dynamic_j=cache_dynamic,
+        dram_dynamic_j=dram_dynamic,
+        cache_static_j=cache_model.leakage_w * seconds,
+        dram_static_j=dram.background_power_w * seconds,
+    )

@@ -1,0 +1,112 @@
+"""Process technology nodes (the paper evaluates 45 nm and 32 nm).
+
+The constants are calibrated to published CACTI 6.5 trends rather than
+copied from a tool run (CACTI is not available offline — see the
+substitution table in DESIGN.md).  What the experiments depend on is the
+*relationships* the paper leans on, all of which hold here:
+
+* DRAM accesses cost orders of magnitude more energy and time than cache
+  hits — so miss-rate reductions cut dynamic energy;
+* leakage grows with capacity and worsens relative to dynamic energy as
+  the node shrinks (Section 2.3: cache locking pays a growing static
+  penalty at 32 nm) — so ACET reductions cut static energy;
+* at a smaller node the same cache is faster but leaks relatively more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ReproError
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One CMOS process point.
+
+    Attributes:
+        name: Label used in reports (``"45nm"``/``"32nm"``).
+        feature_nm: Feature size in nanometres.
+        clock_hz: Core/cache clock of the embedded target.
+        dynamic_scale: Per-access dynamic energy relative to 45 nm.
+        leakage_scale: Leakage power relative to 45 nm (grows as the
+            node shrinks — the paper's key technology argument).
+        dram_latency_s: Random-access latency of the level-two 128 MB
+            DRAM.
+        dram_base_energy_j: Effective activation/control energy per
+            block transfer (row-buffer locality amortised).
+        dram_energy_per_byte_j: Transfer energy per byte moved.
+        dram_background_power_w: Standby + refresh power of the 128 MB
+            array.  This is what makes the memory system's energy
+            strongly time-proportional — the paper's energy improvement
+            (11.2 %) tracking its ACET improvement (10.2 %) only makes
+            sense when a shorter run directly saves background energy,
+            since prefetching shifts DRAM traffic earlier rather than
+            removing it.
+    """
+
+    name: str
+    feature_nm: int
+    clock_hz: float
+    dynamic_scale: float
+    leakage_scale: float
+    dram_latency_s: float
+    dram_base_energy_j: float
+    dram_energy_per_byte_j: float
+    dram_background_power_w: float
+
+    def cycles(self, seconds: float) -> int:
+        """Round a duration up to whole clock cycles."""
+        import math
+
+        return max(1, math.ceil(seconds * self.clock_hz))
+
+    def seconds(self, cycles: float) -> float:
+        """Duration of a cycle count."""
+        return cycles / self.clock_hz
+
+
+#: 45 nm embedded node.
+TECH_45NM = TechnologyNode(
+    name="45nm",
+    feature_nm=45,
+    clock_hz=500e6,
+    dynamic_scale=1.0,
+    leakage_scale=1.0,
+    dram_latency_s=60e-9,
+    dram_base_energy_j=0.20e-9,
+    dram_energy_per_byte_j=4e-12,
+    dram_background_power_w=3.0e-3,
+)
+
+#: 32 nm embedded node: faster clock, cheaper switching, but markedly
+#: higher leakage share — the regime where the paper argues unlocked
+#: caches + prefetching beat locking.
+TECH_32NM = TechnologyNode(
+    name="32nm",
+    feature_nm=32,
+    clock_hz=800e6,
+    dynamic_scale=0.65,
+    leakage_scale=1.8,
+    dram_latency_s=55e-9,
+    dram_base_energy_j=0.16e-9,
+    dram_energy_per_byte_j=3e-12,
+    dram_background_power_w=2.2e-3,
+)
+
+#: The paper's two technologies, keyed by name.
+TECHNOLOGIES: Dict[str, TechnologyNode] = {
+    TECH_45NM.name: TECH_45NM,
+    TECH_32NM.name: TECH_32NM,
+}
+
+
+def technology(name: str) -> TechnologyNode:
+    """Look up a technology node by name (``"45nm"``/``"32nm"``)."""
+    try:
+        return TECHNOLOGIES[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown technology {name!r}; available: {sorted(TECHNOLOGIES)}"
+        ) from None

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate analysis problems from model-construction
+problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ProgramModelError(ReproError):
+    """A program model (CFG/ACFG) is malformed or violates an invariant."""
+
+
+class LayoutError(ProgramModelError):
+    """The address layout of a program is inconsistent."""
+
+
+class LoopBoundError(ProgramModelError):
+    """A loop is missing a bound, or a bound is not a positive integer."""
+
+
+class CacheConfigError(ReproError):
+    """A cache configuration is invalid (non power of two, assoc > sets...)."""
+
+
+class AnalysisError(ReproError):
+    """A static analysis (abstract interpretation, IPET, WCET) failed."""
+
+
+class InfeasibleILPError(AnalysisError):
+    """The IPET integer linear program has no feasible solution."""
+
+
+class SimulationError(ReproError):
+    """Concrete execution / trace simulation failed."""
+
+
+class OptimizationError(ReproError):
+    """The prefetch-insertion optimizer reached an inconsistent state."""
+
+
+class GuaranteeViolation(OptimizationError):
+    """Raised when a run would violate Theorem 1 (WCET non-increase).
+
+    This is a *defensive* error: the optimizer checks its own output and
+    refuses to return a program whose memory contribution to the WCET is
+    larger than the input program's.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment/sweep was configured inconsistently."""

@@ -1,0 +1,159 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports —
+these helpers keep the formatting in one place so benches and examples
+render identically, always with the paper's reference value next to the
+measured one where a reference exists.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.experiments.figures import (
+    CapacitySeries,
+    Figure3Data,
+    Figure4Data,
+    Figure5Data,
+    Figure7Data,
+    Figure8Data,
+)
+
+#: Headline numbers from the paper, used in report footers.
+PAPER_HEADLINE = {
+    "energy_improvement": 0.112,
+    "acet_improvement": 0.102,
+    "wcet_improvement": 0.174,
+    "max_instruction_increase": 0.0132,
+    "max_energy_saving_small_caches": 0.21,
+}
+
+
+def format_percent(value: float) -> str:
+    """Render a fraction as a percentage with one decimal."""
+    return f"{100.0 * value:5.1f}%"
+
+
+def render_bar_chart(
+    series: Sequence[CapacitySeries],
+    title: str,
+    width: int = 40,
+    symbols: str = "#*o+x",
+) -> str:
+    """ASCII bar chart of per-capacity series (the paper's figures are
+    grouped bar charts over the capacity axis).
+
+    Bars are scaled to the largest absolute value across all series;
+    negative values grow leftward from the axis.
+    """
+    capacities = sorted({c for s in series for c in s.points})
+    peak = max(
+        (abs(s.points.get(c, 0.0)) for s in series for c in capacities),
+        default=0.0,
+    )
+    lines = [title]
+    for idx, s in enumerate(series):
+        lines.append(f"  [{symbols[idx % len(symbols)]}] {s.label}")
+    for capacity in capacities:
+        lines.append(f"{capacity:>7d} B")
+        for idx, s in enumerate(series):
+            value = s.points.get(capacity, 0.0)
+            length = 0 if peak == 0 else round(abs(value) / peak * width)
+            bar = symbols[idx % len(symbols)] * length
+            sign = "-" if value < 0 else " "
+            lines.append(f"        {sign}|{bar:<{width}}| {format_percent(value)}")
+    return "\n".join(lines)
+
+
+def render_series_table(
+    series: Sequence[CapacitySeries], title: str
+) -> str:
+    """Tabulate several per-capacity series side by side."""
+    capacities = sorted({c for s in series for c in s.points})
+    header = "capacity(B) " + " ".join(f"{s.label:>24s}" for s in series)
+    lines = [title, header, "-" * len(header)]
+    for capacity in capacities:
+        row = f"{capacity:>10d}  "
+        row += " ".join(
+            f"{format_percent(s.points.get(capacity, 0.0)):>24s}" for s in series
+        )
+        lines.append(row)
+    return "\n".join(lines)
+
+
+def render_figure3(data: Figure3Data) -> str:
+    """Figure 3 text rendering with the paper's averages as reference."""
+    body = render_series_table(
+        [data.energy, data.energy_paper_mode, data.acet, data.wcet],
+        "Figure 3 — average improvement vs cache capacity",
+    )
+    body += "\n\n" + render_bar_chart(
+        [data.energy_paper_mode, data.acet, data.wcet],
+        "Figure 3 (chart)",
+    )
+    footer = (
+        f"overall: energy {format_percent(data.overall_energy)} / "
+        f"paper-mode {format_percent(data.overall_energy_paper_mode)} "
+        f"(paper 11.2%), ACET {format_percent(data.overall_acet)} "
+        f"(paper 10.2%), WCET {format_percent(data.overall_wcet)} "
+        f"(paper 17.4%)"
+    )
+    return body + "\n" + footer
+
+
+def render_figure4(data: Figure4Data) -> str:
+    """Figure 4 text rendering (miss rates before/after)."""
+    body = render_series_table(
+        [data.before, data.after],
+        "Figure 4 — average miss rate vs cache capacity",
+    )
+    return body + "\n\n" + render_bar_chart(
+        [data.before, data.after], "Figure 4 (chart)"
+    )
+
+
+def render_figure5(data: Figure5Data) -> str:
+    """Figure 5 text rendering (optimized program on a smaller cache)."""
+    body = render_series_table(
+        [data.energy, data.acet, data.wcet],
+        f"Figure 5 — optimized program on {data.capacity_factor:g}x capacity",
+    )
+    footer = (
+        f"best energy saving {format_percent(data.best_energy_saving)} "
+        f"(paper: up to 21.0%); WCET grew anywhere: "
+        f"{data.wcet_grew_anywhere} (paper: never)"
+    )
+    return body + "\n" + footer
+
+
+def render_figure7(data: Figure7Data, limit: Optional[int] = 20) -> str:
+    """Figure 7 text rendering (per-use-case WCET ratios)."""
+    lines = [
+        f"Figure 7 — WCET ratio per use case at {data.tech} "
+        f"(paper: < 1 for every use case)",
+        f"use cases: {len(data.ratios)}, best {data.best:.3f}, "
+        f"worst {data.worst:.3f}, all <= 1: {data.all_below_one}",
+    ]
+    shown = data.ratios if limit is None else data.ratios[:limit]
+    for program, config_id, ratio in shown:
+        lines.append(f"  {program:<14s} {config_id:<4s} {ratio:6.3f}")
+    if limit is not None and len(data.ratios) > limit:
+        lines.append(f"  ... ({len(data.ratios) - limit} more)")
+    return "\n".join(lines)
+
+
+def render_figure8(data: Figure8Data) -> str:
+    """Figure 8 text rendering (executed-instruction ratio)."""
+    capacities = sorted(data.per_capacity.points)
+    lines = [
+        "Figure 8 — executed-instruction ratio (optimized / original)",
+        "capacity(B)   ratio",
+    ]
+    for capacity in capacities:
+        lines.append(
+            f"{capacity:>10d}   {data.per_capacity.points[capacity]:.4f}"
+        )
+    lines.append(
+        f"max increase {format_percent(data.max_increase)} (paper max: +1.32%)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,179 @@
+"""Sweep driver over (program × configuration × technology) grids.
+
+The paper's full grid is 37 programs × 36 configurations × 2 nodes =
+2664 use cases.  A pure-Python reproduction cannot afford that per
+benchmark run, so the sweep is specified explicitly and two standard
+grids are provided:
+
+* :func:`default_grid` — the documented representative subset used by
+  the benchmark harness: every program appears, capacities span the
+  full 256 B – 8 KiB range, one (associativity, block size) pair per
+  capacity, both technologies;
+* :func:`full_grid` — the paper's complete 2664-case grid, for offline
+  runs (see EXPERIMENTS.md).
+
+Results are cached per spec within a process so the per-figure
+benchmarks share one sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.bench.registry import program_names
+from repro.cache.config import CAPACITIES, TABLE2, config_id
+from repro.errors import ExperimentError
+from repro.experiments.usecase import UseCase, UseCaseResult, run_usecase
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of use cases.
+
+    Attributes:
+        programs: Benchmark names.
+        config_ids: Table 2 ids.
+        techs: Technology names.
+        seed: Executor seed for the ACET simulations.
+        max_evaluations: Per-use-case optimization budget (see
+            :class:`repro.core.OptimizerOptions.max_evaluations`);
+            ``None`` = unlimited.
+        baseline: Analysis fidelity: ``"classic"`` (must/may, the
+            baseline of the paper's era — reproduces the paper's
+            improvement magnitudes) or ``"persistence"`` (adds the
+            first-miss domain; the tighter baseline leaves less for
+            prefetching to win — see EXPERIMENTS.md).
+    """
+
+    programs: Tuple[str, ...]
+    config_ids: Tuple[str, ...]
+    techs: Tuple[str, ...]
+    seed: int = 1
+    max_evaluations: Optional[int] = None
+    baseline: str = "classic"
+
+    def __post_init__(self) -> None:
+        if self.baseline not in ("classic", "persistence"):
+            raise ExperimentError(
+                f"baseline must be 'classic' or 'persistence', got "
+                f"{self.baseline!r}"
+            )
+
+    def optimizer_options(self):
+        """The options every use case of this sweep runs with."""
+        from repro.core.optimizer import OptimizerOptions
+
+        return OptimizerOptions(
+            max_evaluations=self.max_evaluations,
+            with_persistence=self.baseline == "persistence",
+        )
+
+    def usecases(self) -> List[UseCase]:
+        """Expand the grid in (program, config, tech) order."""
+        return [
+            UseCase(p, k, t)
+            for p in self.programs
+            for k in self.config_ids
+            for t in self.techs
+        ]
+
+    @property
+    def size(self) -> int:
+        """Number of use cases in the grid."""
+        return len(self.programs) * len(self.config_ids) * len(self.techs)
+
+
+def default_grid(
+    programs: Optional[Sequence[str]] = None,
+    techs: Sequence[str] = ("45nm", "32nm"),
+    seed: int = 1,
+    max_evaluations: Optional[int] = 120,
+) -> SweepSpec:
+    """The representative subset the benchmark harness runs.
+
+    One direct-mapped 16 B-block configuration per capacity (k1, k7,
+    k13, k19, k25, k31) — the 6-point capacity axis of Figures 3-5 —
+    across all programs and both technologies.
+    """
+    config_ids = []
+    for capacity in CAPACITIES:
+        for kid, cfg in TABLE2.items():
+            if (
+                cfg.capacity == capacity
+                and cfg.associativity == 1
+                and cfg.block_size == 16
+            ):
+                config_ids.append(kid)
+                break
+    return SweepSpec(
+        programs=tuple(programs if programs is not None else program_names()),
+        config_ids=tuple(config_ids),
+        techs=tuple(techs),
+        seed=seed,
+        max_evaluations=max_evaluations,
+    )
+
+
+def full_grid(seed: int = 1, max_evaluations: Optional[int] = 120) -> SweepSpec:
+    """The paper's complete 37 × 36 × 2 grid (2664 use cases)."""
+    return SweepSpec(
+        programs=tuple(program_names()),
+        config_ids=tuple(TABLE2.keys()),
+        techs=("45nm", "32nm"),
+        seed=seed,
+        max_evaluations=max_evaluations,
+    )
+
+
+#: Process-wide cache: spec -> results (sweeps are deterministic).
+_SWEEP_CACHE: Dict[SweepSpec, List[UseCaseResult]] = {}
+
+
+def run_sweep(
+    spec: SweepSpec,
+    progress: Optional[Callable[[UseCase, UseCaseResult], None]] = None,
+    use_cache: bool = True,
+) -> List[UseCaseResult]:
+    """Run every use case of a spec.
+
+    Args:
+        spec: The grid.
+        progress: Optional callback invoked after each use case.
+        use_cache: Reuse results of an identical earlier sweep in this
+            process (sweeps are deterministic).
+
+    Returns:
+        Results in grid order.
+    """
+    if use_cache and spec in _SWEEP_CACHE:
+        return _SWEEP_CACHE[spec]
+    options = spec.optimizer_options()
+    results: List[UseCaseResult] = []
+    for usecase in spec.usecases():
+        result = run_usecase(usecase, seed=spec.seed, options=options)
+        results.append(result)
+        if progress is not None:
+            progress(usecase, result)
+    if use_cache:
+        _SWEEP_CACHE[spec] = results
+    return results
+
+
+def group_by_capacity(
+    results: Sequence[UseCaseResult],
+) -> Dict[int, List[UseCaseResult]]:
+    """Bucket results by cache capacity (the x-axis of Figs 3-5)."""
+    buckets: Dict[int, List[UseCaseResult]] = {}
+    for result in results:
+        capacity = result.usecase.cache_config().capacity
+        buckets.setdefault(capacity, []).append(result)
+    return dict(sorted(buckets.items()))
+
+
+def average(values: Sequence[float]) -> float:
+    """Arithmetic mean (0.0 for an empty sequence)."""
+    seq = list(values)
+    if not seq:
+        return 0.0
+    return sum(seq) / len(seq)

@@ -1,0 +1,378 @@
+"""Abstract control-flow graph (Definitions 6 and 7 of the paper).
+
+The ACFG is the per-reference, context-expanded, acyclic program
+representation that both the classical cache analysis and the paper's
+reverse-order optimizer operate on:
+
+* one ``REF`` vertex per (instruction, VIVU context) pair — a *reference
+  to a memory item*,
+* explicit ``JOIN`` vertices wherever convergent execution paths meet
+  (after conditionals/switches, at loop ``REST`` entries and loop exits),
+  hosting the join functions of Section 4,
+* polar ``SOURCE`` (●) and ``SINK`` (○) vertices.
+
+Loops are unrolled once per the VIVU transformation: the body appears in
+a ``FIRST`` and a ``REST`` instance; the ``REST`` back edge is *broken*
+in the exported DAG but remembered in :attr:`ACFG.back_edges` so the
+fixpoint cache analysis can close the loop (a ``REST`` instance stands
+for every iteration after the first).
+
+Vertices are created in topological order, so the vertex id (``rid``)
+doubles as a topological index; the reverse walk of Algorithm 3 is simply
+descending-rid iteration.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramModelError
+from repro.program.cfg import ControlFlowGraph
+from repro.program.instructions import Instruction
+from repro.program.layout import AddressLayout, MemoryMap
+from repro.program.structure import (
+    BlockNode,
+    CallNode,
+    IfElseNode,
+    LoopNode,
+    SeqNode,
+    StructureNode,
+    SwitchNode,
+)
+from repro.program.vivu import (
+    Context,
+    TOP,
+    context_label,
+    enter_call,
+    enter_loop_first,
+    enter_loop_rest,
+    execution_multiplier,
+)
+
+
+class VertexKind(enum.Enum):
+    """Role of an ACFG vertex."""
+
+    SOURCE = "source"
+    SINK = "sink"
+    REF = "ref"
+    JOIN = "join"
+
+
+@dataclass
+class RefVertex:
+    """One ACFG vertex.
+
+    Attributes:
+        rid: Vertex id == topological index.
+        kind: Vertex role.
+        instr: The referenced instruction (``None`` for non-REF vertices).
+        context: VIVU context of the reference.
+        block_name: Basic block holding ``instr`` (``None`` for non-REF).
+        index_in_block: Position of ``instr`` within its block.
+    """
+
+    rid: int
+    kind: VertexKind
+    instr: Optional[Instruction] = None
+    context: Context = TOP
+    block_name: Optional[str] = None
+    index_in_block: int = -1
+
+    @property
+    def is_ref(self) -> bool:
+        """True for reference vertices (the only ones that touch memory)."""
+        return self.kind is VertexKind.REF
+
+    @property
+    def is_prefetch(self) -> bool:
+        """True when this vertex references a software prefetch."""
+        return self.instr is not None and self.instr.is_prefetch
+
+    def key(self) -> Tuple[int, Context]:
+        """Rebuild-stable identity: (instruction uid, context)."""
+        if self.instr is None:
+            raise ProgramModelError(f"vertex {self.rid} has no instruction key")
+        return (self.instr.uid, self.context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.kind is VertexKind.REF:
+            return (
+                f"<r{self.rid} {self.block_name}[{self.index_in_block}] "
+                f"{context_label(self.context)}>"
+            )
+        return f"<{self.kind.value}{self.rid}>"
+
+
+class ACFG:
+    """The acyclic abstract control-flow graph of one program.
+
+    Build with :func:`build_acfg`.  The graph is immutable once built;
+    after the optimizer mutates the CFG it constructs a fresh ACFG.
+    """
+
+    def __init__(
+        self,
+        cfg: ControlFlowGraph,
+        layout: AddressLayout,
+        memory_map: MemoryMap,
+    ):
+        self.cfg = cfg
+        self.layout = layout
+        self.memory_map = memory_map
+        self.vertices: List[RefVertex] = []
+        self._succ: List[List[int]] = []
+        self._pred: List[List[int]] = []
+        #: Analysis-only loop-closing edges (REST exit -> REST-entry join).
+        self.back_edges: List[Tuple[int, int]] = []
+        self.source: int = -1
+        self.sink: int = -1
+        self._by_key: Dict[Tuple[int, Context], int] = {}
+        #: Worst-case execution multiplier per vertex (context product).
+        self.multiplier: List[int] = []
+        #: Per-rid memory block of the vertex's own instruction
+        #: (``None`` for non-REF vertices) — hot-path cache for
+        #: :meth:`block_of`.
+        self._ref_block: List[Optional[int]] = []
+        #: Per-rid prefetch target block (``None`` unless a prefetch).
+        self._target_block: List[Optional[int]] = []
+        self._ref_list: Optional[List[RefVertex]] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers (used by build_acfg)
+    # ------------------------------------------------------------------
+    def _new_vertex(
+        self,
+        kind: VertexKind,
+        instr: Optional[Instruction],
+        context: Context,
+        block_name: Optional[str],
+        index_in_block: int,
+        preds: Sequence[int],
+    ) -> int:
+        rid = len(self.vertices)
+        vertex = RefVertex(rid, kind, instr, context, block_name, index_in_block)
+        self.vertices.append(vertex)
+        self._succ.append([])
+        self._pred.append([])
+        self.multiplier.append(execution_multiplier(self.cfg, context))
+        for pred in preds:
+            self._succ[pred].append(rid)
+            self._pred[rid].append(pred)
+        if instr is not None:
+            key = (instr.uid, context)
+            if key in self._by_key:
+                raise ProgramModelError(
+                    f"duplicate ACFG vertex for instruction {instr.uid} in "
+                    f"context {context_label(context)}"
+                )
+            self._by_key[key] = rid
+            self._ref_block.append(self.memory_map.block_of(instr.uid))
+            if instr.is_prefetch and instr.prefetch_target is not None:
+                self._target_block.append(
+                    self.memory_map.block_of(instr.prefetch_target)
+                )
+            else:
+                self._target_block.append(None)
+        else:
+            self._ref_block.append(None)
+            self._target_block.append(None)
+        return rid
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def successors(self, rid: int) -> Sequence[int]:
+        """Forward (DAG) successors of a vertex."""
+        return tuple(self._succ[rid])
+
+    def predecessors(self, rid: int) -> Sequence[int]:
+        """Forward (DAG) predecessors of a vertex."""
+        return tuple(self._pred[rid])
+
+    def vertex(self, rid: int) -> RefVertex:
+        """Vertex by id."""
+        return self.vertices[rid]
+
+    def by_key(self, uid: int, context: Context) -> Optional[int]:
+        """Vertex id for (instruction uid, context), or ``None``."""
+        return self._by_key.get((uid, context))
+
+    def iter_topological(self) -> Iterator[RefVertex]:
+        """Vertices in topological (construction) order."""
+        return iter(self.vertices)
+
+    def iter_reverse(self) -> Iterator[RefVertex]:
+        """Vertices from sink to source — the order of Algorithm 3."""
+        return reversed(self.vertices)
+
+    def ref_vertices(self) -> List[RefVertex]:
+        """Only the REF vertices, topological order (cached list)."""
+        if self._ref_list is None:
+            self._ref_list = [v for v in self.vertices if v.is_ref]
+        return self._ref_list
+
+    def block_of(self, rid: int) -> int:
+        """``S(r)``: memory block id of a REF vertex's instruction."""
+        block = self._ref_block[rid]
+        if block is None:
+            raise ProgramModelError(f"vertex {rid} references no memory item")
+        return block
+
+    def prefetch_target_block(self, rid: int) -> int:
+        """Memory block an instruction-cache prefetch vertex loads."""
+        target = self._target_block[rid]
+        if target is None:
+            raise ProgramModelError(f"vertex {rid} is not a prefetch")
+        return target
+
+    def target_block_or_none(self, rid: int) -> Optional[int]:
+        """Like :meth:`prefetch_target_block` but ``None`` for non-
+        prefetches and for *data* prefetches (which carry a data-access
+        target instead of a code target)."""
+        return self._target_block[rid]
+
+    @property
+    def ref_count(self) -> int:
+        """Number of REF vertices (|R| in the paper's complexity terms)."""
+        return sum(1 for v in self.vertices if v.is_ref)
+
+    def validate(self) -> None:
+        """Check DAG invariants: edges ascend rid, poles are correct."""
+        if self.source != 0 or self.vertices[self.source].kind is not VertexKind.SOURCE:
+            raise ProgramModelError("ACFG source must be vertex 0")
+        if (
+            self.sink != len(self.vertices) - 1
+            or self.vertices[self.sink].kind is not VertexKind.SINK
+        ):
+            raise ProgramModelError("ACFG sink must be the last vertex")
+        for rid, succs in enumerate(self._succ):
+            for succ in succs:
+                if succ <= rid:
+                    raise ProgramModelError(
+                        f"edge ({rid}, {succ}) violates topological order"
+                    )
+        for rid in range(1, len(self.vertices)):
+            if not self._pred[rid]:
+                raise ProgramModelError(f"vertex {rid} unreachable (no preds)")
+        for src, dst in self.back_edges:
+            if self.vertices[dst].kind is not VertexKind.JOIN:
+                raise ProgramModelError(
+                    f"back edge ({src}, {dst}) must target a JOIN vertex"
+                )
+
+
+def build_acfg(
+    cfg: ControlFlowGraph,
+    block_size: int,
+    base_address: int = 0,
+) -> ACFG:
+    """Expand a structured CFG into its ACFG for a given memory block size.
+
+    Performs the VIVU transformation: loops unrolled once (FIRST/REST
+    instances, REST back edge recorded in :attr:`ACFG.back_edges`),
+    function bodies inlined per call site.
+
+    Args:
+        cfg: The program (must carry its structure tree).
+        block_size: Cache/memory block size in bytes (defines ``S(r)``).
+        base_address: Base address for the layout.
+
+    Returns:
+        A validated :class:`ACFG`.
+    """
+    if cfg.structure is None:
+        raise ProgramModelError("CFG has no structure tree; use ProgramBuilder")
+    layout = AddressLayout(cfg, base_address)
+    memory_map = MemoryMap(layout, block_size)
+    acfg = ACFG(cfg, layout, memory_map)
+    acfg.source = acfg._new_vertex(VertexKind.SOURCE, None, TOP, None, -1, ())
+
+    exits = _expand(acfg, cfg.structure, TOP, [acfg.source])
+    acfg.sink = acfg._new_vertex(VertexKind.SINK, None, TOP, None, -1, exits)
+    acfg.validate()
+    return acfg
+
+
+def _expand_block(
+    acfg: ACFG, block_name: str, ctx: Context, preds: List[int]
+) -> List[int]:
+    block = acfg.cfg.block(block_name)
+    if not block.instructions:
+        raise ProgramModelError(f"block {block_name!r} is empty")
+    current = preds
+    for idx, instr in enumerate(block.instructions):
+        rid = acfg._new_vertex(
+            VertexKind.REF, instr, ctx, block_name, idx, current
+        )
+        current = [rid]
+    return current
+
+
+def _join(acfg: ACFG, ctx: Context, preds: List[int]) -> List[int]:
+    """Insert a JOIN vertex when paths converge (no-op for single pred)."""
+    if len(preds) <= 1:
+        return list(preds)
+    rid = acfg._new_vertex(VertexKind.JOIN, None, ctx, None, -1, preds)
+    return [rid]
+
+
+def _expand(
+    acfg: ACFG, node: StructureNode, ctx: Context, preds: List[int]
+) -> List[int]:
+    """Recursively expand ``node`` under context ``ctx``.
+
+    ``preds`` are the vertex ids whose out-edges reach the node's first
+    vertex; the return value is the list of exit vertex ids.
+    """
+    cfg = acfg.cfg
+    if isinstance(node, BlockNode):
+        return _expand_block(acfg, node.block_name, ctx, preds)
+    if isinstance(node, SeqNode):
+        current = preds
+        for item in node.items:
+            current = _expand(acfg, item, ctx, current)
+        return current
+    if isinstance(node, IfElseNode):
+        cond_exits = _expand_block(acfg, node.cond_block, ctx, preds)
+        then_exits = _expand(acfg, node.then_node, ctx, list(cond_exits))
+        if node.else_node is not None:
+            else_exits = _expand(acfg, node.else_node, ctx, list(cond_exits))
+        else:
+            else_exits = list(cond_exits)
+        return _join(acfg, ctx, then_exits + else_exits)
+    if isinstance(node, SwitchNode):
+        sel_exits = _expand_block(acfg, node.selector_block, ctx, preds)
+        all_exits: List[int] = []
+        for case in node.cases:
+            all_exits.extend(_expand(acfg, case, ctx, list(sel_exits)))
+        return _join(acfg, ctx, all_exits)
+    if isinstance(node, LoopNode):
+        info = cfg.loops[node.loop_name]
+        first_ctx = enter_loop_first(ctx, node.loop_name)
+        first_exits = _expand(acfg, node.body, first_ctx, preds)
+        if info.bound < 2:
+            return first_exits
+        rest_ctx = enter_loop_rest(ctx, node.loop_name)
+        # REST entry join merges the first iteration's exit with the
+        # (broken) back edge from the REST exit.
+        entry_join = acfg._new_vertex(
+            VertexKind.JOIN, None, rest_ctx, None, -1, first_exits
+        )
+        rest_exits = _expand(acfg, node.body, rest_ctx, [entry_join])
+        for rexit in rest_exits:
+            acfg.back_edges.append((rexit, entry_join))
+        # After the loop, control may come from iteration 1 (if the
+        # concrete trip count is 1) or from the REST instance.
+        return _join(acfg, ctx, first_exits + rest_exits)
+    if isinstance(node, CallNode):
+        call_exits = _expand_block(acfg, node.call_block, ctx, preds)
+        info = cfg.functions[node.function_name]
+        body_ctx = enter_call(ctx, node.site_id)
+        return _expand(acfg, info.structure, body_ctx, call_exits)
+    raise ProgramModelError(f"unknown structure node {type(node).__name__}")

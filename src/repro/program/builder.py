@@ -1,0 +1,606 @@
+"""DSL for constructing structured programs.
+
+The :class:`ProgramBuilder` emits a :class:`~repro.program.cfg.ControlFlowGraph`
+together with its structure tree, the way a compiler front-end would lower
+structured C sources (the paper compiles the Mälardalen suite with GCC).
+
+Example::
+
+    b = ProgramBuilder("demo")
+    b.code(4)                               # straight-line prologue work
+    with b.loop(bound=10, sim_iterations=8):
+        b.code(3)
+        with b.if_else(taken_prob=0.25) as arms:
+            with arms.then_():
+                b.code(2)
+            with arms.else_():
+                b.code(5)
+    b.code(1)
+    cfg = b.build()
+
+Modelling conventions (shared by every analysis in the library):
+
+* every loop is bottom-tested; the builder appends a 2-instruction latch
+  block (compare + branch) to each loop body,
+* every conditional consumes one BRANCH instruction at the end of the
+  current block, every switch one JUMP,
+* each switch case ends with an implicit break JUMP,
+* an entry block (2-instruction prologue) and an exit block (RETURN) wrap
+  the main body,
+* functions are laid out after the main body, each exactly once, and end
+  with a RETURN instruction; calls append a CALL instruction.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramModelError
+from repro.program.cfg import (
+    BasicBlock,
+    BranchProfile,
+    ControlFlowGraph,
+    FunctionInfo,
+    LoopInfo,
+)
+from repro.program.instructions import InstructionFactory, InstrKind
+from repro.program.structure import (
+    BlockNode,
+    CallNode,
+    IfElseNode,
+    LoopNode,
+    SeqNode,
+    StructureNode,
+    SwitchNode,
+)
+
+
+def entry_block_of(node: StructureNode) -> str:
+    """Name of the first block executed when control enters ``node``."""
+    if isinstance(node, BlockNode):
+        return node.block_name
+    if isinstance(node, SeqNode):
+        if not node.items:
+            raise ProgramModelError("empty SeqNode has no entry block")
+        return entry_block_of(node.items[0])
+    if isinstance(node, IfElseNode):
+        return node.cond_block
+    if isinstance(node, LoopNode):
+        return entry_block_of(node.body)
+    if isinstance(node, SwitchNode):
+        return node.selector_block
+    if isinstance(node, CallNode):
+        return node.call_block
+    raise ProgramModelError(f"unknown structure node {type(node).__name__}")
+
+
+def exit_blocks_of(node: StructureNode) -> Tuple[str, ...]:
+    """Names of the blocks control may leave ``node`` from.
+
+    For a :class:`CallNode` the exit is the call block itself: the callee
+    returns to the continuation, so from the caller's perspective control
+    resumes right after the call block.
+    """
+    if isinstance(node, BlockNode):
+        return (node.block_name,)
+    if isinstance(node, SeqNode):
+        if not node.items:
+            raise ProgramModelError("empty SeqNode has no exit blocks")
+        return exit_blocks_of(node.items[-1])
+    if isinstance(node, IfElseNode):
+        exits = exit_blocks_of(node.then_node)
+        if node.else_node is not None:
+            exits = exits + exit_blocks_of(node.else_node)
+        else:
+            exits = exits + (node.cond_block,)
+        return exits
+    if isinstance(node, LoopNode):
+        # The latch is always the last block of the body.
+        return (exit_blocks_of(node.body)[-1],)
+    if isinstance(node, SwitchNode):
+        exits: Tuple[str, ...] = ()
+        for case in node.cases:
+            exits = exits + exit_blocks_of(case)
+        return exits
+    if isinstance(node, CallNode):
+        return (node.call_block,)
+    raise ProgramModelError(f"unknown structure node {type(node).__name__}")
+
+
+@dataclass
+class _Region:
+    """Blocks and tree fragments of one layout region (main or function)."""
+
+    name: str
+    blocks: List[BasicBlock] = field(default_factory=list)
+    root_items: List[StructureNode] = field(default_factory=list)
+
+
+class _ArmsHandle:
+    """Handle returned by :meth:`ProgramBuilder.if_else`."""
+
+    def __init__(self, builder: "ProgramBuilder"):
+        self._builder = builder
+        self.then_node: Optional[StructureNode] = None
+        self.else_node: Optional[StructureNode] = None
+
+    @contextlib.contextmanager
+    def then_(self):
+        """Build the taken arm."""
+        if self.then_node is not None:
+            raise ProgramModelError("then arm already built")
+        with self._builder._subtree() as items:
+            yield
+        self.then_node = self._builder._seal_arm(items)
+
+    @contextlib.contextmanager
+    def else_(self):
+        """Build the not-taken arm."""
+        if self.then_node is None:
+            raise ProgramModelError("build the then arm before the else arm")
+        if self.else_node is not None:
+            raise ProgramModelError("else arm already built")
+        with self._builder._subtree() as items:
+            yield
+        self.else_node = self._builder._seal_arm(items)
+
+
+class _SwitchHandle:
+    """Handle returned by :meth:`ProgramBuilder.switch`."""
+
+    def __init__(self, builder: "ProgramBuilder"):
+        self._builder = builder
+        self.cases: List[StructureNode] = []
+
+    @contextlib.contextmanager
+    def case(self):
+        """Build one switch case (ends with an implicit break jump)."""
+        builder = self._builder
+        with builder._subtree() as items:
+            yield
+            # Every case ends with a break jump, emitted inside the
+            # subtree so it lands in the case's last block.
+            builder._emit(InstrKind.JUMP)
+        self.cases.append(builder._seal_arm(items))
+
+
+class ProgramBuilder:
+    """Builds a structured :class:`ControlFlowGraph` plus structure tree."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.factory = InstructionFactory()
+        self._main = _Region("main")
+        self._regions: List[_Region] = [self._main]
+        self._functions: Dict[str, FunctionInfo] = {}
+        self._fn_order: List[str] = []
+        self._current_region = self._main
+        # Stack of structure-item lists we are currently appending to.
+        self._item_stack: List[List[StructureNode]] = [self._main.root_items]
+        # Open instruction buffer (current basic block under construction).
+        self._open: List = []
+        self._open_label: Optional[str] = None
+        # Active loops, innermost last: (LoopInfo fields collected lazily).
+        self._loop_stack: List[dict] = []
+        self._counters = {"bb": 0, "loop": 0, "call": 0}
+        self._branch_profiles: Dict[str, BranchProfile] = {}
+        self._loops: List[LoopInfo] = []
+        self._built = False
+        self._data_layout = None  # created on first data_region()
+
+    # ------------------------------------------------------------------
+    # low-level emission
+    # ------------------------------------------------------------------
+    def _emit(self, kind: InstrKind, label: Optional[str] = None) -> None:
+        self._open.append(self.factory.make(kind, label))
+
+    def _fresh_name(self, prefix: str) -> str:
+        idx = self._counters[prefix]
+        self._counters[prefix] += 1
+        region = "" if self._current_region is self._main else (
+            self._current_region.name + "."
+        )
+        return f"{region}{prefix}{idx}"
+
+    def _flush(self) -> Optional[BlockNode]:
+        """Close the open instruction buffer into a block, if non-empty."""
+        if not self._open:
+            return None
+        name = self._open_label or self._fresh_name("bb")
+        block = BasicBlock(name, self._open)
+        self._open = []
+        self._open_label = None
+        self._current_region.blocks.append(block)
+        for loop in self._loop_stack:
+            loop["blocks"].append(name)
+        node = BlockNode(name)
+        self._item_stack[-1].append(node)
+        return node
+
+    @contextlib.contextmanager
+    def _subtree(self):
+        """Collect structure items into a fresh list (for arms/bodies)."""
+        items: List[StructureNode] = []
+        self._item_stack.append(items)
+        try:
+            yield items
+        finally:
+            self._flush()
+            popped = self._item_stack.pop()
+            if popped is not items:  # pragma: no cover - defensive
+                raise ProgramModelError("builder item stack corrupted")
+
+    def _seal_arm(self, items: List[StructureNode]) -> StructureNode:
+        """Wrap collected items into a single node, padding empty arms."""
+        if not items:
+            # An empty arm still occupies one jump in the binary.
+            self._open.append(self.factory.jump())
+            name = self._fresh_name("bb")
+            block = BasicBlock(name, self._open)
+            self._open = []
+            self._current_region.blocks.append(block)
+            for loop in self._loop_stack:
+                loop["blocks"].append(name)
+            return BlockNode(name)
+        if len(items) == 1:
+            return items[0]
+        return SeqNode(list(items))
+
+    # ------------------------------------------------------------------
+    # public DSL
+    # ------------------------------------------------------------------
+    def code(self, count: int, label: Optional[str] = None) -> None:
+        """Emit ``count`` straight-line (NORMAL) instructions."""
+        if count < 0:
+            raise ProgramModelError(f"code count must be >= 0, got {count}")
+        for _ in range(count):
+            self._emit(InstrKind.NORMAL, label)
+
+    # ------------------------------------------------------------------
+    # data accesses (the repro.data extension)
+    # ------------------------------------------------------------------
+    def data_region(self, name: str, size: int) -> None:
+        """Declare a named data object (array/struct/scalar)."""
+        from repro.data.model import DataLayout
+
+        if self._data_layout is None:
+            self._data_layout = DataLayout()
+        self._data_layout.add_region(name, size)
+
+    def _emit_data(self, kind, region: str, offset: int, stride: int,
+                   label: Optional[str]) -> None:
+        from repro.data.model import DataAccess
+
+        if self._data_layout is None:
+            raise ProgramModelError(
+                f"declare data_region({region!r}, ...) before accessing it"
+            )
+        self._data_layout.region(region)  # validate existence
+        stride_loop = None
+        if stride:
+            if not self._loop_stack:
+                raise ProgramModelError(
+                    "strided data accesses must be emitted inside a loop"
+                )
+            stride_loop = self._loop_stack[-1]["name"]
+        access = DataAccess(
+            kind=kind,
+            region=region,
+            offset=offset,
+            stride=stride,
+            stride_loop=stride_loop,
+        )
+        self._open.append(
+            self.factory.make(InstrKind.NORMAL, label, data_access=access)
+        )
+
+    def load(self, region: str, offset: int = 0, stride: int = 0,
+             label: Optional[str] = None) -> None:
+        """Emit a load from a data region.
+
+        ``stride`` advances the address per iteration of the innermost
+        enclosing loop (array walking); 0 is a scalar access.
+        """
+        from repro.data.model import DataKind
+
+        self._emit_data(DataKind.LOAD, region, offset, stride, label)
+
+    def store(self, region: str, offset: int = 0, stride: int = 0,
+              label: Optional[str] = None) -> None:
+        """Emit a store to a data region."""
+        from repro.data.model import DataKind
+
+        self._emit_data(DataKind.STORE, region, offset, stride, label)
+
+    def block_label(self, label: str) -> None:
+        """Name the next flushed block ``label`` (for tests/examples)."""
+        if self._open:
+            self._flush()
+        self._open_label = label
+
+    @contextlib.contextmanager
+    def loop(
+        self,
+        bound: int,
+        sim_iterations: Optional[int] = None,
+        name: Optional[str] = None,
+    ):
+        """Open a bottom-tested loop with the given WCET ``bound``.
+
+        The concrete executor iterates ``sim_iterations`` times per entry
+        (defaults to ``bound``).  A 2-instruction latch block (compare +
+        branch) is appended automatically.
+        """
+        self._flush()
+        loop_name = name or self._fresh_name("loop")
+        record = {"name": loop_name, "blocks": []}
+        self._loop_stack.append(record)
+        with self._subtree() as items:
+            yield
+            # Latch: compare + backward branch, inside the loop body.
+            self._emit(InstrKind.NORMAL, f"{loop_name}.cmp")
+            self._emit(InstrKind.BRANCH, f"{loop_name}.latch")
+        self._loop_stack.pop()
+        body = self._seal_arm(items)
+        node = LoopNode(loop_name, body)
+        self._item_stack[-1].append(node)
+        header = entry_block_of(body)
+        latch = exit_blocks_of(body)[-1]
+        parent = self._loop_stack[-1]["name"] if self._loop_stack else None
+        self._loops.append(
+            LoopInfo(
+                name=loop_name,
+                header=header,
+                latch=latch,
+                blocks=tuple(record["blocks"]),
+                bound=bound,
+                sim_iterations=sim_iterations,
+                parent=parent,
+            )
+        )
+
+    @contextlib.contextmanager
+    def if_else(
+        self,
+        taken_prob: float = 0.5,
+        pattern: Optional[Sequence[bool]] = None,
+    ):
+        """Open a two-way conditional; use the yielded handle's arms.
+
+        The branch instruction is appended to the current block, which
+        becomes the condition block.
+        """
+        self._emit(InstrKind.BRANCH)
+        cond_node = self._flush()
+        assert cond_node is not None
+        handle = _ArmsHandle(self)
+        yield handle
+        if handle.then_node is None:
+            raise ProgramModelError("if_else used without a then arm")
+        profile = BranchProfile(
+            taken_prob=taken_prob,
+            pattern=tuple(pattern) if pattern is not None else None,
+        )
+        self._branch_profiles[cond_node.block_name] = profile
+        # Replace the cond BlockNode with the full conditional node.
+        self._item_stack[-1].pop()
+        self._item_stack[-1].append(
+            IfElseNode(cond_node.block_name, handle.then_node, handle.else_node)
+        )
+
+    @contextlib.contextmanager
+    def if_then(
+        self,
+        taken_prob: float = 0.5,
+        pattern: Optional[Sequence[bool]] = None,
+    ):
+        """Shorthand for a conditional with only a taken arm."""
+        with self.if_else(taken_prob=taken_prob, pattern=pattern) as arms:
+            with arms.then_():
+                yield
+
+    @contextlib.contextmanager
+    def switch(self, weights: Optional[Sequence[float]] = None):
+        """Open a multi-way branch; add cases via the yielded handle."""
+        self._emit(InstrKind.JUMP)
+        selector_node = self._flush()
+        assert selector_node is not None
+        handle = _SwitchHandle(self)
+        yield handle
+        if not handle.cases:
+            raise ProgramModelError("switch needs at least one case")
+        node = SwitchNode(
+            selector_node.block_name,
+            handle.cases,
+            tuple(weights) if weights is not None else None,
+        )
+        self._item_stack[-1].pop()
+        self._item_stack[-1].append(node)
+
+    @contextlib.contextmanager
+    def function(self, name: str):
+        """Define a function body laid out after the main region.
+
+        Functions must be defined at the top level and may only call
+        functions defined *before* them (no recursion; see DESIGN.md for
+        the documented recursion-as-loop substitution).
+        """
+        if self._current_region is not self._main:
+            raise ProgramModelError("nested function definitions not supported")
+        if self._loop_stack or len(self._item_stack) != 1:
+            raise ProgramModelError("functions must be defined at the top level")
+        if name in self._functions:
+            raise ProgramModelError(f"duplicate function {name!r}")
+        self._flush()
+        region = _Region(name)
+        self._regions.append(region)
+        outer_items = self._item_stack
+        self._current_region = region
+        self._item_stack = [region.root_items]
+        try:
+            yield
+            self._emit(InstrKind.RETURN, f"{name}.ret")
+            self._flush()
+        finally:
+            self._current_region = self._main
+            self._item_stack = outer_items
+        if not region.root_items:  # pragma: no cover - RETURN guarantees items
+            raise ProgramModelError(f"function {name!r} is empty")
+        body = (
+            region.root_items[0]
+            if len(region.root_items) == 1
+            else SeqNode(list(region.root_items))
+        )
+        info = FunctionInfo(
+            name=name,
+            structure=body,
+            entry_block=entry_block_of(body),
+            exit_blocks=exit_blocks_of(body),
+            blocks=tuple(b.name for b in region.blocks),
+        )
+        self._functions[name] = info
+        self._fn_order.append(name)
+
+    def call(self, function_name: str) -> None:
+        """Emit a call to a previously defined function."""
+        if function_name not in self._functions:
+            raise ProgramModelError(
+                f"call to undefined function {function_name!r}; define it first"
+            )
+        self._emit(InstrKind.CALL, f"call.{function_name}")
+        call_node = self._flush()
+        assert call_node is not None
+        site_id = f"cs{self._counters['call']}"
+        self._counters["call"] += 1
+        self._item_stack[-1].pop()
+        self._item_stack[-1].append(
+            CallNode(call_node.block_name, function_name, site_id)
+        )
+
+    # ------------------------------------------------------------------
+    # assembly
+    # ------------------------------------------------------------------
+    def build(self) -> ControlFlowGraph:
+        """Assemble and validate the final CFG (single use)."""
+        if self._built:
+            raise ProgramModelError("ProgramBuilder.build() may only be called once")
+        if len(self._item_stack) != 1 or self._loop_stack:
+            raise ProgramModelError("unclosed structure construct at build()")
+        self._built = True
+        self._flush()
+
+        cfg = ControlFlowGraph(self.name, self.factory)
+
+        # Entry prologue and exit epilogue around the main body.
+        entry_block = BasicBlock(
+            "__entry",
+            [self.factory.normal("prologue"), self.factory.normal("prologue")],
+        )
+        exit_block = BasicBlock("__exit", [self.factory.make(InstrKind.RETURN, "epilogue")])
+        main_items = [BlockNode("__entry")] + list(self._main.root_items) + [
+            BlockNode("__exit")
+        ]
+        cfg.structure = SeqNode(main_items)
+
+        cfg.add_block(entry_block)
+        for block in self._main.blocks:
+            cfg.add_block(block)
+        cfg.add_block(exit_block)
+        for fn_name in self._fn_order:
+            for block in next(
+                r for r in self._regions if r.name == fn_name
+            ).blocks:
+                cfg.add_block(block)
+
+        cfg.entry = entry_block
+        cfg.exit = exit_block
+        cfg.functions = dict(self._functions)
+        cfg.data_layout = self._data_layout
+        # Inner loops close (and are recorded) before their parents;
+        # register parents first.
+        by_name = {info.name: info for info in self._loops}
+
+        def loop_depth(info: LoopInfo) -> int:
+            depth = 0
+            cursor = info.parent
+            while cursor is not None:
+                depth += 1
+                cursor = by_name[cursor].parent
+            return depth
+
+        for info in sorted(self._loops, key=loop_depth):
+            cfg.add_loop(info)
+        for name, profile in self._branch_profiles.items():
+            cfg.set_branch_profile(name, profile)
+
+        # Wire graph edges for the main tree and each function body.
+        self._wire(cfg, cfg.structure, continuation=None)
+        for fn_name in self._fn_order:
+            self._wire(cfg, self._functions[fn_name].structure, continuation=None)
+
+        cfg.validate()
+        return cfg
+
+    def _wire(
+        self,
+        cfg: ControlFlowGraph,
+        node: StructureNode,
+        continuation: Optional[str],
+    ) -> None:
+        """Add CFG edges for ``node``; ``continuation`` is the block that
+        receives control after the node finishes (``None`` at tree ends).
+        """
+        if isinstance(node, SeqNode):
+            for idx, item in enumerate(node.items):
+                if idx + 1 < len(node.items):
+                    nxt = entry_block_of(node.items[idx + 1])
+                else:
+                    nxt = continuation
+                self._wire(cfg, item, nxt)
+            return
+        if isinstance(node, BlockNode):
+            if continuation is not None:
+                self._add_edge_once(cfg, node.block_name, continuation)
+            return
+        if isinstance(node, IfElseNode):
+            self._add_edge_once(cfg, node.cond_block, entry_block_of(node.then_node))
+            self._wire(cfg, node.then_node, continuation)
+            if node.else_node is not None:
+                self._add_edge_once(
+                    cfg, node.cond_block, entry_block_of(node.else_node)
+                )
+                self._wire(cfg, node.else_node, continuation)
+            elif continuation is not None:
+                self._add_edge_once(cfg, node.cond_block, continuation)
+            return
+        if isinstance(node, LoopNode):
+            header = entry_block_of(node.body)
+            latch = exit_blocks_of(node.body)[-1]
+            self._wire(cfg, node.body, continuation)
+            self._add_edge_once(cfg, latch, header)  # back edge
+            return
+        if isinstance(node, SwitchNode):
+            for case in node.cases:
+                self._add_edge_once(cfg, node.selector_block, entry_block_of(case))
+                self._wire(cfg, case, continuation)
+            return
+        if isinstance(node, CallNode):
+            info = cfg.functions[node.function_name]
+            self._add_edge_once(cfg, node.call_block, info.entry_block)
+            if continuation is not None:
+                for ex in info.exit_blocks:
+                    self._add_edge_once(cfg, ex, continuation)
+            return
+        raise ProgramModelError(f"unknown structure node {type(node).__name__}")
+
+    @staticmethod
+    def _add_edge_once(cfg: ControlFlowGraph, src: str, dst: str) -> None:
+        if dst not in cfg.successors(src):
+            cfg.add_edge(src, dst)
+
+    # ------------------------------------------------------------------
+    # wiring of loop bodies inside _wire: the body's internal sequencing
+    # is handled by the SeqNode branch; only the back edge is special.
+    # ------------------------------------------------------------------

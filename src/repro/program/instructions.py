@@ -1,0 +1,154 @@
+"""Abstract instruction model.
+
+The optimization in this library never inspects opcodes: it only needs to
+know *where* each fetched item lives in the address space and how control
+flows between items (see DESIGN.md, substitution table).  An
+:class:`Instruction` therefore carries a kind, a byte size, and — once the
+program has been laid out — an address assigned by
+:mod:`repro.program.layout`.
+
+Instruction identity matters: two instructions with equal fields are still
+distinct program points.  Identity is provided by a per-program unique
+``uid`` handed out by :class:`InstructionFactory`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class InstrKind(enum.Enum):
+    """Classification of an abstract instruction.
+
+    Only the distinctions that affect fetch behaviour or the optimizer are
+    modelled:
+
+    * ``NORMAL`` — any straight-line instruction (ALU, load, store...).
+    * ``BRANCH`` — a conditional branch terminating a basic block.
+    * ``JUMP`` — an unconditional control transfer.
+    * ``CALL`` / ``RETURN`` — kept for provenance after virtual inlining.
+    * ``PREFETCH`` — a software prefetch inserted by the optimizer; it is
+      the only kind the optimizer ever adds, and stripping all of them must
+      recover a prefetch-equivalent program (Definition 5 of the paper).
+    """
+
+    NORMAL = "normal"
+    BRANCH = "branch"
+    JUMP = "jump"
+    CALL = "call"
+    RETURN = "return"
+    PREFETCH = "prefetch"
+
+
+#: Byte size of every abstract instruction.  The paper targets ARMv7 in ARM
+#: state, where instructions are fixed 4-byte words; prefetch instructions
+#: (e.g. ``PLI``) are the same size, which is what makes the relocation cost
+#: (Eq. 8) non-trivial: inserting one shifts everything behind it by 4 bytes.
+INSTRUCTION_SIZE = 4
+
+
+@dataclass
+class Instruction:
+    """One abstract instruction (a memory *item* in the paper's terms).
+
+    Attributes:
+        uid: Program-unique identifier; defines identity and hashing.
+        kind: The :class:`InstrKind`.
+        size: Byte size (always :data:`INSTRUCTION_SIZE` in this model).
+        label: Optional human-readable tag used in examples and debugging.
+        prefetch_target: For instruction-cache ``PREFETCH`` instructions,
+            the uid of the instruction whose memory block this prefetch
+            loads.  ``None`` otherwise (including data prefetches).
+        data_access: Optional data-memory access this instruction
+            performs (load/store/data-prefetch) — the data-cache
+            extension of :mod:`repro.data`.
+    """
+
+    uid: int
+    kind: InstrKind = InstrKind.NORMAL
+    size: int = INSTRUCTION_SIZE
+    label: Optional[str] = None
+    prefetch_target: Optional[int] = field(default=None)
+    data_access: Optional[object] = field(default=None)
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Instruction):
+            return NotImplemented
+        return self.uid == other.uid
+
+    @property
+    def is_prefetch(self) -> bool:
+        """True when this instruction is a software prefetch."""
+        return self.kind is InstrKind.PREFETCH
+
+    @property
+    def is_control(self) -> bool:
+        """True when this instruction may transfer control."""
+        return self.kind in (
+            InstrKind.BRANCH,
+            InstrKind.JUMP,
+            InstrKind.CALL,
+            InstrKind.RETURN,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tag = self.label or f"i{self.uid}"
+        if self.is_prefetch:
+            return f"<pf#{self.uid}->{self.prefetch_target} {tag!r}>"
+        return f"<{self.kind.value}#{self.uid} {tag!r}>"
+
+
+class InstructionFactory:
+    """Hands out :class:`Instruction` objects with unique uids.
+
+    Each :class:`~repro.program.cfg.ControlFlowGraph` owns one factory so
+    uids are unique within a program, including prefetches inserted later
+    by the optimizer.
+    """
+
+    def __init__(self, start_uid: int = 0) -> None:
+        self._next_uid = start_uid
+
+    @property
+    def next_uid(self) -> int:
+        """The uid the next created instruction will receive."""
+        return self._next_uid
+
+    def make(
+        self,
+        kind: InstrKind = InstrKind.NORMAL,
+        label: Optional[str] = None,
+        prefetch_target: Optional[int] = None,
+        data_access: Optional[object] = None,
+    ) -> Instruction:
+        """Create a fresh instruction of the given kind."""
+        instr = Instruction(
+            uid=self._next_uid,
+            kind=kind,
+            label=label,
+            prefetch_target=prefetch_target,
+            data_access=data_access,
+        )
+        self._next_uid += 1
+        return instr
+
+    def normal(self, label: Optional[str] = None) -> Instruction:
+        """Create a ``NORMAL`` instruction."""
+        return self.make(InstrKind.NORMAL, label)
+
+    def branch(self, label: Optional[str] = None) -> Instruction:
+        """Create a ``BRANCH`` instruction."""
+        return self.make(InstrKind.BRANCH, label)
+
+    def jump(self, label: Optional[str] = None) -> Instruction:
+        """Create a ``JUMP`` instruction."""
+        return self.make(InstrKind.JUMP, label)
+
+    def prefetch(self, target_uid: int, label: Optional[str] = None) -> Instruction:
+        """Create a ``PREFETCH`` instruction for the block holding ``target_uid``."""
+        return self.make(InstrKind.PREFETCH, label, prefetch_target=target_uid)

@@ -1,0 +1,168 @@
+"""Structure tree of a structured program.
+
+The builder (:mod:`repro.program.builder`) emits both a flat CFG and a
+tree of structure nodes describing the same program.  The tree is what
+makes two things simple and exact:
+
+* the concrete executor (:mod:`repro.sim.executor`) interprets the tree
+  to produce deterministic fetch traces without needing branch-resolution
+  hardware models, and
+* the structural WCET solver (:mod:`repro.analysis.structural`) computes
+  the exact IPET optimum bottom-up (sum over sequences, max over
+  conditionals, bound-weighted sums over loops).
+
+Loops follow the bottom-tested (do-while) shape documented in
+:class:`repro.program.cfg.LoopInfo`: the body runs 1..bound times per
+entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ProgramModelError
+
+
+class StructureNode:
+    """Base class for structure-tree nodes."""
+
+    def children(self) -> Sequence["StructureNode"]:
+        """Child nodes in program order (empty for leaves)."""
+        return ()
+
+    def iter_blocks(self):
+        """Yield every block name mentioned in this subtree, in order."""
+        raise NotImplementedError
+
+
+@dataclass
+class BlockNode(StructureNode):
+    """Leaf node: straight-line execution of one basic block."""
+
+    block_name: str
+
+    def iter_blocks(self):
+        yield self.block_name
+
+
+@dataclass
+class SeqNode(StructureNode):
+    """Sequential composition of child nodes."""
+
+    items: List[StructureNode] = field(default_factory=list)
+
+    def children(self) -> Sequence[StructureNode]:
+        return tuple(self.items)
+
+    def iter_blocks(self):
+        for item in self.items:
+            yield from item.iter_blocks()
+
+
+@dataclass
+class IfElseNode(StructureNode):
+    """Two-way conditional.
+
+    ``cond_block`` ends with a BRANCH instruction.  ``then_node`` is
+    executed when the branch is taken, ``else_node`` (possibly ``None``
+    for an if-then) otherwise.  Control re-joins after the node.
+    """
+
+    cond_block: str
+    then_node: StructureNode
+    else_node: Optional[StructureNode] = None
+
+    def children(self) -> Sequence[StructureNode]:
+        if self.else_node is None:
+            return (self.then_node,)
+        return (self.then_node, self.else_node)
+
+    def iter_blocks(self):
+        yield self.cond_block
+        yield from self.then_node.iter_blocks()
+        if self.else_node is not None:
+            yield from self.else_node.iter_blocks()
+
+
+@dataclass
+class LoopNode(StructureNode):
+    """Bottom-tested loop executing ``body`` 1..bound times per entry.
+
+    The loop's bound/simulated iteration count live in the CFG's
+    :class:`~repro.program.cfg.LoopInfo` registered under ``loop_name``;
+    the tree only records the shape.
+    """
+
+    loop_name: str
+    body: StructureNode
+
+    def children(self) -> Sequence[StructureNode]:
+        return (self.body,)
+
+    def iter_blocks(self):
+        yield from self.body.iter_blocks()
+
+
+@dataclass
+class SwitchNode(StructureNode):
+    """Multi-way branch (switch/jump table).
+
+    ``selector_block`` ends with a JUMP; exactly one case executes.
+    ``weights`` give the average-case selection probabilities used by the
+    executor (uniform when ``None``).
+    """
+
+    selector_block: str
+    cases: List[StructureNode] = field(default_factory=list)
+    weights: Optional[Tuple[float, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.weights is not None:
+            if len(self.weights) != len(self.cases):
+                raise ProgramModelError(
+                    "switch weights must match the number of cases"
+                )
+            total = sum(self.weights)
+            if total <= 0:
+                raise ProgramModelError("switch weights must sum to > 0")
+
+    def children(self) -> Sequence[StructureNode]:
+        return tuple(self.cases)
+
+    def iter_blocks(self):
+        yield self.selector_block
+        for case in self.cases:
+            yield from case.iter_blocks()
+
+
+@dataclass
+class CallNode(StructureNode):
+    """Call to a named function.
+
+    ``call_block`` is the block ending with the CALL instruction.  The
+    callee's body lives once in the address space (see
+    :mod:`repro.program.layout`); analyses expand it per call site via
+    virtual inlining (VIVU), and the executor simply walks the callee's
+    structure tree.  ``site_id`` distinguishes call sites for context
+    naming.
+    """
+
+    call_block: str
+    function_name: str
+    site_id: str
+
+    def iter_blocks(self):
+        yield self.call_block
+
+
+def walk(node: StructureNode):
+    """Depth-first pre-order traversal of a structure tree."""
+    yield node
+    for child in node.children():
+        yield from walk(child)
+
+
+def count_nodes(node: StructureNode) -> int:
+    """Total number of nodes in the subtree rooted at ``node``."""
+    return sum(1 for _ in walk(node))

@@ -1,0 +1,41 @@
+"""Simulation substrate: executor, memory machine, prefetchers, locking."""
+
+from repro.sim.executor import Executor, MAX_BLOCK_VISITS, block_trace
+from repro.sim.locking import (
+    locked_wcet,
+    optimize_with_locking,
+    residual_config,
+    select_locked_blocks,
+    simulate_locked,
+)
+from repro.sim.machine import MemorySystem, simulate
+from repro.sim.prefetchers import (
+    NextLinePrefetcher,
+    POLICY_ALWAYS,
+    POLICY_ON_MISS,
+    POLICY_TAGGED,
+    TargetPrefetcher,
+    WrongPathPrefetcher,
+)
+from repro.sim.trace import FetchEvent, SimulationResult
+
+__all__ = [
+    "Executor",
+    "FetchEvent",
+    "MAX_BLOCK_VISITS",
+    "MemorySystem",
+    "NextLinePrefetcher",
+    "POLICY_ALWAYS",
+    "POLICY_ON_MISS",
+    "POLICY_TAGGED",
+    "SimulationResult",
+    "TargetPrefetcher",
+    "WrongPathPrefetcher",
+    "block_trace",
+    "locked_wcet",
+    "optimize_with_locking",
+    "residual_config",
+    "select_locked_blocks",
+    "simulate",
+    "simulate_locked",
+]

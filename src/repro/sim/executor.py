@@ -1,0 +1,138 @@
+"""Concrete execution of a structured program.
+
+Interprets the structure tree deterministically:
+
+* loops run their :attr:`~repro.program.cfg.LoopInfo.sim_iterations`,
+* conditionals follow their :class:`~repro.program.cfg.BranchProfile`
+  (a cyclic pattern when given, otherwise a seeded RNG draw),
+* switches select cases by their weights,
+* calls descend into the callee's structure tree.
+
+The output is the sequence of executed basic blocks — the exact dynamic
+instruction stream a GEM5 trace would contain for this program model —
+which the memory machine (:mod:`repro.sim.machine`) prices.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from repro.errors import SimulationError
+from repro.program.cfg import BasicBlock, ControlFlowGraph
+from repro.program.structure import (
+    BlockNode,
+    CallNode,
+    IfElseNode,
+    LoopNode,
+    SeqNode,
+    StructureNode,
+    SwitchNode,
+)
+
+#: Safety valve: a single run longer than this indicates a runaway model.
+MAX_BLOCK_VISITS = 5_000_000
+
+
+class Executor:
+    """Walks a program's structure tree, yielding executed blocks."""
+
+    def __init__(self, cfg: ControlFlowGraph, seed: int = 0):
+        if cfg.structure is None:
+            raise SimulationError("CFG has no structure tree; use ProgramBuilder")
+        self.cfg = cfg
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._pattern_pos: Dict[str, int] = {}
+        self._visits = 0
+        #: Current iteration index (0-based) of each active loop;
+        #: consumers resolving strided data addresses read this between
+        #: yields (:mod:`repro.data.machine`).
+        self.loop_iteration: Dict[str, int] = {}
+
+    def run(self) -> Iterator[BasicBlock]:
+        """Execute the program once, yielding blocks in dynamic order."""
+        self._rng = random.Random(self.seed)
+        self._pattern_pos = {}
+        self._visits = 0
+        self.loop_iteration = {}
+        yield from self._walk(self.cfg.structure)
+
+    # ------------------------------------------------------------------
+    # tree interpretation
+    # ------------------------------------------------------------------
+    def _emit(self, block_name: str) -> BasicBlock:
+        self._visits += 1
+        if self._visits > MAX_BLOCK_VISITS:
+            raise SimulationError(
+                f"execution exceeded {MAX_BLOCK_VISITS} block visits; "
+                "check loop sim_iterations"
+            )
+        return self.cfg.block(block_name)
+
+    def _walk(self, node: StructureNode) -> Iterator[BasicBlock]:
+        if isinstance(node, BlockNode):
+            yield self._emit(node.block_name)
+            return
+        if isinstance(node, SeqNode):
+            for item in node.items:
+                yield from self._walk(item)
+            return
+        if isinstance(node, IfElseNode):
+            yield self._emit(node.cond_block)
+            if self._branch_taken(node.cond_block):
+                yield from self._walk(node.then_node)
+            elif node.else_node is not None:
+                yield from self._walk(node.else_node)
+            return
+        if isinstance(node, LoopNode):
+            info = self.cfg.loops[node.loop_name]
+            iterations = info.sim_iterations or info.bound
+            for index in range(iterations):
+                self.loop_iteration[node.loop_name] = index
+                yield from self._walk(node.body)
+            return
+        if isinstance(node, SwitchNode):
+            yield self._emit(node.selector_block)
+            yield from self._walk(self._select_case(node))
+            return
+        if isinstance(node, CallNode):
+            yield self._emit(node.call_block)
+            info = self.cfg.functions[node.function_name]
+            yield from self._walk(info.structure)
+            return
+        raise SimulationError(f"unknown structure node {type(node).__name__}")
+
+    def _branch_taken(self, cond_block: str) -> bool:
+        profile = self.cfg.branch_profiles.get(cond_block)
+        if profile is None:
+            raise SimulationError(
+                f"conditional block {cond_block!r} has no branch profile"
+            )
+        if profile.pattern is not None:
+            pos = self._pattern_pos.get(cond_block, 0)
+            self._pattern_pos[cond_block] = pos + 1
+            return profile.pattern[pos % len(profile.pattern)]
+        return self._rng.random() < profile.taken_prob
+
+    def _select_case(self, node: SwitchNode) -> StructureNode:
+        if node.weights is None:
+            return self._rng.choice(node.cases)
+        return self._rng.choices(node.cases, weights=node.weights, k=1)[0]
+
+
+def block_trace(
+    cfg: ControlFlowGraph, seed: int = 0, repeat: int = 1
+) -> Iterator[BasicBlock]:
+    """Convenience generator over ``repeat`` back-to-back runs.
+
+    Repeating a run models a periodic real-time task re-executing with a
+    warm cache; the paper's setup is a single cold-start run per program
+    (``repeat=1``), which is the default everywhere.
+    """
+    if repeat < 1:
+        raise SimulationError(f"repeat must be >= 1, got {repeat}")
+    executor = Executor(cfg, seed)
+    for run_index in range(repeat):
+        executor.seed = seed + run_index
+        yield from executor.run()

@@ -1,0 +1,200 @@
+"""Static instruction-cache locking baseline.
+
+The paper positions its technique against the locking school (refs [4,
+14, 16, 2]): lock the most valuable blocks into the cache, trade
+performance for perfect predictability.  Section 6 names implementing a
+locking baseline as planned work — this module provides it so the
+energy/WCET comparison can be run (``examples/prefetcher_shootout.py``
+and the ablation benches).
+
+Model: *full static locking*.  A selection of memory blocks (at most
+``associativity`` per set) is preloaded and locked; every other fetch
+goes straight to DRAM without allocating.  WCET analysis under locking
+is trivial — a reference hits iff its block is locked — which is the
+predictability argument for locking, and the energy cost is the longer
+execution, which is the paper's argument against it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.structural import PathSolution, solve_wcet_path
+from repro.analysis.timing import TimingModel
+from repro.cache.config import CacheConfig
+from repro.errors import SimulationError
+from repro.program.acfg import ACFG, build_acfg
+from repro.program.cfg import ControlFlowGraph
+from repro.program.layout import AddressLayout
+from repro.sim.executor import block_trace
+from repro.sim.trace import SimulationResult
+
+
+def select_locked_blocks(
+    acfg: ACFG,
+    config: CacheConfig,
+    weights: Optional[Dict[int, float]] = None,
+) -> Set[int]:
+    """Choose the blocks to lock: per set, the heaviest ``assoc`` blocks.
+
+    Args:
+        acfg: Program ACFG (provides the block inventory and, by
+            default, the weights).
+        config: Cache configuration (capacity constraint).
+        weights: Optional block -> value map.  Defaults to the number of
+            worst-case executions of the references in each block
+            (``Σ multiplier`` over the block's vertices) — the standard
+            frequency-driven selection of the locking literature.
+
+    Returns:
+        The set of locked memory-block ids.
+    """
+    if weights is None:
+        weights = {}
+        for vertex in acfg.ref_vertices():
+            block = acfg.block_of(vertex.rid)
+            weights[block] = weights.get(block, 0.0) + acfg.multiplier[vertex.rid]
+    per_set: Dict[int, List[Tuple[float, int]]] = {}
+    for block, weight in weights.items():
+        per_set.setdefault(config.set_index(block), []).append((weight, block))
+    locked: Set[int] = set()
+    for candidates in per_set.values():
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        for _, block in candidates[: config.associativity]:
+            locked.add(block)
+    return locked
+
+
+def locked_wcet(
+    acfg: ACFG, timing: TimingModel, locked_blocks: Set[int]
+) -> PathSolution:
+    """WCET path under full locking: hit iff the block is locked."""
+    times: List[float] = [0.0] * len(acfg.vertices)
+    for vertex in acfg.ref_vertices():
+        block = acfg.block_of(vertex.rid)
+        if block in locked_blocks:
+            times[vertex.rid] = float(timing.hit_cycles)
+        else:
+            times[vertex.rid] = float(timing.miss_cycles)
+    return solve_wcet_path(acfg, times)
+
+
+def residual_config(config: CacheConfig, locked_ways: int) -> CacheConfig:
+    """The configuration the *unlocked* ways present.
+
+    Locking ``locked_ways`` ways per set leaves an
+    ``(associativity - locked_ways)``-way cache with the same sets.
+    """
+    if not 0 < locked_ways < config.associativity:
+        raise SimulationError(
+            f"locked_ways must be in 1..{config.associativity - 1}, "
+            f"got {locked_ways}"
+        )
+    remaining = config.associativity - locked_ways
+    return CacheConfig(
+        associativity=remaining,
+        block_size=config.block_size,
+        capacity=config.num_sets * remaining * config.block_size,
+    )
+
+
+def optimize_with_locking(
+    cfg,
+    config: CacheConfig,
+    timing: TimingModel,
+    locked_ways: int = 1,
+    options=None,
+):
+    """The hybrid scheme of the paper's refs [16]/[2]: lock + prefetch.
+
+    The hottest blocks (by worst-case execution count) are pinned into
+    ``locked_ways`` ways per set; the paper's prefetch optimization then
+    runs against the residual (unlocked) ways.  Locked references always
+    hit, never disturb the unlocked LRU state, and are never prefetch
+    targets.
+
+    Args:
+        cfg: The program (not mutated).
+        config: The *full* cache configuration.
+        timing: Timing model.
+        locked_ways: Ways to lock per set (1 .. associativity-1).
+        options: Base optimizer options; ``locked_blocks`` is filled in.
+
+    Returns:
+        ``(locked_blocks, optimized_cfg, report, residual)`` where
+        ``report`` is the optimizer's report under the residual
+        configuration with the locked blocks always hitting.
+
+    Note:
+        Lockdown pins *address-space blocks* (as the hardware's lockdown
+        registers do): if the optimizer's insertions shift code across
+        the locked block boundaries, the locked addresses still hit —
+        the selection may just become less profitable, never unsound.
+    """
+    from repro.core.optimizer import OptimizerOptions, optimize
+    import dataclasses
+
+    residual = residual_config(config, locked_ways)
+    acfg = build_acfg(cfg, config.block_size)
+    # Per-set cap = locked ways, not the full associativity.
+    weights: Dict[int, float] = {}
+    for vertex in acfg.ref_vertices():
+        block = acfg.block_of(vertex.rid)
+        weights[block] = weights.get(block, 0.0) + acfg.multiplier[vertex.rid]
+    per_set: Dict[int, List[Tuple[float, int]]] = {}
+    for block, weight in weights.items():
+        per_set.setdefault(config.set_index(block), []).append((weight, block))
+    locked: Set[int] = set()
+    for candidates in per_set.values():
+        candidates.sort(key=lambda pair: (-pair[0], pair[1]))
+        for _, block in candidates[:locked_ways]:
+            locked.add(block)
+
+    base = options or OptimizerOptions()
+    hybrid_options = dataclasses.replace(base, locked_blocks=frozenset(locked))
+    optimized, report = optimize(cfg, residual, timing, options=hybrid_options)
+    return frozenset(locked), optimized, report, residual
+
+
+def simulate_locked(
+    cfg: ControlFlowGraph,
+    config: CacheConfig,
+    timing: TimingModel,
+    locked_blocks: Set[int],
+    seed: int = 0,
+    base_address: int = 0,
+) -> SimulationResult:
+    """Concrete run with a fully locked cache.
+
+    The preload of the locked blocks is charged as one DRAM transfer per
+    locked block (``fills``/``demand_misses`` bookkeeping: preloads count
+    as fills but not as demand misses, since they happen at task load).
+
+    Returns:
+        A :class:`SimulationResult` comparable to :func:`repro.sim.simulate`.
+    """
+    for block in locked_blocks:
+        if not isinstance(block, int) or block < 0:
+            raise SimulationError(f"invalid locked block id {block!r}")
+    layout = AddressLayout(cfg, base_address)
+    result = SimulationResult(program=cfg.name)
+    result.fills = len(locked_blocks)
+    now = 0.0
+    for block in block_trace(cfg, seed=seed):
+        for instr in block.instructions:
+            if instr.is_prefetch:
+                raise SimulationError(
+                    "locked-cache simulation expects a prefetch-free program"
+                )
+            address = layout.address(instr.uid)
+            mem_block = config.block_of_address(address)
+            result.fetches += 1
+            if mem_block in locked_blocks:
+                result.hits += 1
+                now += float(timing.hit_cycles)
+            else:
+                result.demand_misses += 1
+                now += float(timing.miss_cycles)
+    result.memory_cycles = now
+    result.validate()
+    return result

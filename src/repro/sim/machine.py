@@ -1,0 +1,228 @@
+"""Memory-system timing machine.
+
+Prices a dynamic fetch stream against a concrete cache with a
+non-blocking prefetch port:
+
+* a demand fetch that hits costs ``hit_cycles``;
+* a demand fetch whose block is *in flight* (a prefetch was issued but
+  has not completed) stalls only for the remaining latency — a partially
+  effective prefetch;
+* a demand miss costs the full miss latency and installs the block;
+* a software prefetch instruction costs its own fetch plus an issue
+  slot, then transfers its target block in the background, installing it
+  ``Λ`` cycles later;
+* an optional hardware prefetcher (:mod:`repro.sim.prefetchers`)
+  observes the demand stream and issues its own background transfers.
+
+Only memory time is accounted (``τ_a``), matching the paper's scope: the
+processor micro-architecture is not modelled, and the measured
+instruction overhead of the optimization is reported separately (Fig. 8).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.analysis.timing import TimingModel
+from repro.cache.concrete import ConcreteCache
+from repro.cache.config import CacheConfig
+from repro.errors import SimulationError
+from repro.program.cfg import BasicBlock, ControlFlowGraph
+from repro.program.layout import AddressLayout
+from repro.sim.executor import block_trace
+from repro.sim.trace import FetchEvent, SimulationResult
+
+
+class MemorySystem:
+    """Cycle-accounting front end over a :class:`ConcreteCache`."""
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        timing: TimingModel,
+        prefetcher: Optional["object"] = None,
+        record_trace: bool = False,
+        locked_blocks: Optional[frozenset] = None,
+    ):
+        self.config = config
+        self.timing = timing
+        self.cache = ConcreteCache(config)
+        self.prefetcher = prefetcher
+        self.record_trace = record_trace
+        #: Blocks pinned in locked ways (hybrid scheme): always hit,
+        #: never touch the LRU state of ``config``'s (residual) ways.
+        self.locked_blocks = locked_blocks or frozenset()
+        self.now = 0.0
+        #: block -> completion time of an in-flight transfer.
+        self._in_flight: Dict[int, float] = {}
+        #: blocks installed by a prefetch and not yet demanded.
+        self._prefetched_unused: set = set()
+        self.result = SimulationResult(program="")
+
+    # ------------------------------------------------------------------
+    # core events
+    # ------------------------------------------------------------------
+    def fetch(self, address: int, is_prefetch_instr: bool = False) -> float:
+        """Demand-fetch the instruction at ``address``; returns cycles."""
+        self._complete_arrivals()
+        block = self.config.block_of_address(address)
+        cycles: float
+        if block in self.locked_blocks:
+            cycles = float(self.timing.hit_cycles)
+            if is_prefetch_instr:
+                cycles += float(self.timing.prefetch_issue_cycles)
+            self.now += cycles
+            self.result.fetches += 1
+            self.result.hits += 1
+            if self.record_trace:
+                self.result.trace.append(
+                    FetchEvent(address, block, True, cycles, is_prefetch_instr)
+                )
+            return cycles
+        if self.cache.contains(block):
+            self.cache.access(block)  # LRU touch, counts a hit
+            cycles = float(self.timing.hit_cycles)
+            hit = True
+            if block in self._prefetched_unused:
+                self._prefetched_unused.discard(block)
+                self.result.useful_prefetches += 1
+        elif block in self._in_flight:
+            remaining = max(0.0, self._in_flight.pop(block) - self.now)
+            self._install(block)
+            self.cache.access(block)
+            cycles = float(self.timing.hit_cycles) + remaining
+            hit = remaining == 0.0
+            hidden = float(self.timing.miss_penalty_cycles) - remaining
+            self.result.stall_cycles_hidden += max(0.0, hidden)
+            if block in self._prefetched_unused:
+                self._prefetched_unused.discard(block)
+                self.result.useful_prefetches += 1
+        else:
+            self.cache.access(block)  # installs on miss
+            self.result.fills += 1
+            cycles = float(self.timing.miss_cycles)
+            hit = False
+        if is_prefetch_instr:
+            cycles += float(self.timing.prefetch_issue_cycles)
+        self.now += cycles
+        self.result.fetches += 1
+        if hit:
+            self.result.hits += 1
+        else:
+            self.result.demand_misses += 1
+        if self.record_trace:
+            self.result.trace.append(
+                FetchEvent(address, block, hit, cycles, is_prefetch_instr)
+            )
+        if self.prefetcher is not None:
+            for target in self.prefetcher.observe(address, block, hit):
+                self.issue_prefetch(target, software=False)
+        return cycles
+
+    def issue_prefetch(self, block: int, software: bool = True) -> bool:
+        """Start a background transfer of ``block``.
+
+        Dropped when the block is already cached or already in flight.
+
+        Returns:
+            ``True`` when a transfer was actually issued.
+        """
+        self._complete_arrivals()
+        if block in self.locked_blocks:
+            return False  # pinned content never needs a transfer
+        if self.cache.contains(block) or block in self._in_flight:
+            return False
+        self._in_flight[block] = self.now + float(self.timing.prefetch_latency)
+        self.result.prefetch_transfers += 1
+        return True
+
+    def advance(self, cycles: float) -> None:
+        """Advance this machine's clock by externally-spent time.
+
+        Used by split-cache simulation: while the *other* cache serves
+        an access, this machine's in-flight transfers keep progressing.
+        """
+        if cycles < 0:
+            raise SimulationError("cannot advance time backwards")
+        self.now += cycles
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _complete_arrivals(self) -> None:
+        if not self._in_flight:
+            return
+        arrived = [b for b, t in self._in_flight.items() if t <= self.now]
+        arrived.sort(key=lambda b: self._in_flight[b])
+        for block in arrived:
+            del self._in_flight[block]
+            self._install(block)
+            self._prefetched_unused.add(block)
+
+    def _install(self, block: int) -> None:
+        evicted = self.cache.install(block)
+        self.result.fills += 1
+        if evicted is not None:
+            self._prefetched_unused.discard(evicted)
+
+
+def simulate(
+    cfg: ControlFlowGraph,
+    config: CacheConfig,
+    timing: TimingModel,
+    seed: int = 0,
+    prefetcher: Optional["object"] = None,
+    repeat: int = 1,
+    record_trace: bool = False,
+    base_address: int = 0,
+    locked_blocks: Optional[frozenset] = None,
+) -> SimulationResult:
+    """Run a program once and return its memory-system summary.
+
+    Args:
+        cfg: Program to execute (prefetch instructions, if any, drive
+            the software-prefetch path).
+        config: Cache configuration.
+        timing: Timing model (typically from
+            :meth:`repro.energy.CacheEnergyModel.timing_model`).
+        seed: Executor seed (branch/switch draws).
+        prefetcher: Optional hardware prefetcher.
+        repeat: Number of back-to-back runs (cache stays warm).
+        record_trace: Keep per-fetch events (memory heavy).
+        base_address: Code base address.
+
+    Returns:
+        A validated :class:`SimulationResult`.
+    """
+    layout = AddressLayout(cfg, base_address)
+    machine = MemorySystem(
+        config, timing, prefetcher, record_trace, locked_blocks=locked_blocks
+    )
+    machine.result.program = cfg.name
+    memory_map_cache: Dict[int, int] = {}
+    for block in block_trace(cfg, seed=seed, repeat=repeat):
+        for instr in block.instructions:
+            address = layout.address(instr.uid)
+            if instr.is_prefetch:
+                machine.fetch(address, is_prefetch_instr=True)
+                machine.result.prefetch_instructions += 1
+                target_uid = instr.prefetch_target
+                if target_uid is None:
+                    # data prefetch: its transfer runs on the data-cache
+                    # port (repro.data.machine); nothing to do here
+                    continue
+                target_block = memory_map_cache.get(target_uid)
+                if target_block is None:
+                    target_block = config.block_of_address(
+                        layout.address(target_uid)
+                    )
+                    memory_map_cache[target_uid] = target_block
+                machine.issue_prefetch(target_block)
+            else:
+                machine.fetch(address)
+    result = machine.result
+    result.memory_cycles = machine.now
+    if prefetcher is not None:
+        result.hw_table_probes = getattr(prefetcher, "probes", 0)
+    result.validate()
+    return result

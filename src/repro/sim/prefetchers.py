@@ -1,0 +1,157 @@
+"""Hardware prefetcher baselines (Section 2 of the paper).
+
+The paper's related work motivates software prefetching by contrasting
+it with the classical hardware schemes; this module implements those
+schemes so the comparison can actually be run (see the
+``prefetcher_shootout`` example and the ablation benches):
+
+* **sequential prefetching** [18] — next-line always / on-miss / tagged,
+  generalised to next-N-line;
+* **target prefetching** [19] — a reference prediction table (RPT) maps
+  a branch-source block to its observed target block and prefetches the
+  target on the next visit (implicitly assuming the branch taken);
+* **wrong-path prefetching** [13] — stores both the target and the
+  fall-through, prefetching both.
+
+Each prefetcher observes the demand stream through
+``observe(address, block, hit)`` and returns the blocks to transfer;
+``probes`` counts table lookups for energy accounting (hardware
+prefetching spends energy even when it prefetches nothing — one of the
+paper's arguments for the software approach).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+
+#: Sequential policies.
+POLICY_ALWAYS = "always"
+POLICY_ON_MISS = "miss"
+POLICY_TAGGED = "tagged"
+
+
+class NextLinePrefetcher:
+    """Sequential (next-N-line) prefetching.
+
+    Args:
+        policy: ``"always"`` (every access), ``"miss"`` (only on demand
+            misses) or ``"tagged"`` (first touch of a block).
+        degree: Number of consecutive next lines to prefetch (N).
+    """
+
+    def __init__(self, policy: str = POLICY_ALWAYS, degree: int = 1):
+        if policy not in (POLICY_ALWAYS, POLICY_ON_MISS, POLICY_TAGGED):
+            raise SimulationError(f"unknown sequential policy {policy!r}")
+        if degree < 1:
+            raise SimulationError(f"degree must be >= 1, got {degree}")
+        self.policy = policy
+        self.degree = degree
+        self.probes = 0
+        self._touched: Set[int] = set()
+
+    def observe(self, address: int, block: int, hit: bool) -> Iterable[int]:
+        """React to one demand fetch; returns blocks to prefetch."""
+        self.probes += 1
+        if self.policy == POLICY_ON_MISS and hit:
+            return ()
+        if self.policy == POLICY_TAGGED:
+            if block in self._touched:
+                return ()
+            self._touched.add(block)
+        return range(block + 1, block + 1 + self.degree)
+
+    def reset(self) -> None:
+        """Forget all tagging state and counters."""
+        self.probes = 0
+        self._touched.clear()
+
+
+class _RPT:
+    """A small LRU reference prediction table."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"RPT capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict[int, Tuple[int, ...]]" = OrderedDict()
+
+    def lookup(self, key: int) -> Optional[Tuple[int, ...]]:
+        """LRU-touching table lookup."""
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+        return value
+
+    def store(self, key: int, value: Tuple[int, ...]) -> None:
+        """Insert/refresh an entry, evicting the least recently used."""
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        elif len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+        self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class TargetPrefetcher:
+    """Target prefetching with a reference prediction table [19].
+
+    Observes control-flow discontinuities in the fetch stream: when the
+    stream jumps from block ``p`` to a non-sequential block ``t``, the
+    RPT learns ``p -> t``; the next time ``p`` is fetched, ``t`` is
+    prefetched (the branch is implicitly assumed taken).
+    """
+
+    def __init__(self, rpt_entries: int = 64):
+        self.rpt = _RPT(rpt_entries)
+        self.probes = 0
+        self._prev_block: Optional[int] = None
+
+    def observe(self, address: int, block: int, hit: bool) -> Iterable[int]:
+        """React to one demand fetch; returns blocks to prefetch."""
+        targets: List[int] = []
+        self.probes += 1
+        prediction = self.rpt.lookup(block)
+        if prediction is not None:
+            targets.extend(prediction)
+        if self._prev_block is not None and block not in (
+            self._prev_block,
+            self._prev_block + 1,
+        ):
+            self.rpt.store(self._prev_block, (block,))
+        self._prev_block = block
+        return targets
+
+    def reset(self) -> None:
+        """Forget history and counters."""
+        self.rpt = _RPT(self.rpt.capacity)
+        self.probes = 0
+        self._prev_block = None
+
+
+class WrongPathPrefetcher(TargetPrefetcher):
+    """Wrong-path prefetching [13]: prefetch target *and* fall-through.
+
+    Profitable whichever way the branch goes, at the cost of more
+    ineffective transfers (exactly the trade-off the paper describes).
+    """
+
+    def observe(self, address: int, block: int, hit: bool) -> Iterable[int]:
+        """React to one demand fetch; returns blocks to prefetch."""
+        targets: List[int] = []
+        self.probes += 1
+        prediction = self.rpt.lookup(block)
+        if prediction is not None:
+            targets.extend(prediction)
+        if self._prev_block is not None and block not in (
+            self._prev_block,
+            self._prev_block + 1,
+        ):
+            # Store both the taken target and the fall-through line.
+            self.rpt.store(self._prev_block, (block, self._prev_block + 1))
+        self._prev_block = block
+        return targets

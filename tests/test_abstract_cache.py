@@ -1,0 +1,214 @@
+"""Tests for the must/may abstract domains, including soundness
+properties against the concrete cache (hypothesis)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.abstract import MayState, MustState, join_all
+from repro.cache.concrete import ConcreteCache
+from repro.cache.config import CacheConfig
+from repro.errors import AnalysisError
+
+CFG2 = CacheConfig(2, 16, 64)  # 2 sets, 2-way
+CFG4 = CacheConfig(4, 16, 64)  # 1 set, 4-way
+
+
+class TestMustUpdate:
+    def test_first_access_installs_at_age_zero(self):
+        state = MustState(CFG2).update(0)
+        assert state.age_of(0) == 0
+
+    def test_aging_on_new_block(self):
+        state = MustState(CFG2).update(0).update(2)
+        assert state.age_of(2) == 0
+        assert state.age_of(0) == 1
+
+    def test_eviction_from_must_view(self):
+        state = MustState(CFG2).update(0).update(2).update(4)
+        assert state.age_of(0) is None
+        assert 2 in state and 4 in state
+
+    def test_rehit_promotes_without_aging_older(self):
+        state = MustState(CFG2).update(0).update(2).update(0)
+        assert state.age_of(0) == 0
+        assert state.age_of(2) == 1  # unchanged: 0 was younger... aged once only
+
+    def test_mru_reaccess_is_stable(self):
+        state = MustState(CFG2).update(0)
+        assert state.update(0) == state
+
+    def test_sets_do_not_interfere(self):
+        state = MustState(CFG2).update(0).update(1)
+        assert state.age_of(0) == 0
+        assert state.age_of(1) == 0
+
+
+class TestMustJoin:
+    def test_intersection_of_contents(self):
+        a = MustState(CFG2).update(0)
+        b = MustState(CFG2).update(2)
+        joined = a.join(b)
+        assert joined.blocks() == frozenset()
+
+    def test_max_age_kept(self):
+        a = MustState(CFG2).update(0).update(2)  # 0 at age 1
+        b = MustState(CFG2).update(2).update(0)  # 0 at age 0
+        joined = a.join(b)
+        assert joined.age_of(0) == 1
+        assert joined.age_of(2) == 1
+
+    def test_join_requires_same_domain(self):
+        with pytest.raises(AnalysisError):
+            MustState(CFG2).join(MayState(CFG2))
+
+    def test_join_all_requires_non_empty(self):
+        with pytest.raises(AnalysisError):
+            join_all([])
+
+    def test_join_all_folds(self):
+        states = [MustState(CFG2).update(0).update(2) for _ in range(3)]
+        assert join_all(states) == states[0]
+
+
+class TestMayDomain:
+    def test_union_join(self):
+        a = MayState(CFG2).update(0)
+        b = MayState(CFG2).update(2)
+        joined = a.join(b)
+        assert 0 in joined and 2 in joined
+
+    def test_min_age_kept(self):
+        a = MayState(CFG2).update(0).update(2)  # 0 at age 1
+        b = MayState(CFG2).update(2).update(0)  # 0 at age 0
+        joined = a.join(b)
+        assert joined.age_of(0) == 0
+
+    def test_eviction_only_at_saturated_age(self):
+        state = MayState(CFG2).update(0).update(2).update(4)
+        assert 0 not in state  # min-age reached assoc on a sure miss
+
+    def test_absence_proves_always_miss(self):
+        state = MayState(CFG2).update(0)
+        assert 2 not in state
+
+
+class TestEvictedBy:
+    def test_no_eviction_when_set_not_full(self):
+        state = MustState(CFG2).update(0)
+        assert state.evicted_by(2) == frozenset()
+
+    def test_eviction_identified(self):
+        state = MustState(CFG2).update(0).update(2)
+        assert state.evicted_by(4) == frozenset({0})
+
+    def test_rehit_evicts_nothing(self):
+        state = MustState(CFG2).update(0).update(2)
+        assert state.evicted_by(0) == frozenset()
+
+
+def _run_concrete(blocks, config):
+    cache = ConcreteCache(config)
+    outcomes = []
+    for block in blocks:
+        outcomes.append(cache.access(block))
+    return cache, outcomes
+
+
+class TestSoundnessProperties:
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=80),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_must_state_subset_of_concrete(self, blocks, assoc):
+        """On a single path every must-state block is really cached,
+        with an age bound >= the concrete LRU position."""
+        config = CacheConfig(assoc, 16, assoc * 32)
+        cache = ConcreteCache(config)
+        state = MustState(config)
+        for block in blocks:
+            cache.access(block)
+            state = state.update(block)
+            for cached in state.blocks():
+                assert cache.contains(cached)
+                assert cache.age_of(cached) <= state.age_of(cached)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=80),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_concrete_subset_of_may_state(self, blocks, assoc):
+        """Every concretely cached block appears in the may state."""
+        config = CacheConfig(assoc, 16, assoc * 32)
+        cache = ConcreteCache(config)
+        state = MayState(config)
+        for block in blocks:
+            cache.access(block)
+            state = state.update(block)
+            for cached in cache.cached_blocks():
+                assert cached in state
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=80)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_path_must_state_is_exact(self, blocks):
+        """Without joins, the must state equals the concrete cache."""
+        config = CFG2
+        cache = ConcreteCache(config)
+        state = MustState(config)
+        for block in blocks:
+            cache.access(block)
+            state = state.update(block)
+        assert frozenset(cache.cached_blocks()) == state.blocks()
+        for block in cache.cached_blocks():
+            assert cache.age_of(block) == state.age_of(block)
+
+    @given(
+        prefix=st.lists(st.integers(min_value=0, max_value=7), max_size=30),
+        arm_a=st.lists(st.integers(min_value=0, max_value=7), max_size=15),
+        arm_b=st.lists(st.integers(min_value=0, max_value=7), max_size=15),
+        suffix=st.lists(st.integers(min_value=0, max_value=7), max_size=20),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_join_soundness_across_two_paths(self, prefix, arm_a, arm_b, suffix):
+        """A block the joined must-state guarantees must hit on BOTH
+        concrete paths; a block absent from the joined may-state must be
+        absent on both."""
+        config = CFG2
+
+        def replay(path):
+            cache = ConcreteCache(config)
+            for block in path:
+                cache.access(block)
+            return cache
+
+        def abstract(domain, path):
+            state = domain(config)
+            for block in path:
+                state = state.update(block)
+            return state
+
+        must = abstract(MustState, prefix + arm_a).join(
+            abstract(MustState, prefix + arm_b)
+        )
+        may = abstract(MayState, prefix + arm_a).join(
+            abstract(MayState, prefix + arm_b)
+        )
+        for path in (prefix + arm_a, prefix + arm_b):
+            cache = replay(path)
+            state_must = must
+            state_may = may
+            concrete = cache.clone()
+            for block in suffix:
+                for guaranteed in state_must.blocks():
+                    assert concrete.contains(guaranteed)
+                for cached in concrete.cached_blocks():
+                    assert cached in state_may
+                concrete.access(block)
+                state_must = state_must.update(block)
+                state_may = state_may.update(block)

@@ -1,0 +1,260 @@
+"""Tests for the ProgramBuilder DSL and its CFG lowering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProgramModelError
+from repro.program.builder import ProgramBuilder, entry_block_of, exit_blocks_of
+from repro.program.instructions import InstrKind
+from repro.program.structure import (
+    CallNode,
+    IfElseNode,
+    LoopNode,
+    SeqNode,
+    SwitchNode,
+)
+
+
+class TestStraightLine:
+    def test_entry_and_exit_blocks_wrap_main(self):
+        b = ProgramBuilder("p")
+        b.code(3)
+        cfg = b.build()
+        assert cfg.blocks[0].name == "__entry"
+        assert cfg.blocks[-1].name == "__exit"
+        assert cfg.entry is cfg.blocks[0]
+        assert cfg.exit is cfg.block("__exit")
+
+    def test_code_counts(self):
+        b = ProgramBuilder("p")
+        b.code(7)
+        cfg = b.build()
+        # 7 + 2 prologue + 1 epilogue
+        assert cfg.instruction_count == 10
+
+    def test_negative_code_count_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            b.code(-1)
+
+    def test_build_twice_rejected(self):
+        b = ProgramBuilder("p")
+        b.code(1)
+        b.build()
+        with pytest.raises(ProgramModelError):
+            b.build()
+
+    def test_block_label_names_next_block(self):
+        b = ProgramBuilder("p")
+        b.block_label("work")
+        b.code(2)
+        cfg = b.build()
+        assert any(block.name == "work" for block in cfg.blocks)
+
+
+class TestLoops:
+    def test_latch_appended_with_branch(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=5):
+            b.code(2)
+        cfg = b.build()
+        loop = next(iter(cfg.loops.values()))
+        latch = cfg.block(loop.latch)
+        assert latch.instructions[-1].kind is InstrKind.BRANCH
+        assert loop.header in cfg.successors(loop.latch)
+
+    def test_loop_exit_edge(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=5):
+            b.code(2)
+        b.code(1)
+        cfg = b.build()
+        loop = next(iter(cfg.loops.values()))
+        succs = cfg.successors(loop.latch)
+        assert len(succs) == 2  # back edge + exit
+
+    def test_nested_loop_parentage(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=3, name="outer"):
+            with b.loop(bound=4, name="inner"):
+                b.code(1)
+        cfg = b.build()
+        assert cfg.loops["inner"].parent == "outer"
+        assert cfg.loops["outer"].parent is None
+        assert set(cfg.loops["inner"].blocks) <= set(cfg.loops["outer"].blocks)
+
+    def test_empty_loop_body_still_has_latch(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=2):
+            pass
+        cfg = b.build()
+        loop = next(iter(cfg.loops.values()))
+        assert loop.header == loop.latch
+
+
+class TestConditionals:
+    def test_if_else_shape(self):
+        b = ProgramBuilder("p")
+        b.code(1)
+        with b.if_else(taken_prob=0.3) as arms:
+            with arms.then_():
+                b.code(2)
+            with arms.else_():
+                b.code(3)
+        b.code(1)
+        cfg = b.build()
+        node = [
+            n for n in cfg.structure.items if isinstance(n, IfElseNode)
+        ][0]
+        cond = cfg.block(node.cond_block)
+        assert cond.instructions[-1].kind is InstrKind.BRANCH
+        assert len(cfg.successors(node.cond_block)) == 2
+        assert cfg.branch_profiles[node.cond_block].taken_prob == 0.3
+
+    def test_if_then_has_fallthrough_edge(self):
+        b = ProgramBuilder("p")
+        with b.if_then(taken_prob=0.5):
+            b.code(2)
+        b.code(1)
+        cfg = b.build()
+        node = [n for n in cfg.structure.items if isinstance(n, IfElseNode)][0]
+        succs = cfg.successors(node.cond_block)
+        assert len(succs) == 2  # arm + fallthrough
+
+    def test_then_arm_required(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            with b.if_else() as arms:
+                pass
+
+    def test_else_before_then_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            with b.if_else() as arms:
+                with arms.else_():
+                    b.code(1)
+
+    def test_empty_arm_padded_with_jump(self):
+        b = ProgramBuilder("p")
+        with b.if_else() as arms:
+            with arms.then_():
+                pass
+            with arms.else_():
+                b.code(1)
+        cfg = b.build()
+        node = [n for n in cfg.structure.items if isinstance(n, IfElseNode)][0]
+        then_block = cfg.block(entry_block_of(node.then_node))
+        assert then_block.instructions[-1].kind is InstrKind.JUMP
+
+
+class TestSwitch:
+    def test_cases_and_weights(self):
+        b = ProgramBuilder("p")
+        with b.switch(weights=[1, 2, 3]) as sw:
+            for _ in range(3):
+                with sw.case():
+                    b.code(1)
+        cfg = b.build()
+        node = [n for n in cfg.structure.items if isinstance(n, SwitchNode)][0]
+        assert len(node.cases) == 3
+        assert node.weights == (1, 2, 3)
+        assert len(cfg.successors(node.selector_block)) == 3
+
+    def test_switch_without_cases_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            with b.switch():
+                pass
+
+    def test_cases_end_with_break_jump(self):
+        b = ProgramBuilder("p")
+        with b.switch() as sw:
+            with sw.case():
+                b.code(2)
+        cfg = b.build()
+        node = [n for n in cfg.structure.items if isinstance(n, SwitchNode)][0]
+        case_exit = cfg.block(exit_blocks_of(node.cases[0])[0])
+        assert case_exit.instructions[-1].kind is InstrKind.JUMP
+
+
+class TestFunctions:
+    def test_function_laid_out_after_main(self):
+        b = ProgramBuilder("p")
+        with b.function("f"):
+            b.code(4)
+        b.call("f")
+        cfg = b.build()
+        names = [blk.name for blk in cfg.blocks]
+        assert names.index("__exit") < names.index("f.bb0")
+
+    def test_function_ends_with_return(self):
+        b = ProgramBuilder("p")
+        with b.function("f"):
+            b.code(2)
+        b.call("f")
+        cfg = b.build()
+        info = cfg.functions["f"]
+        last = cfg.block(info.exit_blocks[-1]).instructions[-1]
+        assert last.kind is InstrKind.RETURN
+
+    def test_call_emits_call_instruction_and_edges(self):
+        b = ProgramBuilder("p")
+        with b.function("f"):
+            b.code(2)
+        b.call("f")
+        b.code(1)
+        cfg = b.build()
+        node = [n for n in cfg.structure.items if isinstance(n, CallNode)][0]
+        call_block = cfg.block(node.call_block)
+        assert call_block.instructions[-1].kind is InstrKind.CALL
+        info = cfg.functions["f"]
+        assert info.entry_block in cfg.successors(node.call_block)
+
+    def test_call_to_undefined_function_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            b.call("ghost")
+
+    def test_duplicate_function_rejected(self):
+        b = ProgramBuilder("p")
+        with b.function("f"):
+            b.code(1)
+        with pytest.raises(ProgramModelError):
+            with b.function("f"):
+                b.code(1)
+
+    def test_function_inside_construct_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            with b.loop(bound=2):
+                with b.function("f"):
+                    b.code(1)
+
+    def test_two_call_sites_share_function_blocks(self):
+        b = ProgramBuilder("p")
+        with b.function("f"):
+            b.code(3)
+        b.call("f")
+        b.code(1)
+        b.call("f")
+        cfg = b.build()
+        # the function body exists once in the layout
+        fn_blocks = [n for n in (blk.name for blk in cfg.blocks) if n.startswith("f.")]
+        assert len(fn_blocks) == len(set(fn_blocks)) == len(cfg.functions["f"].blocks)
+
+
+class TestStructureHelpers:
+    def test_entry_exit_of_seq(self):
+        b = ProgramBuilder("p")
+        b.code(1)
+        b.code(1)
+        cfg = b.build()
+        assert entry_block_of(cfg.structure) == "__entry"
+        assert exit_blocks_of(cfg.structure) == ("__exit",)
+
+    def test_empty_seq_rejected(self):
+        with pytest.raises(ProgramModelError):
+            entry_block_of(SeqNode([]))
+        with pytest.raises(ProgramModelError):
+            exit_blocks_of(SeqNode([]))

@@ -1,0 +1,98 @@
+"""Tests for cache configurations and the Table 2 registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import (
+    CAPACITIES,
+    CacheConfig,
+    TABLE2,
+    config_id,
+    configs_with_capacity,
+)
+from repro.errors import CacheConfigError
+
+
+class TestCacheConfig:
+    def test_num_sets(self):
+        assert CacheConfig(2, 16, 1024).num_sets == 32
+        assert CacheConfig(1, 32, 256).num_sets == 8
+        assert CacheConfig(4, 32, 8192).num_sets == 64
+
+    def test_num_blocks(self):
+        assert CacheConfig(2, 16, 1024).num_blocks == 64
+
+    def test_set_index_is_modulo(self):
+        cfg = CacheConfig(1, 16, 256)  # 16 sets
+        assert cfg.set_index(0) == 0
+        assert cfg.set_index(16) == 0
+        assert cfg.set_index(17) == 1
+
+    def test_block_of_address(self):
+        cfg = CacheConfig(1, 16, 256)
+        assert cfg.block_of_address(0) == 0
+        assert cfg.block_of_address(15) == 0
+        assert cfg.block_of_address(16) == 1
+        with pytest.raises(CacheConfigError):
+            cfg.block_of_address(-1)
+
+    @pytest.mark.parametrize(
+        "assoc,block,cap",
+        [(3, 16, 256), (1, 24, 256), (1, 16, 300), (4, 32, 64)],
+    )
+    def test_invalid_configs_rejected(self, assoc, block, cap):
+        with pytest.raises(CacheConfigError):
+            CacheConfig(assoc, block, cap)
+
+    def test_scaled_capacity(self):
+        cfg = CacheConfig(2, 16, 1024)
+        half = cfg.scaled_capacity(0.5)
+        assert half.capacity == 512
+        assert half.associativity == 2
+        assert half.block_size == 16
+
+    def test_scaled_capacity_below_one_set_rejected(self):
+        cfg = CacheConfig(4, 32, 256)
+        with pytest.raises(CacheConfigError):
+            cfg.scaled_capacity(0.25)
+
+    def test_label(self):
+        assert CacheConfig(2, 16, 1024).label() == "(2, 16, 1024)"
+
+
+class TestTable2:
+    def test_has_36_entries(self):
+        assert len(TABLE2) == 36
+        assert set(TABLE2) == {f"k{i}" for i in range(1, 37)}
+
+    def test_paper_reading_order(self):
+        # Table 2: k1=(1,16,256), k2=(2,16,256), k3=(4,16,256),
+        # k4=(1,32,256), ..., k36=(4,32,8192).
+        assert TABLE2["k1"] == CacheConfig(1, 16, 256)
+        assert TABLE2["k2"] == CacheConfig(2, 16, 256)
+        assert TABLE2["k4"] == CacheConfig(1, 32, 256)
+        assert TABLE2["k7"] == CacheConfig(1, 16, 512)
+        assert TABLE2["k36"] == CacheConfig(4, 32, 8192)
+
+    def test_all_unique(self):
+        assert len(set(TABLE2.values())) == 36
+
+    def test_capacity_span(self):
+        assert CAPACITIES == (256, 512, 1024, 2048, 4096, 8192)
+        assert {cfg.capacity for cfg in TABLE2.values()} == set(CAPACITIES)
+
+    def test_config_id_roundtrip(self):
+        for kid, cfg in TABLE2.items():
+            assert config_id(cfg) == kid
+
+    def test_config_id_unknown(self):
+        with pytest.raises(CacheConfigError):
+            config_id(CacheConfig(8, 16, 256))
+
+    def test_configs_with_capacity(self):
+        found = configs_with_capacity(1024)
+        assert len(found) == 6
+        assert all(cfg.capacity == 1024 for cfg in found)
+        with pytest.raises(CacheConfigError):
+            configs_with_capacity(123)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_list_programs(self, capsys):
+        assert main(["list-programs"]) == 0
+        out = capsys.readouterr().out
+        assert "adpcm" in out and "whet" in out
+        assert out.count("\n") == 37
+
+    def test_list_configs(self, capsys):
+        assert main(["list-configs"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 36
+        assert "k36" in out
+
+    def test_tables(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "p37" in capsys.readouterr().out
+        assert main(["table", "2"]) == 0
+        assert "(4, 32, 8192)" in capsys.readouterr().out
+
+
+class TestOptimize:
+    def test_optimize_reports_and_verifies(self, capsys):
+        code = main(["optimize", "bs", "k1", "45nm", "--budget", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Theorem 1  : True" in out
+
+    def test_optimize_by_table1_id(self, capsys):
+        assert main(["optimize", "p2", "k1", "--budget", "10"]) == 0
+        assert "bs" in capsys.readouterr().out
+
+    def test_classic_baseline_flag(self, capsys):
+        code = main(
+            ["optimize", "insertsort", "k1", "45nm",
+             "--baseline", "classic", "--budget", "30"]
+        )
+        assert code == 0
+        assert "classic baseline" in capsys.readouterr().out
+
+
+class TestUseCaseAndFigures:
+    def test_usecase(self, capsys):
+        assert main(["usecase", "bs", "k1", "45nm"]) == 0
+        out = capsys.readouterr().out
+        assert "WCET ratio" in out
+
+    def test_figure3_small_grid(self, capsys):
+        code = main(
+            ["figure", "3", "--programs", "bs", "prime",
+             "--configs", "k1", "--techs", "45nm", "--budget", "20"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out and "paper 17.4%" in out
+
+    def test_figure7_small_grid(self, capsys):
+        code = main(
+            ["figure", "7", "--programs", "bs",
+             "--configs", "k1", "--techs", "32nm", "--budget", "20"]
+        )
+        assert code == 0
+        assert "Figure 7" in capsys.readouterr().out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

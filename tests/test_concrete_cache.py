@@ -1,0 +1,171 @@
+"""Tests for the concrete LRU cache, including LRU-order properties."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.concrete import ConcreteCache
+from repro.cache.config import CacheConfig
+from repro.errors import SimulationError
+
+
+@pytest.fixture
+def cache():
+    return ConcreteCache(CacheConfig(2, 16, 64))  # 2 sets, 2-way
+
+
+class TestBasicBehaviour:
+    def test_cold_miss_then_hit(self, cache):
+        assert cache.access(0) is False
+        assert cache.access(0) is True
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_lru_eviction_order(self, cache):
+        # blocks 0, 2, 4 all map to set 0 of a 2-way cache
+        cache.access(0)
+        cache.access(2)
+        cache.access(4)  # evicts 0
+        assert not cache.contains(0)
+        assert cache.contains(2)
+        assert cache.contains(4)
+
+    def test_touch_refreshes_lru(self, cache):
+        cache.access(0)
+        cache.access(2)
+        cache.access(0)  # 2 is now LRU
+        cache.access(4)  # evicts 2
+        assert cache.contains(0)
+        assert not cache.contains(2)
+
+    def test_contains_does_not_update_lru(self, cache):
+        cache.access(0)
+        cache.access(2)
+        cache.contains(0)  # must NOT refresh 0
+        cache.access(4)  # evicts LRU == 0
+        assert not cache.contains(0)
+
+    def test_set_isolation(self, cache):
+        cache.access(0)  # set 0
+        cache.access(1)  # set 1
+        cache.access(2)  # set 0
+        cache.access(4)  # set 0, evicts 0
+        assert cache.contains(1)
+
+    def test_miss_rate(self, cache):
+        assert cache.miss_rate == 0.0
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == 0.5
+
+
+class TestInstall:
+    def test_install_counts_fill_not_access(self, cache):
+        evicted = cache.install(0)
+        assert evicted is None
+        assert cache.accesses == 0
+        assert cache.fills == 1
+        assert cache.contains(0)
+
+    def test_install_returns_evicted_block(self, cache):
+        cache.install(0)
+        cache.install(2)
+        evicted = cache.install(4)
+        assert evicted == 0
+
+    def test_install_existing_promotes_to_mru(self, cache):
+        cache.install(0)
+        cache.install(2)
+        cache.install(0)  # promote
+        evicted = cache.install(4)
+        assert evicted == 2
+
+
+class TestInspection:
+    def test_set_contents_mru_order(self, cache):
+        cache.access(0)
+        cache.access(2)
+        assert cache.set_contents(0) == (2, 0)
+
+    def test_set_contents_bounds(self, cache):
+        with pytest.raises(SimulationError):
+            cache.set_contents(5)
+
+    def test_cached_blocks_sorted(self, cache):
+        cache.access(3)
+        cache.access(0)
+        assert cache.cached_blocks() == (0, 3)
+
+    def test_age_of(self, cache):
+        cache.access(0)
+        cache.access(2)
+        assert cache.age_of(2) == 0
+        assert cache.age_of(0) == 1
+        assert cache.age_of(4) is None
+
+    def test_clone_independence(self, cache):
+        cache.access(0)
+        copy = cache.clone()
+        copy.access(2)
+        copy.access(4)
+        assert cache.contains(0)
+        assert cache.accesses == 1
+
+    def test_flush_and_reset(self, cache):
+        cache.access(0)
+        cache.reset_counters()
+        assert cache.accesses == 0
+        assert cache.contains(0)
+        cache.flush()
+        assert not cache.contains(0)
+
+
+class TestLRUProperties:
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=31), min_size=1, max_size=200),
+        assoc=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_most_recent_distinct_blocks_always_hit(self, blocks, assoc):
+        """The `assoc` most recently used blocks of a set are cached."""
+        config = CacheConfig(assoc, 16, assoc * 16 * 4)  # 4 sets
+        cache = ConcreteCache(config)
+        history = []
+        for block in blocks:
+            cache.access(block)
+            history.append(block)
+            # compute per-set recency and check containment
+            set_index = config.set_index(block)
+            same_set = [b for b in history if config.set_index(b) == set_index]
+            recent = []
+            for b in reversed(same_set):
+                if b not in recent:
+                    recent.append(b)
+                if len(recent) == assoc:
+                    break
+            for b in recent:
+                assert cache.contains(b)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=100)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_fully_associative_never_evicts_below_capacity(self, blocks):
+        config = CacheConfig(4, 16, 64)  # one 4-way set
+        cache = ConcreteCache(config)
+        for block in blocks:
+            cache.access(block)
+        distinct = len(set(blocks))
+        assert len(cache.cached_blocks()) == min(distinct, 4)
+
+    @given(
+        blocks=st.lists(st.integers(min_value=0, max_value=63), min_size=1, max_size=120)
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_counters_are_consistent(self, blocks):
+        cache = ConcreteCache(CacheConfig(2, 16, 128))
+        for block in blocks:
+            cache.access(block)
+        assert cache.hits + cache.misses == len(blocks)
+        assert 0.0 <= cache.miss_rate <= 1.0

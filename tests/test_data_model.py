@@ -1,0 +1,113 @@
+"""Tests for the data-access model and builder integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.data.model import (
+    DATA_SEGMENT_BASE,
+    DataAccess,
+    DataKind,
+    DataLayout,
+    DataRegion,
+)
+from repro.errors import ProgramModelError
+from repro.program.builder import ProgramBuilder
+
+
+class TestDataRegion:
+    def test_address_bounds_checked(self):
+        region = DataRegion("a", 64, base=1000)
+        assert region.address(0) == 1000
+        assert region.address(63) == 1063
+        with pytest.raises(ProgramModelError):
+            region.address(64)
+        with pytest.raises(ProgramModelError):
+            region.address(-1)
+
+    def test_size_positive(self):
+        with pytest.raises(ProgramModelError):
+            DataRegion("a", 0, base=0)
+
+
+class TestDataAccess:
+    def test_stride_requires_loop(self):
+        with pytest.raises(ProgramModelError):
+            DataAccess(DataKind.LOAD, "a", stride=4)
+        with pytest.raises(ProgramModelError):
+            DataAccess(DataKind.LOAD, "a", stride_loop="L")
+
+    def test_negative_offset_rejected(self):
+        with pytest.raises(ProgramModelError):
+            DataAccess(DataKind.LOAD, "a", offset=-4)
+
+
+class TestDataLayout:
+    def test_regions_are_disjoint_and_aligned(self):
+        layout = DataLayout()
+        a = layout.add_region("a", 100)
+        b = layout.add_region("b", 40)
+        assert a.base % 16 == 0 and b.base % 16 == 0
+        assert b.base >= a.base + a.size
+        assert layout.segment_size >= 140
+
+    def test_duplicate_region_rejected(self):
+        layout = DataLayout()
+        layout.add_region("a", 16)
+        with pytest.raises(ProgramModelError):
+            layout.add_region("a", 16)
+
+    def test_segment_far_from_code(self):
+        layout = DataLayout()
+        region = layout.add_region("a", 16)
+        assert region.base >= DATA_SEGMENT_BASE
+
+    def test_address_of_strided_access(self):
+        layout = DataLayout()
+        layout.add_region("arr", 256)
+        access = DataAccess(DataKind.LOAD, "arr", offset=0, stride=4, stride_loop="L")
+        assert layout.address_of(access, 0) == layout.region("arr").base
+        assert layout.address_of(access, 3) == layout.region("arr").base + 12
+
+    def test_streaming_wraps_within_region(self):
+        layout = DataLayout()
+        layout.add_region("arr", 64)
+        access = DataAccess(DataKind.LOAD, "arr", offset=0, stride=16, stride_loop="L")
+        assert layout.address_of(access, 4) == layout.region("arr").base
+
+
+class TestBuilderIntegration:
+    def test_load_attaches_access(self):
+        b = ProgramBuilder("p")
+        b.data_region("arr", 128)
+        b.load("arr", offset=8)
+        cfg = b.build()
+        accesses = [i.data_access for i in cfg.instructions() if i.data_access]
+        assert len(accesses) == 1
+        assert accesses[0].kind is DataKind.LOAD
+        assert accesses[0].offset == 8
+        assert cfg.data_layout is not None
+
+    def test_store_and_stride_record_loop(self):
+        b = ProgramBuilder("p")
+        b.data_region("arr", 128)
+        with b.loop(bound=4, name="walk"):
+            b.store("arr", stride=4)
+        cfg = b.build()
+        access = next(i.data_access for i in cfg.instructions() if i.data_access)
+        assert access.kind is DataKind.STORE
+        assert access.stride_loop == "walk"
+
+    def test_strided_access_outside_loop_rejected(self):
+        b = ProgramBuilder("p")
+        b.data_region("arr", 128)
+        with pytest.raises(ProgramModelError):
+            b.load("arr", stride=4)
+
+    def test_access_before_declaration_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            b.load("ghost")
+
+    def test_pure_code_program_has_no_layout(self, straight_program):
+        assert straight_program.data_layout is None

@@ -1,0 +1,66 @@
+"""Property-based tests for the data-cache extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timing import TimingModel
+from repro.bench.generator import random_data_program
+from repro.cache.config import CacheConfig
+from repro.data.analysis import combined_wcet
+from repro.data.machine import simulate_split
+from repro.data.prefetch import optimize_data
+from repro.program.acfg import build_acfg
+
+ICACHE = CacheConfig(2, 16, 512)
+DCACHE = CacheConfig(2, 16, 128)
+TIMING = TimingModel(1, 24, 1)
+
+
+class TestRandomDataPrograms:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_programs_build_and_analyse(self, seed):
+        cfg = random_data_program(seed)
+        cfg.validate()
+        acfg = build_acfg(cfg, ICACHE.block_size)
+        combined = combined_wcet(acfg, ICACHE, DCACHE, TIMING)
+        assert combined.tau_w >= combined.instruction.tau_w
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_wcet_data_misses_dominate_simulation(self, seed):
+        """The worst-case data-miss bound covers every concrete run."""
+        cfg = random_data_program(seed + 40)
+        acfg = build_acfg(cfg, ICACHE.block_size)
+        combined = combined_wcet(acfg, ICACHE, DCACHE, TIMING)
+        for run_seed in (0, 1):
+            sim = simulate_split(cfg, ICACHE, DCACHE, TIMING, seed=run_seed)
+            assert combined.data_misses >= sim.data.demand_misses
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_data_prefetching_never_regresses(self, seed):
+        """Theorem 1 extended to the split-cache system, re-derived on
+        random data programs."""
+        cfg = random_data_program(seed + 90)
+        optimized, report = optimize_data(
+            cfg, ICACHE, DCACHE, TIMING, max_evaluations=40
+        )
+        assert report.tau_final <= report.tau_original + 1e-6
+        assert report.data_misses_final <= report.data_misses_original
+        # independent re-derivation
+        before = combined_wcet(
+            build_acfg(cfg, ICACHE.block_size), ICACHE, DCACHE, TIMING
+        )
+        after = combined_wcet(
+            build_acfg(optimized, ICACHE.block_size), ICACHE, DCACHE, TIMING
+        )
+        assert after.tau_w <= before.tau_w + 1e-6
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_combined_time_consistency(self, seed):
+        """Split-simulation totals equal the two sides' sums."""
+        cfg = random_data_program(seed + 200)
+        sim = simulate_split(cfg, ICACHE, DCACHE, TIMING, seed=1)
+        assert sim.memory_cycles == pytest.approx(
+            sim.instruction.memory_cycles + sim.data.memory_cycles
+        )
+        assert 0.0 <= sim.data_miss_rate <= 1.0

@@ -1,0 +1,183 @@
+"""Tests for the energy substrate: technologies, CACTI model, DRAM,
+and the per-run accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.config import CacheConfig, TABLE2
+from repro.energy.cacti import CacheEnergyModel, cacti_model
+from repro.energy.dram import DRAMModel
+from repro.energy.metrics import (
+    EnergyBreakdown,
+    MemoryEventCounts,
+    account_energy,
+)
+from repro.energy.technology import (
+    TECH_32NM,
+    TECH_45NM,
+    TECHNOLOGIES,
+    technology,
+)
+from repro.errors import ReproError
+
+
+class TestTechnology:
+    def test_registry(self):
+        assert set(TECHNOLOGIES) == {"45nm", "32nm"}
+        assert technology("45nm") is TECH_45NM
+        with pytest.raises(ReproError):
+            technology("22nm")
+
+    def test_scaling_directions(self):
+        # smaller node: cheaper switching, relatively worse leakage
+        assert TECH_32NM.dynamic_scale < TECH_45NM.dynamic_scale
+        assert TECH_32NM.leakage_scale > TECH_45NM.leakage_scale
+        assert TECH_32NM.clock_hz > TECH_45NM.clock_hz
+
+    def test_cycle_conversion_roundtrip(self):
+        cycles = TECH_45NM.cycles(100e-9)
+        assert cycles == 50  # 100 ns at 500 MHz
+        assert TECH_45NM.seconds(50) == pytest.approx(100e-9)
+
+    def test_cycles_rounds_up(self):
+        assert TECH_45NM.cycles(1e-10) == 1
+
+
+class TestCactiModel:
+    def test_energy_grows_with_capacity(self):
+        small = cacti_model(CacheConfig(1, 16, 256), TECH_45NM)
+        large = cacti_model(CacheConfig(1, 16, 8192), TECH_45NM)
+        assert large.read_energy_j > small.read_energy_j
+        assert large.leakage_w > small.leakage_w
+
+    def test_energy_grows_with_associativity(self):
+        direct = cacti_model(CacheConfig(1, 16, 1024), TECH_45NM)
+        four_way = cacti_model(CacheConfig(4, 16, 1024), TECH_45NM)
+        assert four_way.read_energy_j > direct.read_energy_j
+
+    def test_32nm_cheaper_switching_higher_leakage(self):
+        cfg = CacheConfig(2, 16, 1024)
+        a = cacti_model(cfg, TECH_45NM)
+        b = cacti_model(cfg, TECH_32NM)
+        assert b.read_energy_j < a.read_energy_j
+        assert b.leakage_w > a.leakage_w
+
+    def test_fill_costs_more_than_read(self):
+        model = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        assert model.fill_energy_j > model.read_energy_j
+
+    def test_miss_penalty_includes_refill(self):
+        m16 = cacti_model(CacheConfig(1, 16, 1024), TECH_45NM)
+        m32 = cacti_model(CacheConfig(1, 32, 1024), TECH_45NM)
+        assert m32.miss_penalty_cycles > m16.miss_penalty_cycles
+
+    def test_timing_model_export(self):
+        model = cacti_model(CacheConfig(1, 16, 1024), TECH_45NM)
+        timing = model.timing_model(prefetch_issue_cycles=2)
+        assert timing.hit_cycles == model.hit_cycles
+        assert timing.miss_penalty_cycles == model.miss_penalty_cycles
+        assert timing.prefetch_issue_cycles == 2
+
+    def test_all_table2_configs_have_models(self):
+        for cfg in TABLE2.values():
+            for tech in TECHNOLOGIES.values():
+                model = cacti_model(cfg, tech)
+                assert model.read_energy_j > 0
+                assert model.leakage_w > 0
+                assert model.hit_cycles >= 1
+
+
+class TestDRAM:
+    def test_energy_scales_with_block_size(self):
+        dram = DRAMModel(TECH_45NM)
+        assert dram.access_energy_j(32) > dram.access_energy_j(16)
+        with pytest.raises(ReproError):
+            dram.access_energy_j(0)
+
+    def test_latency_cycles(self):
+        dram = DRAMModel(TECH_45NM)
+        assert dram.latency_cycles() == TECH_45NM.cycles(TECH_45NM.dram_latency_s)
+
+    def test_dram_dwarfs_cache_access(self):
+        dram = DRAMModel(TECH_45NM)
+        cache = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        assert dram.access_energy_j(16) > 20 * cache.read_energy_j
+
+
+class TestEventCounts:
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            MemoryEventCounts(-1, 0, 0, 0, 0)
+        with pytest.raises(ReproError):
+            MemoryEventCounts(1, 2, 0, 0, 0)  # misses > fetches
+        with pytest.raises(ReproError):
+            MemoryEventCounts(1, 0, 0, 0, -5.0)
+
+
+class TestAccounting:
+    def _counts(self, fetches=1000, misses=50, pf=0, fills=50, cycles=3000.0):
+        return MemoryEventCounts(fetches, misses, pf, fills, cycles)
+
+    def test_total_is_sum_of_parts(self):
+        model = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        breakdown = account_energy(self._counts(), model, DRAMModel(TECH_45NM))
+        assert breakdown.total_j == pytest.approx(
+            breakdown.cache_dynamic_j + breakdown.dram_dynamic_j + breakdown.static_j
+        )
+        assert 0.0 <= breakdown.static_share <= 1.0
+
+    def test_fewer_misses_means_less_energy(self):
+        model = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        dram = DRAMModel(TECH_45NM)
+        high = account_energy(
+            self._counts(misses=100, fills=100, cycles=5000), model, dram
+        )
+        low = account_energy(
+            self._counts(misses=10, fills=10, cycles=1500), model, dram
+        )
+        assert low.total_j < high.total_j
+
+    def test_prefetch_transfers_cost_dram_energy(self):
+        model = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        dram = DRAMModel(TECH_45NM)
+        without = account_energy(self._counts(pf=0), model, dram)
+        with_pf = account_energy(self._counts(pf=20, fills=70), model, dram)
+        assert with_pf.dram_dynamic_j > without.dram_dynamic_j
+
+    def test_static_energy_scales_with_time(self):
+        model = cacti_model(CacheConfig(2, 16, 8192), TECH_45NM)
+        dram = DRAMModel(TECH_45NM)
+        short = account_energy(self._counts(cycles=1000), model, dram)
+        long = account_energy(self._counts(cycles=10000), model, dram)
+        assert long.static_j == pytest.approx(10 * short.static_j)
+
+    def test_zero_run(self):
+        model = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        breakdown = account_energy(
+            MemoryEventCounts(0, 0, 0, 0, 0.0), model, DRAMModel(TECH_45NM)
+        )
+        assert breakdown.total_j == 0.0
+        assert breakdown.static_share == 0.0
+
+    def test_big_cache_leaks_more_than_small(self):
+        dram = DRAMModel(TECH_45NM)
+        counts = self._counts(cycles=100000)
+        small = account_energy(
+            counts, cacti_model(CacheConfig(1, 16, 256), TECH_45NM), dram
+        )
+        big = account_energy(
+            counts, cacti_model(CacheConfig(1, 16, 8192), TECH_45NM), dram
+        )
+        assert big.cache_static_j > 10 * small.cache_static_j
+        # DRAM background is capacity-independent
+        assert big.dram_static_j == pytest.approx(small.dram_static_j)
+
+    def test_background_power_makes_energy_time_proportional(self):
+        """The paper's energy improvements track ACET improvements;
+        that requires the static (time) share to be substantial."""
+        model = cacti_model(CacheConfig(1, 16, 1024), TECH_45NM)
+        dram = DRAMModel(TECH_45NM)
+        counts = self._counts(fetches=3000, misses=150, fills=150, cycles=7650)
+        breakdown = account_energy(counts, model, dram)
+        assert breakdown.static_share > 0.25

@@ -1,0 +1,62 @@
+"""Integration tests: every example script must run end to end.
+
+The examples double as executable documentation; these tests run their
+``main()`` entry points (with fast arguments where they accept any) so
+a regression in the public API surfaces immediately.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart_fast_args(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "argv", ["quickstart.py", "bs", "k7", "45nm"])
+        _load("quickstart").main()
+        out = capsys.readouterr().out
+        assert "Theorem 1 holds: True" in out
+
+    def test_paper_walkthrough(self, capsys):
+        _load("paper_walkthrough").main()
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "Figure 2" in out and "Figure 6" in out
+        assert "prefetches" in out
+
+    def test_rtos_firmware(self, capsys):
+        _load("rtos_firmware").main()
+        out = capsys.readouterr().out
+        assert "reclaimed margin" in out
+
+    def test_capacity_downsizing_fast_args(self, monkeypatch, capsys):
+        monkeypatch.setattr(
+            sys, "argv", ["capacity_downsizing.py", "bs", "k7", "45nm"]
+        )
+        _load("capacity_downsizing").main()
+        out = capsys.readouterr().out
+        assert "original, full cache" in out
+
+    def test_prefetcher_shootout_fast_args(self, monkeypatch, capsys):
+        monkeypatch.setattr(sys, "argv", ["prefetcher_shootout.py", "crc", "k7"])
+        _load("prefetcher_shootout").main()
+        out = capsys.readouterr().out
+        assert "sw prefetch (paper" in out
+        assert "cache locking" in out
+
+    def test_dsp_data_cache(self, capsys):
+        _load("dsp_data_cache").main()
+        out = capsys.readouterr().out
+        assert "data prefetches inserted" in out

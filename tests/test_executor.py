@@ -1,0 +1,151 @@
+"""Tests for the concrete structure-tree executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.program.builder import ProgramBuilder
+from repro.sim.executor import Executor, block_trace
+
+
+def names(cfg, seed=0, repeat=1):
+    return [b.name for b in block_trace(cfg, seed=seed, repeat=repeat)]
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self, loop_program):
+        assert names(loop_program, seed=3) == names(loop_program, seed=3)
+
+    def test_different_seed_may_differ_but_has_same_length_loops(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=10, sim_iterations=6):
+            b.code(1)
+        cfg = b.build()
+        assert names(cfg, seed=1) == names(cfg, seed=2)  # no branches
+
+    def test_rerun_resets_state(self, loop_program):
+        executor = Executor(loop_program, seed=5)
+        first = [b.name for b in executor.run()]
+        second = [b.name for b in executor.run()]
+        assert first == second
+
+
+class TestLoops:
+    def test_iteration_count(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=10, sim_iterations=7):
+            b.block_label("body")
+            b.code(1)
+        cfg = b.build()
+        trace = names(cfg)
+        assert trace.count("body") == 7
+
+    def test_nested_iteration_product(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=3, sim_iterations=3):
+            with b.loop(bound=4, sim_iterations=4):
+                b.block_label("inner")
+                b.code(1)
+        cfg = b.build()
+        assert names(cfg).count("inner") == 12
+
+
+class TestBranches:
+    def test_pattern_branch_is_exactly_followed(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=6, sim_iterations=6):
+            with b.if_else(pattern=[True, False, True]) as arms:
+                with arms.then_():
+                    b.block_label("then")
+                    b.code(1)
+                with arms.else_():
+                    b.block_label("else")
+                    b.code(1)
+        cfg = b.build()
+        trace = names(cfg)
+        assert trace.count("then") == 4  # pattern T,F,T cycled over 6
+        assert trace.count("else") == 2
+
+    def test_probability_zero_and_one(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=8, sim_iterations=8):
+            with b.if_else(taken_prob=1.0) as arms:
+                with arms.then_():
+                    b.block_label("always")
+                    b.code(1)
+                with arms.else_():
+                    b.block_label("never")
+                    b.code(1)
+        cfg = b.build()
+        trace = names(cfg)
+        assert trace.count("always") == 8
+        assert trace.count("never") == 0
+
+    def test_missing_branch_profile_raises(self, loop_program):
+        cond = next(iter(loop_program.branch_profiles))
+        del loop_program.branch_profiles[cond]
+        with pytest.raises(SimulationError):
+            names(loop_program)
+
+
+class TestSwitchesAndCalls:
+    def test_exactly_one_case_per_visit(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=10, sim_iterations=10):
+            with b.switch(weights=[1, 1]) as sw:
+                with sw.case():
+                    b.block_label("case0")
+                    b.code(1)
+                with sw.case():
+                    b.block_label("case1")
+                    b.code(1)
+        cfg = b.build()
+        trace = names(cfg, seed=9)
+        assert trace.count("case0") + trace.count("case1") == 10
+
+    def test_weighted_switch_prefers_heavy_case(self):
+        b = ProgramBuilder("p")
+        with b.loop(bound=60, sim_iterations=60):
+            with b.switch(weights=[99, 1]) as sw:
+                with sw.case():
+                    b.block_label("hot")
+                    b.code(1)
+                with sw.case():
+                    b.block_label("cold")
+                    b.code(1)
+        cfg = b.build()
+        trace = names(cfg, seed=4)
+        assert trace.count("hot") > trace.count("cold")
+
+    def test_call_walks_function_body(self):
+        b = ProgramBuilder("p")
+        with b.function("f"):
+            b.block_label("fbody")
+            b.code(2)
+        b.call("f")
+        b.call("f")
+        cfg = b.build()
+        assert names(cfg).count("fbody") == 2
+
+
+class TestTraceHelpers:
+    def test_repeat_concatenates_runs(self, loop_program):
+        single = len(names(loop_program, seed=1))
+        double = len(names(loop_program, seed=1, repeat=2))
+        assert double >= 2 * single - 5  # branch draws may differ per run
+
+    def test_repeat_must_be_positive(self, loop_program):
+        with pytest.raises(SimulationError):
+            names(loop_program, repeat=0)
+
+    def test_runaway_guard(self, monkeypatch):
+        import repro.sim.executor as executor_module
+
+        b = ProgramBuilder("p")
+        with b.loop(bound=1000, sim_iterations=1000):
+            b.code(1)
+        cfg = b.build()
+        monkeypatch.setattr(executor_module, "MAX_BLOCK_VISITS", 100)
+        with pytest.raises(SimulationError):
+            names(cfg)

@@ -1,0 +1,191 @@
+"""Tests for the experiment harness (use cases, sweeps, figures, tables).
+
+These run the real pipeline on small grids (tiny programs, few
+configurations) so they stay fast while exercising every code path the
+benchmark harness uses.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.figures import figure3, figure4, figure5, figure7, figure8
+from repro.experiments.report import (
+    PAPER_HEADLINE,
+    format_percent,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    render_figure7,
+    render_figure8,
+)
+from repro.experiments.sweep import (
+    SweepSpec,
+    average,
+    default_grid,
+    full_grid,
+    group_by_capacity,
+    run_sweep,
+)
+from repro.experiments.tables import evaluation_matrix, table1, table2
+from repro.experiments.usecase import (
+    UseCase,
+    run_cross_capacity,
+    run_usecase,
+)
+
+#: A deliberately small grid: 3 fast programs, 2 capacities, 1 tech.
+SMALL_SPEC = SweepSpec(
+    programs=("bs", "prime", "sqrt"),
+    config_ids=("k1", "k7"),
+    techs=("45nm",),
+    seed=1,
+    max_evaluations=40,
+)
+
+
+@pytest.fixture(scope="module")
+def small_results():
+    return run_sweep(SMALL_SPEC)
+
+
+class TestUseCase:
+    def test_resolves_config(self):
+        usecase = UseCase("bs", "k14", "45nm")
+        assert usecase.cache_config().capacity == 1024
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(ExperimentError):
+            UseCase("bs", "k99", "45nm").cache_config()
+
+    def test_run_usecase_produces_paired_measurements(self):
+        result = run_usecase(UseCase("bs", "k1", "45nm"))
+        assert result.original.tau_w > 0
+        assert result.optimized.tau_w <= result.original.tau_w
+        assert result.wcet_ratio <= 1.0 + 1e-9
+        assert result.original.energy.total_j > 0
+        assert 0 <= result.original.miss_rate_acet <= 1
+
+    def test_instruction_ratio_reflects_prefetches(self):
+        result = run_usecase(UseCase("fdct", "k1", "45nm"))
+        if result.report.prefetch_count:
+            assert result.instruction_ratio > 1.0
+        else:
+            assert result.instruction_ratio == pytest.approx(1.0)
+
+    def test_cross_capacity_uses_smaller_cache(self):
+        result = run_cross_capacity(UseCase("bs", "k7", "45nm"), 0.5)
+        assert result.report.config.capacity == 256
+
+    def test_cross_capacity_factor_validated(self):
+        with pytest.raises(ExperimentError):
+            run_cross_capacity(UseCase("bs", "k7", "45nm"), 1.5)
+
+
+class TestSweep:
+    def test_grid_expansion_order(self):
+        cases = SMALL_SPEC.usecases()
+        assert len(cases) == SMALL_SPEC.size == 3 * 2 * 1
+        assert cases[0] == UseCase("bs", "k1", "45nm")
+
+    def test_results_align_with_grid(self, small_results):
+        assert len(small_results) == SMALL_SPEC.size
+        for case, result in zip(SMALL_SPEC.usecases(), small_results):
+            assert result.usecase == case
+
+    def test_sweep_cache_returns_same_objects(self, small_results):
+        again = run_sweep(SMALL_SPEC)
+        assert again is small_results
+
+    def test_progress_callback(self):
+        spec = SweepSpec(("bs",), ("k1",), ("45nm",), max_evaluations=10)
+        seen = []
+        run_sweep(spec, progress=lambda uc, r: seen.append(uc), use_cache=False)
+        assert len(seen) == 1
+
+    def test_group_by_capacity(self, small_results):
+        buckets = group_by_capacity(small_results)
+        assert set(buckets) == {256, 512}
+        assert all(len(bucket) == 3 for bucket in buckets.values())
+
+    def test_average(self):
+        assert average([1.0, 2.0, 3.0]) == 2.0
+        assert average([]) == 0.0
+
+    def test_default_grid_shape(self):
+        spec = default_grid()
+        assert len(spec.programs) == 37
+        assert len(spec.config_ids) == 6
+        assert spec.techs == ("45nm", "32nm")
+
+    def test_full_grid_matches_paper(self):
+        spec = full_grid()
+        assert spec.size == 2664
+
+
+class TestFigures:
+    def test_figure3_shapes_and_direction(self, small_results):
+        data = figure3(SMALL_SPEC)
+        assert set(data.energy.points) == {256, 512}
+        # improvements can never be negative on WCET (Theorem 1 average)
+        assert data.overall_wcet >= 0.0
+        rendered = render_figure3(data)
+        assert "Figure 3" in rendered and "paper 17.4%" in rendered
+
+    def test_figure4_miss_rates_never_increase(self, small_results):
+        data = figure4(SMALL_SPEC)
+        for capacity in data.before.points:
+            assert data.after.points[capacity] <= data.before.points[capacity] + 1e-9
+        assert "Figure 4" in render_figure4(data)
+
+    def test_figure5_cross_capacity(self):
+        data = figure5(0.5, SMALL_SPEC)
+        assert data.capacity_factor == 0.5
+        assert data.energy.points  # at least one capacity feasible
+        assert "Figure 5" in render_figure5(data)
+
+    def test_figure7_all_ratios_at_most_one(self):
+        spec = SweepSpec(
+            programs=("bs", "prime"),
+            config_ids=("k1",),
+            techs=("32nm",),
+            max_evaluations=40,
+        )
+        data = figure7(spec)
+        assert data.all_below_one
+        assert len(data.ratios) == 2
+        assert "Figure 7" in render_figure7(data)
+
+    def test_figure8_overhead_small(self, small_results):
+        data = figure8(SMALL_SPEC)
+        assert data.max_increase >= 0.0
+        assert data.max_increase < 0.2
+        assert "Figure 8" in render_figure8(data)
+
+
+class TestTablesAndReport:
+    def test_table1_rows(self):
+        rows = table1()
+        assert len(rows) == 37
+        assert rows[0].program_id == "p1" and rows[0].name == "adpcm"
+
+    def test_table2_rows(self):
+        rows = table2()
+        assert len(rows) == 36
+        assert rows[0].config_id == "k1"
+        assert (rows[0].associativity, rows[0].block_size, rows[0].capacity) == (
+            1,
+            16,
+            256,
+        )
+
+    def test_evaluation_matrix(self):
+        assert evaluation_matrix() == (37, 36, 2, 2664)
+
+    def test_format_percent(self):
+        assert format_percent(0.112).strip() == "11.2%"
+
+    def test_paper_headline_constants(self):
+        assert PAPER_HEADLINE["energy_improvement"] == 0.112
+        assert PAPER_HEADLINE["wcet_improvement"] == 0.174

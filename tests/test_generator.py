@@ -1,0 +1,128 @@
+"""Tests for the parametric program generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import (
+    branch_chain,
+    loop_nest,
+    random_program,
+    recursion_as_loop,
+    state_machine,
+    switch_fan,
+    unrolled_kernel,
+)
+from repro.errors import ProgramModelError
+from repro.program.acfg import build_acfg
+from repro.program.builder import ProgramBuilder
+from repro.sim.executor import block_trace
+
+
+class TestLoopNest:
+    def test_depth_matches_bounds(self):
+        b = ProgramBuilder("p")
+        loop_nest(b, bounds=[3, 4, 5], body_size=2)
+        cfg = b.build()
+        assert len(cfg.loops) == 3
+        depths = sorted(
+            sum(1 for lp in cfg.loops.values() if name in lp.blocks)
+            for name in (cfg.loops[min(cfg.loops)].header,)
+        )
+        assert depths[0] >= 1
+
+    def test_empty_bounds_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            loop_nest(b, bounds=[], body_size=2)
+
+    def test_sim_iterations_forwarded(self):
+        b = ProgramBuilder("p")
+        loop_nest(b, bounds=[6], body_size=2, sim_iterations=[4])
+        cfg = b.build()
+        assert next(iter(cfg.loops.values())).sim_iterations == 4
+
+    def test_mismatched_sim_iterations_rejected(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            loop_nest(b, bounds=[3, 4], body_size=1, sim_iterations=[2])
+
+
+class TestOtherGenerators:
+    def test_branch_chain_emits_conditionals(self):
+        b = ProgramBuilder("p")
+        branch_chain(b, count=5, then_size=2, else_size=3)
+        cfg = b.build()
+        assert len(cfg.branch_profiles) == 5
+
+    def test_branch_chain_validation(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            branch_chain(b, count=0, then_size=1)
+
+    def test_switch_fan_case_count(self):
+        b = ProgramBuilder("p")
+        switch_fan(b, cases=7, case_size=2)
+        cfg = b.build()
+        from repro.program.structure import SwitchNode, walk
+
+        switches = [n for n in walk(cfg.structure) if isinstance(n, SwitchNode)]
+        assert len(switches) == 1
+        assert len(switches[0].cases) == 7
+
+    def test_switch_fan_validation(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(ProgramModelError):
+            switch_fan(b, cases=0, case_size=1)
+
+    def test_state_machine_runs(self):
+        b = ProgramBuilder("p")
+        state_machine(b, states=4, handler_size=5, steps_bound=6, varying=1)
+        cfg = b.build()
+        trace = list(block_trace(cfg, seed=1))
+        assert trace
+
+    def test_unrolled_kernel_is_straight_line(self):
+        b = ProgramBuilder("p")
+        unrolled_kernel(b, chunks=3, chunk_size=10)
+        cfg = b.build()
+        assert len(cfg.loops) == 0
+        assert cfg.instruction_count == 30 + 3  # + entry/exit
+
+    def test_recursion_as_loop_shape(self):
+        b = ProgramBuilder("p")
+        recursion_as_loop(b, depth_bound=8, sim_depth=5, pre_size=3, post_size=2)
+        cfg = b.build()
+        assert len(cfg.loops) == 2
+        bounds = sorted(lp.bound for lp in cfg.loops.values())
+        assert bounds == [8, 8]
+
+
+class TestRandomProgram:
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_always_valid_and_deterministic(self, seed):
+        cfg_a = random_program(seed, target_size=60)
+        cfg_b = random_program(seed, target_size=60)
+        cfg_a.validate()
+        assert [b.name for b in cfg_a.blocks] == [b.name for b in cfg_b.blocks]
+        assert cfg_a.instruction_count == cfg_b.instruction_count
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=25, deadline=None)
+    def test_expandable_and_executable(self, seed):
+        cfg = random_program(seed, target_size=50)
+        acfg = build_acfg(cfg, block_size=16)
+        acfg.validate()
+        trace = list(block_trace(cfg, seed=0))
+        assert trace
+
+    def test_size_roughly_honoured(self):
+        small = random_program(1, target_size=30)
+        large = random_program(1, target_size=300)
+        assert large.instruction_count > small.instruction_count
+
+    def test_custom_name(self):
+        assert random_program(3, name="custom").name == "custom"

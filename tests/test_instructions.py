@@ -1,0 +1,66 @@
+"""Unit tests for the abstract instruction model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.program.instructions import (
+    INSTRUCTION_SIZE,
+    Instruction,
+    InstructionFactory,
+    InstrKind,
+)
+
+
+class TestInstructionFactory:
+    def test_uids_are_unique_and_sequential(self):
+        factory = InstructionFactory()
+        instrs = [factory.normal() for _ in range(10)]
+        assert [i.uid for i in instrs] == list(range(10))
+
+    def test_start_uid_offset(self):
+        factory = InstructionFactory(start_uid=100)
+        assert factory.normal().uid == 100
+        assert factory.next_uid == 101
+
+    def test_kind_helpers(self):
+        factory = InstructionFactory()
+        assert factory.normal().kind is InstrKind.NORMAL
+        assert factory.branch().kind is InstrKind.BRANCH
+        assert factory.jump().kind is InstrKind.JUMP
+
+    def test_prefetch_records_target(self):
+        factory = InstructionFactory()
+        target = factory.normal()
+        prefetch = factory.prefetch(target.uid)
+        assert prefetch.is_prefetch
+        assert prefetch.prefetch_target == target.uid
+
+
+class TestInstruction:
+    def test_default_size_is_four_bytes(self):
+        assert INSTRUCTION_SIZE == 4
+        assert InstructionFactory().normal().size == 4
+
+    def test_identity_by_uid(self):
+        a = Instruction(uid=1)
+        b = Instruction(uid=1, kind=InstrKind.BRANCH)
+        c = Instruction(uid=2)
+        assert a == b
+        assert a != c
+        assert hash(a) == hash(b)
+
+    def test_equality_against_other_types(self):
+        assert Instruction(uid=1) != "not an instruction"
+
+    def test_is_control_covers_transfer_kinds(self):
+        factory = InstructionFactory()
+        assert factory.branch().is_control
+        assert factory.jump().is_control
+        assert factory.make(InstrKind.CALL).is_control
+        assert factory.make(InstrKind.RETURN).is_control
+        assert not factory.normal().is_control
+        assert not factory.prefetch(0).is_control
+
+    def test_non_prefetch_has_no_target(self):
+        assert InstructionFactory().normal().prefetch_target is None

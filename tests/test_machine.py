@@ -1,0 +1,132 @@
+"""Tests for the memory-system timing machine and `simulate`."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timing import TimingModel
+from repro.cache.config import CacheConfig
+from repro.program.builder import ProgramBuilder
+from repro.sim.machine import MemorySystem, simulate
+
+
+@pytest.fixture
+def system(timing):
+    return MemorySystem(CacheConfig(2, 16, 64), timing)
+
+
+class TestFetchAccounting:
+    def test_miss_then_hit_cycles(self, system, timing):
+        assert system.fetch(0) == timing.miss_cycles
+        assert system.fetch(4) == timing.hit_cycles  # same block
+        assert system.result.fetches == 2
+        assert system.result.demand_misses == 1
+        assert system.result.hits == 1
+
+    def test_time_accumulates(self, system, timing):
+        system.fetch(0)
+        system.fetch(4)
+        assert system.now == timing.miss_cycles + timing.hit_cycles
+
+    def test_prefetch_instruction_pays_issue_slot(self, system, timing):
+        cycles = system.fetch(0, is_prefetch_instr=True)
+        assert cycles == timing.miss_cycles + timing.prefetch_issue_cycles
+
+
+class TestPrefetchPort:
+    def test_completed_prefetch_turns_miss_into_hit(self, system, timing):
+        system.issue_prefetch(5)
+        assert system.result.prefetch_transfers == 1
+        # burn enough time for the transfer to finish
+        for i in range(timing.prefetch_latency + 1):
+            system.fetch(0)
+        cycles = system.fetch(5 * 16)
+        assert cycles == timing.hit_cycles
+        assert system.result.useful_prefetches == 1
+
+    def test_in_flight_block_partially_stalls(self, system, timing):
+        system.issue_prefetch(5)
+        system.fetch(0)  # one miss: 31 cycles pass of 30 needed... latency=30
+        # demand the block immediately: remaining = max(0, 30 - 31) = 0 here,
+        # so use a fresh system for a real partial stall
+        system2 = MemorySystem(CacheConfig(2, 16, 64), timing)
+        system2.issue_prefetch(5)
+        system2.fetch(0 * 16)  # miss: now = 31 >= completion 30
+        system3 = MemorySystem(CacheConfig(2, 16, 64), timing)
+        system3.issue_prefetch(5)
+        system3.fetch(64)  # hit? no: cold miss. now=31 > 30
+        # construct exact partial: issue, then fetch a hit (1 cycle), then demand
+        system4 = MemorySystem(CacheConfig(2, 16, 64), timing)
+        system4.fetch(0)  # warm block 0 (31 cycles)
+        system4.issue_prefetch(5)
+        system4.fetch(0)  # hit, 1 cycle; now completion - now = 29
+        cycles = system4.fetch(5 * 16)
+        assert cycles == timing.hit_cycles + (timing.prefetch_latency - 1)
+        assert system4.result.stall_cycles_hidden == pytest.approx(1.0)
+
+    def test_redundant_prefetch_dropped(self, system):
+        system.fetch(0)
+        assert system.issue_prefetch(0) is False
+        system.issue_prefetch(9)
+        assert system.issue_prefetch(9) is False
+        assert system.result.prefetch_transfers == 1
+
+    def test_prefetched_block_can_be_evicted_before_use(self, system, timing):
+        config = system.config  # 2 sets, 2-way
+        system.issue_prefetch(2)  # set 0
+        for _ in range(3):
+            system.fetch(0)  # let it land
+        # evict it with two other set-0 blocks
+        system.fetch(4 * 16)
+        system.fetch(8 * 16)
+        cycles = system.fetch(2 * 16)
+        assert cycles == timing.miss_cycles
+        assert system.result.useful_prefetches == 0
+
+
+class TestSimulate:
+    def test_counts_are_consistent(self, loop_program, tiny_cache, timing):
+        result = simulate(loop_program, tiny_cache, timing, seed=2)
+        result.validate()
+        assert result.fetches == result.hits + result.demand_misses
+        assert result.memory_cycles >= result.fetches  # >= 1 cycle each
+
+    def test_prefetch_instructions_counted(self, loop_program, tiny_cache, timing):
+        target = loop_program.blocks[3].instructions[0]
+        loop_program.insert_prefetch(loop_program.blocks[1].name, 0, target.uid)
+        result = simulate(loop_program, tiny_cache, timing, seed=2)
+        assert result.prefetch_instructions > 0
+
+    def test_trace_recording(self, straight_program, tiny_cache, timing):
+        result = simulate(
+            straight_program, tiny_cache, timing, seed=0, record_trace=True
+        )
+        assert len(result.trace) == result.fetches
+        assert result.trace[0].hit is False  # cold start
+
+    def test_trace_off_by_default(self, straight_program, tiny_cache, timing):
+        result = simulate(straight_program, tiny_cache, timing, seed=0)
+        assert result.trace == []
+
+    def test_repeat_warms_the_cache(self, loop_program, big_cache, timing):
+        once = simulate(loop_program, big_cache, timing, seed=1)
+        twice = simulate(loop_program, big_cache, timing, seed=1, repeat=2)
+        # second run is all hits in a big cache: misses don't double
+        assert twice.demand_misses == once.demand_misses
+
+    def test_bigger_cache_never_more_misses(self, thrash_program, timing):
+        small = simulate(
+            thrash_program, CacheConfig(2, 16, 256), timing, seed=1
+        )
+        big = simulate(thrash_program, CacheConfig(2, 16, 4096), timing, seed=1)
+        assert big.demand_misses <= small.demand_misses
+
+    def test_base_address_shifts_blocks_not_counts(
+        self, straight_program, tiny_cache, timing
+    ):
+        a = simulate(straight_program, tiny_cache, timing, seed=0)
+        b = simulate(
+            straight_program, tiny_cache, timing, seed=0, base_address=1 << 16
+        )
+        assert a.fetches == b.fetches
+        assert a.demand_misses == b.demand_misses  # alignment preserved

@@ -1,0 +1,115 @@
+"""Tests for the 37 Mälardalen structural clones and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.malardalen import FACTORIES
+from repro.bench.registry import (
+    PROGRAM_IDS,
+    TABLE1,
+    load,
+    load_all,
+    program_id,
+    program_names,
+)
+from repro.cache.config import CacheConfig
+from repro.errors import ExperimentError
+from repro.program.acfg import build_acfg
+from repro.sim.executor import block_trace
+
+EXPECTED_NAMES = sorted(
+    [
+        "adpcm", "bs", "bsort100", "cnt", "compress", "cover", "crc",
+        "duff", "edn", "expint", "fac", "fdct", "fft1", "fibcall", "fir",
+        "icall", "insertsort", "janne_complex", "jfdctint", "lcdnum",
+        "lms", "ludcmp", "matmult", "minver", "ndes", "ns", "nsichneu",
+        "prime", "qsort-exam", "qurt", "recursion", "select", "sqrt",
+        "st", "statemate", "ud", "whet",
+    ]
+)
+
+
+class TestRegistry:
+    def test_exactly_37_programs(self):
+        assert len(FACTORIES) == 37
+        assert program_names() == EXPECTED_NAMES
+
+    def test_table1_ids_are_alphabetical(self):
+        assert TABLE1["p1"] == "adpcm"
+        assert TABLE1["p37"] == "whet"
+        assert len(TABLE1) == 37
+        assert list(TABLE1.values()) == EXPECTED_NAMES
+
+    def test_load_by_name_and_id(self):
+        by_name = load("matmult")
+        by_id = load(PROGRAM_IDS["matmult"])
+        assert by_name.name == by_id.name == "matmult"
+
+    def test_unknown_program_rejected(self):
+        with pytest.raises(ExperimentError):
+            load("quicksort3000")
+        with pytest.raises(ExperimentError):
+            program_id("quicksort3000")
+
+    def test_factories_return_fresh_instances(self):
+        a = load("bs")
+        b = load("bs")
+        assert a is not b
+        a.insert_prefetch(a.blocks[1].name, 0, a.blocks[2].instructions[0].uid)
+        assert b.prefetch_count == 0
+
+
+@pytest.mark.parametrize("name", EXPECTED_NAMES)
+class TestEveryProgram:
+    def test_builds_and_validates(self, name):
+        cfg = load(name)
+        cfg.validate()
+        assert cfg.name == name
+        assert cfg.instruction_count >= 10
+
+    def test_expands_for_both_block_sizes(self, name):
+        cfg = load(name)
+        for block_size in (16, 32):
+            acfg = build_acfg(cfg, block_size=block_size)
+            acfg.validate()
+            assert acfg.ref_count >= cfg.instruction_count
+
+    def test_executes_deterministically(self, name):
+        cfg = load(name)
+        first = [b.name for b in block_trace(cfg, seed=7)]
+        second = [b.name for b in block_trace(cfg, seed=7)]
+        assert first == second
+        assert first
+
+
+class TestSuiteShape:
+    def test_code_sizes_span_cache_range(self):
+        sizes = {name: load(name).instruction_count * 4 for name in EXPECTED_NAMES}
+        assert min(sizes.values()) < 256, "suite needs tiny programs"
+        assert max(sizes.values()) > 4096, "suite needs cache-busting programs"
+
+    def test_loop_bounds_present_wherever_loops_exist(self):
+        for name in EXPECTED_NAMES:
+            cfg = load(name)
+            for loop in cfg.loops.values():
+                assert loop.bound >= 1
+                assert 1 <= loop.sim_iterations <= loop.bound
+
+    def test_miss_rates_span_paper_range(self, timing):
+        """Section 5: cache sizes chosen so the average pre-optimization
+        miss rate spans roughly 1%-10%."""
+        from repro.sim.machine import simulate
+
+        small = CacheConfig(1, 16, 256)
+        large = CacheConfig(4, 32, 8192)
+        small_rates, large_rates = [], []
+        for name in EXPECTED_NAMES:
+            cfg = load(name)
+            small_rates.append(simulate(cfg, small, timing, seed=1).miss_rate)
+            large_rates.append(simulate(cfg, large, timing, seed=1).miss_rate)
+        small_avg = sum(small_rates) / len(small_rates)
+        large_avg = sum(large_rates) / len(large_rates)
+        assert small_avg > large_avg
+        assert 0.01 <= large_avg <= 0.12
+        assert 0.03 <= small_avg <= 0.25

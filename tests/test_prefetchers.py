@@ -1,0 +1,133 @@
+"""Tests for the hardware prefetcher baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.timing import TimingModel
+from repro.cache.config import CacheConfig
+from repro.errors import SimulationError
+from repro.sim.machine import simulate
+from repro.sim.prefetchers import (
+    NextLinePrefetcher,
+    POLICY_ALWAYS,
+    POLICY_ON_MISS,
+    POLICY_TAGGED,
+    TargetPrefetcher,
+    WrongPathPrefetcher,
+)
+
+
+class TestNextLine:
+    def test_always_prefetches_every_access(self):
+        pf = NextLinePrefetcher(POLICY_ALWAYS)
+        assert list(pf.observe(0, 0, hit=True)) == [1]
+        assert list(pf.observe(4, 0, hit=False)) == [1]
+        assert pf.probes == 2
+
+    def test_on_miss_only_fires_on_misses(self):
+        pf = NextLinePrefetcher(POLICY_ON_MISS)
+        assert list(pf.observe(0, 0, hit=True)) == []
+        assert list(pf.observe(0, 0, hit=False)) == [1]
+
+    def test_tagged_fires_once_per_block(self):
+        pf = NextLinePrefetcher(POLICY_TAGGED)
+        assert list(pf.observe(0, 0, hit=False)) == [1]
+        assert list(pf.observe(0, 0, hit=True)) == []
+        assert list(pf.observe(16, 1, hit=False)) == [2]
+
+    def test_degree_extends_window(self):
+        pf = NextLinePrefetcher(POLICY_ALWAYS, degree=3)
+        assert list(pf.observe(0, 10, hit=True)) == [11, 12, 13]
+
+    def test_reset(self):
+        pf = NextLinePrefetcher(POLICY_TAGGED)
+        pf.observe(0, 0, hit=False)
+        pf.reset()
+        assert pf.probes == 0
+        assert list(pf.observe(0, 0, hit=False)) == [1]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SimulationError):
+            NextLinePrefetcher("bogus")
+        with pytest.raises(SimulationError):
+            NextLinePrefetcher(POLICY_ALWAYS, degree=0)
+
+
+class TestTarget:
+    def test_learns_discontinuity_and_predicts(self):
+        pf = TargetPrefetcher()
+        pf.observe(0, 10, hit=True)
+        pf.observe(0, 20, hit=True)  # jump 10 -> 20 learned
+        pf.observe(0, 10, hit=True)  # revisit source
+        assert list(pf.observe(0, 10, hit=True)) == [20]
+
+    def test_sequential_flow_learns_nothing(self):
+        pf = TargetPrefetcher()
+        pf.observe(0, 10, hit=True)
+        pf.observe(0, 11, hit=True)
+        pf.observe(0, 10, hit=True)
+        assert list(pf.observe(0, 10, hit=True)) == []
+
+    def test_rpt_capacity_evicts_lru(self):
+        pf = TargetPrefetcher(rpt_entries=1)
+        pf.observe(0, 10, hit=True)
+        pf.observe(0, 20, hit=True)  # learn 10 -> 20
+        pf.observe(0, 30, hit=True)  # learn 20 -> 30, evicts 10 -> 20
+        pf.observe(0, 10, hit=True)
+        assert list(pf.observe(0, 10, hit=True)) == []
+
+    def test_invalid_rpt_size(self):
+        with pytest.raises(SimulationError):
+            TargetPrefetcher(rpt_entries=0)
+
+
+class TestWrongPath:
+    def test_predicts_both_target_and_fallthrough(self):
+        pf = WrongPathPrefetcher()
+        pf.observe(0, 10, hit=True)
+        pf.observe(0, 20, hit=True)  # learn 10 -> (20, 11)
+        pf.observe(0, 10, hit=True)
+        predicted = list(pf.observe(0, 10, hit=True))
+        assert predicted == [20, 11]
+
+
+class TestIntegrationWithMachine:
+    def test_next_line_reduces_misses_on_straight_code(
+        self, straight_program, timing
+    ):
+        config = CacheConfig(2, 16, 256)
+        base = simulate(straight_program, config, timing, seed=0)
+        pf = simulate(
+            straight_program,
+            config,
+            timing,
+            seed=0,
+            prefetcher=NextLinePrefetcher(POLICY_ON_MISS, degree=2),
+        )
+        assert pf.memory_cycles < base.memory_cycles
+        assert pf.hw_table_probes > 0
+
+    def test_target_prefetcher_helps_loops(self, thrash_program, timing):
+        config = CacheConfig(2, 16, 256)
+        base = simulate(thrash_program, config, timing, seed=1)
+        pf = simulate(
+            thrash_program,
+            config,
+            timing,
+            seed=1,
+            prefetcher=TargetPrefetcher(),
+        )
+        # target prefetching never increases misses on this workload
+        assert pf.demand_misses <= base.demand_misses
+
+    def test_useless_prefetches_cost_transfers(self, loop_program, timing):
+        config = CacheConfig(4, 16, 8192)  # everything fits anyway
+        pf = simulate(
+            loop_program,
+            config,
+            timing,
+            seed=1,
+            prefetcher=NextLinePrefetcher(POLICY_ALWAYS, degree=2),
+        )
+        assert pf.prefetch_transfers >= pf.useful_prefetches

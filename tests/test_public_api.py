@@ -1,0 +1,67 @@
+"""Smoke tests for the public API surface and the error hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.LayoutError, errors.ProgramModelError)
+        assert issubclass(errors.LoopBoundError, errors.ProgramModelError)
+        assert issubclass(errors.InfeasibleILPError, errors.AnalysisError)
+        assert issubclass(errors.GuaranteeViolation, errors.OptimizationError)
+
+
+class TestPackageExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_subpackage_all_exports_resolve(self):
+        import repro.analysis
+        import repro.bench
+        import repro.cache
+        import repro.core
+        import repro.data
+        import repro.energy
+        import repro.experiments
+        import repro.program
+        import repro.sim
+
+        for module in (
+            repro.analysis,
+            repro.bench,
+            repro.cache,
+            repro.core,
+            repro.data,
+            repro.energy,
+            repro.experiments,
+            repro.program,
+            repro.sim,
+        ):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    def test_quickstart_surface(self, tiny_cache, timing):
+        """The five-line quickstart from the README must keep working."""
+        from repro.bench import load
+        from repro.core import optimize
+        from repro.energy import TECH_45NM, cacti_model
+        from repro.sim import simulate
+
+        cfg = load("bs")
+        model = cacti_model(tiny_cache, TECH_45NM)
+        optimized, report = optimize(cfg, tiny_cache, model.timing_model())
+        result = simulate(optimized, tiny_cache, model.timing_model())
+        assert report.tau_final <= report.tau_original
+        assert result.fetches > 0

@@ -1,0 +1,94 @@
+"""Tests for insertion-point mapping and relocation accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.wcet import analyze_wcet
+from repro.core.relocation import (
+    InsertionPoint,
+    insertion_point_after,
+    moved_blocks,
+    relocation_cost,
+)
+from repro.errors import OptimizationError
+from repro.program.acfg import build_acfg
+from repro.program.builder import ProgramBuilder
+from repro.program.instructions import InstrKind
+from repro.program.layout import AddressLayout, MemoryMap
+
+
+class TestInsertionPoint:
+    def test_mid_block_inserts_right_after(self, straight_program):
+        acfg = build_acfg(straight_program, block_size=16)
+        refs = [v for v in acfg.ref_vertices()]
+        vertex = refs[5]
+        point = insertion_point_after(acfg, vertex.rid)
+        assert point == InsertionPoint(vertex.block_name, vertex.index_in_block + 1)
+
+    def test_after_branch_moves_to_next_block(self, loop_program):
+        acfg = build_acfg(loop_program, block_size=16)
+        branch = next(
+            v
+            for v in acfg.ref_vertices()
+            if v.instr.kind is InstrKind.BRANCH
+        )
+        point = insertion_point_after(acfg, branch.rid)
+        assert point is not None
+        assert point.block_name != branch.block_name or point.index == 0
+
+    def test_end_of_program_returns_none(self, straight_program):
+        acfg = build_acfg(straight_program, block_size=16)
+        last_ref = [v for v in acfg.ref_vertices()][-1]
+        assert last_ref.instr.kind is InstrKind.RETURN
+        assert insertion_point_after(acfg, last_ref.rid) is None
+
+    def test_non_ref_rejected(self, loop_program):
+        acfg = build_acfg(loop_program, block_size=16)
+        with pytest.raises(OptimizationError):
+            insertion_point_after(acfg, acfg.source)
+
+
+class TestMovedBlocks:
+    def test_insertion_moves_downstream_blocks_only(self, loop_program):
+        old_layout = AddressLayout(loop_program)
+        old_map = MemoryMap(old_layout, 16)
+        target = loop_program.blocks[4].instructions[0]
+        loop_program.insert_prefetch(loop_program.blocks[2].name, 0, target.uid)
+        new_map = MemoryMap(AddressLayout(loop_program), 16)
+        moved = moved_blocks(old_map, new_map)
+        insertion_addr = old_layout.block_start(loop_program.blocks[2].name)
+        for instr in old_layout.instructions_in_order():
+            if old_layout.address(instr.uid) < insertion_addr:
+                assert instr.uid not in moved
+
+    def test_no_change_no_moves(self, loop_program):
+        mmap = MemoryMap(AddressLayout(loop_program), 16)
+        assert moved_blocks(mmap, mmap) == frozenset()
+
+
+class TestRelocationCost:
+    def test_rcost_measures_other_references_only(self, tiny_cache, timing):
+        b = ProgramBuilder("p")
+        b.code(30)
+        cfg = b.build()
+        acfg = build_acfg(cfg, block_size=tiny_cache.block_size)
+        before = analyze_wcet(acfg, tiny_cache, timing)
+        target = cfg.blocks[1].instructions[20]
+        prefetch = cfg.insert_prefetch(cfg.blocks[1].name, 2, target.uid)
+        acfg2 = build_acfg(cfg, block_size=tiny_cache.block_size)
+        after = analyze_wcet(acfg2, tiny_cache, timing)
+        rcost = relocation_cost(before, after, prefetch.uid, target.uid)
+        # total delta = rcost + (prefetch + target contributions delta)
+        def part(result, uids):
+            return sum(
+                result.tau_of(v.rid)
+                for v in result.acfg.ref_vertices()
+                if v.instr.uid in uids
+            )
+
+        delta_total = after.solution.objective - before.solution.objective
+        delta_special = part(after, {prefetch.uid, target.uid}) - part(
+            before, {prefetch.uid, target.uid}
+        )
+        assert rcost == pytest.approx(delta_total - delta_special)

@@ -1,0 +1,150 @@
+"""Unit tests for supporting pieces: VIVU helpers, slack spans,
+structure traversal, trace validation, report rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.slack import rest_instance_spans
+from repro.errors import SimulationError
+from repro.experiments.figures import CapacitySeries
+from repro.experiments.report import format_percent, render_series_table
+from repro.program.acfg import build_acfg
+from repro.program.builder import ProgramBuilder
+from repro.program.structure import count_nodes, walk
+from repro.program.vivu import (
+    ContextElement,
+    TOP,
+    context_depth,
+    context_label,
+    enter_call,
+    enter_loop_first,
+    enter_loop_rest,
+    execution_multiplier,
+)
+from repro.sim.trace import SimulationResult
+
+
+class TestVivuHelpers:
+    def test_context_construction(self):
+        ctx = enter_loop_first(TOP, "L0")
+        ctx = enter_loop_rest(ctx, "L1")
+        ctx = enter_call(ctx, "cs0")
+        assert context_depth(ctx) == 3
+        assert context_label(ctx) == "L0.F/L1.R/@cs0"
+        assert context_label(TOP) == "<top>"
+
+    def test_execution_multiplier(self, nested_program):
+        outer = [n for n, lp in nested_program.loops.items() if lp.parent is None][0]
+        inner = [n for n, lp in nested_program.loops.items() if lp.parent][0]
+        ctx = enter_loop_rest(enter_loop_rest(TOP, outer), inner)
+        bounds = nested_program.loops
+        expected = (bounds[outer].bound - 1) * (bounds[inner].bound - 1)
+        assert execution_multiplier(nested_program, ctx) == expected
+
+    def test_first_and_call_do_not_scale(self, nested_program):
+        outer = [n for n, lp in nested_program.loops.items() if lp.parent is None][0]
+        ctx = enter_call(enter_loop_first(TOP, outer), "cs1")
+        assert execution_multiplier(nested_program, ctx) == 1
+
+
+class TestSlackSpans:
+    def test_spans_cover_every_back_edge(self, nested_program):
+        acfg = build_acfg(nested_program, block_size=16)
+        spans = rest_instance_spans(acfg)
+        joined = {j for j, _, _ in spans}
+        assert joined == {dst for _, dst in acfg.back_edges}
+        for join, last, exits in spans:
+            assert join < last
+            assert all(join < e <= last for e in exits)
+
+    def test_no_loops_no_spans(self, straight_program):
+        acfg = build_acfg(straight_program, block_size=16)
+        assert rest_instance_spans(acfg) == []
+
+
+class TestStructureTraversal:
+    def test_walk_visits_every_node(self, nested_program):
+        nodes = list(walk(nested_program.structure))
+        assert nodes[0] is nested_program.structure
+        assert count_nodes(nested_program.structure) == len(nodes)
+
+    def test_iter_blocks_in_program_order(self):
+        b = ProgramBuilder("p")
+        b.block_label("first")
+        b.code(1)
+        b.block_label("second")
+        b.code(1)
+        cfg = b.build()
+        names = list(cfg.structure.iter_blocks())
+        assert names.index("first") < names.index("second")
+
+
+class TestTraceValidation:
+    def test_inconsistent_counts_rejected(self):
+        result = SimulationResult(program="x", fetches=5, hits=2, demand_misses=2)
+        with pytest.raises(SimulationError):
+            result.validate()
+
+    def test_useful_cannot_exceed_transfers(self):
+        result = SimulationResult(
+            program="x",
+            fetches=1,
+            hits=1,
+            prefetch_transfers=1,
+            prefetch_instructions=1,
+            useful_prefetches=2,
+        )
+        with pytest.raises(SimulationError):
+            result.validate()
+
+    def test_sw_transfers_capped_by_instructions(self):
+        result = SimulationResult(
+            program="x",
+            fetches=1,
+            hits=1,
+            prefetch_instructions=1,
+            prefetch_transfers=3,
+        )
+        with pytest.raises(SimulationError):
+            result.validate()
+
+    def test_miss_rate_of_empty_run(self):
+        assert SimulationResult(program="x").miss_rate == 0.0
+
+
+class TestReportRendering:
+    def test_format_percent(self):
+        assert format_percent(0.0).strip() == "0.0%"
+        assert format_percent(1.0).strip() == "100.0%"
+
+    def test_series_table_aligns_capacities(self):
+        a = CapacitySeries("alpha", {256: 0.1, 1024: 0.2})
+        b = CapacitySeries("beta", {256: 0.3})
+        text = render_series_table([a, b], "title")
+        assert "title" in text
+        assert "256" in text and "1024" in text
+        # missing point renders as 0.0%
+        assert text.count("0.0%") >= 1
+
+    def test_series_rows_sorted(self):
+        series = CapacitySeries("s", {1024: 0.2, 256: 0.1})
+        assert series.as_rows() == [(256, 0.1), (1024, 0.2)]
+
+    def test_bar_chart_scales_and_signs(self):
+        from repro.experiments.report import render_bar_chart
+
+        up = CapacitySeries("up", {256: 0.2, 1024: 0.1})
+        down = CapacitySeries("down", {256: -0.1})
+        text = render_bar_chart([up, down], "chart", width=10)
+        assert "chart" in text
+        # the peak bar uses the full width
+        assert "#" * 10 in text
+        # the negative bar is marked
+        assert "-|" in text
+
+    def test_bar_chart_empty_series(self):
+        from repro.experiments.report import render_bar_chart
+
+        text = render_bar_chart([CapacitySeries("empty")], "chart")
+        assert "chart" in text

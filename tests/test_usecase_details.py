@@ -1,0 +1,82 @@
+"""Detailed tests of the use-case measurement plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import load
+from repro.cache.config import TABLE2
+from repro.core.optimizer import OptimizerOptions
+from repro.experiments.usecase import (
+    ProgramMeasurement,
+    UseCase,
+    measure_program,
+    run_usecase,
+)
+
+
+class TestMeasureProgram:
+    def test_persistence_flag_changes_the_bound(self):
+        cfg = load("bsort100")
+        config = TABLE2["k1"]
+        tight = measure_program(cfg, config, "45nm", with_persistence=True)
+        loose = measure_program(cfg, config, "45nm", with_persistence=False)
+        assert tight.tau_w <= loose.tau_w
+        # the simulation is baseline-independent
+        assert tight.tau_a == loose.tau_a
+        assert tight.miss_rate_acet == loose.miss_rate_acet
+
+    def test_measurement_fields_consistent(self):
+        cfg = load("crc")
+        m = measure_program(cfg, TABLE2["k7"], "32nm")
+        assert m.executed_instructions > 0
+        assert m.static_instructions == cfg.instruction_count
+        assert 0.0 <= m.miss_rate_acet <= 1.0
+        assert 0.0 <= m.miss_rate_wcet <= 1.0
+        assert m.energy.total_j > 0
+        assert m.prefetch_transfer_energy_j == 0.0  # no prefetches yet
+        assert m.energy_paper_mode_j == pytest.approx(m.energy.total_j)
+
+
+class TestPaperModeEnergy:
+    def test_paper_mode_never_above_physical(self):
+        result = run_usecase(
+            UseCase("fdct", "k1", "45nm"),
+            options=OptimizerOptions(
+                with_persistence=False, max_evaluations=60
+            ),
+        )
+        # paper mode removes the prefetch transfer charge from the
+        # optimized program only, so its ratio is <= the physical one
+        assert result.energy_ratio_paper_mode <= result.energy_ratio + 1e-9
+
+    def test_paper_mode_equals_physical_without_prefetches(self):
+        result = run_usecase(
+            UseCase("bs", "k31", "45nm"),
+            options=OptimizerOptions(max_evaluations=5),
+        )
+        if result.report.prefetch_count == 0:
+            assert result.energy_ratio_paper_mode == pytest.approx(
+                result.energy_ratio
+            )
+
+
+class TestBaselineThreading:
+    def test_usecase_respects_baseline_options(self):
+        classic = run_usecase(
+            UseCase("insertsort", "k1", "45nm"),
+            options=OptimizerOptions(
+                with_persistence=False, max_evaluations=40
+            ),
+        )
+        persistence = run_usecase(
+            UseCase("insertsort", "k1", "45nm"),
+            options=OptimizerOptions(
+                with_persistence=True, max_evaluations=40
+            ),
+        )
+        # baselines differ: the classic original bound is looser
+        assert classic.original.tau_w >= persistence.original.tau_w
+        # each mode individually upholds Theorem 1 w.r.t. its own baseline
+        assert classic.wcet_ratio <= 1.0 + 1e-9
+        assert persistence.wcet_ratio <= 1.0 + 1e-9
