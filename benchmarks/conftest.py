@@ -18,7 +18,14 @@ variable:
   hours).
 
 Within one pytest session all figure benches share the sweep through
-the process-wide cache in :mod:`repro.experiments.sweep`.
+the process-wide cache in :mod:`repro.experiments.sweep`; *across*
+sessions they share the persistent per-use-case disk cache
+(:mod:`repro.experiments.cache`), which this conftest points at
+``results/sweep-cache`` unless ``REPRO_SWEEP_CACHE_DIR`` is already set
+(export ``REPRO_SWEEP_CACHE_DIR=off`` to force recomputation, e.g.
+after changing result-affecting code without bumping
+``repro.experiments.cache.CODE_VERSION``).  ``REPRO_SWEEP_WORKERS``
+selects the process fan-out of the underlying sweeps.
 """
 
 from __future__ import annotations
@@ -63,6 +70,12 @@ FIG5_PROGRAMS = (
 )
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+# Share one persistent sweep cache across every benchmark process so a
+# re-run (or a crashed full-grid session) only pays for new use cases.
+os.environ.setdefault(
+    "REPRO_SWEEP_CACHE_DIR", str(RESULTS_DIR / "sweep-cache")
+)
 
 
 def bench_scale() -> str:

@@ -7,6 +7,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro optimize fdct k1 45nm
     python -m repro usecase matmult k13 32nm
     python -m repro figure 3 --programs bs crc fdct --configs k1 k13
+    python -m repro sweep --workers 4 --cache-dir ~/.cache/repro-sweep
     python -m repro table 1
 """
 
@@ -30,7 +31,14 @@ from repro.experiments.report import (
     render_figure7,
     render_figure8,
 )
-from repro.experiments.sweep import SweepSpec, default_grid
+from repro.experiments.metrics import SweepMetrics
+from repro.experiments.sweep import (
+    SweepSpec,
+    average,
+    default_grid,
+    full_grid,
+    run_sweep,
+)
 from repro.experiments.tables import table1, table2
 from repro.experiments.usecase import UseCase, run_usecase
 
@@ -81,6 +89,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
     tab = sub.add_parser("table", help="print a table of the paper")
     tab.add_argument("number", type=int, choices=(1, 2))
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run a use-case grid (parallel workers, persistent disk cache)",
+    )
+    sweep.add_argument("--programs", nargs="*", default=None,
+                       help="subset of programs (default: all 37)")
+    sweep.add_argument("--configs", nargs="*", default=None,
+                       help="subset of Table 2 ids (default: one per capacity)")
+    sweep.add_argument("--techs", nargs="*", default=("45nm", "32nm"))
+    sweep.add_argument("--budget", type=int, default=120)
+    sweep.add_argument("--baseline", choices=("classic", "persistence"),
+                       default="classic")
+    sweep.add_argument("--seed", type=int, default=1)
+    sweep.add_argument("--full", action="store_true",
+                       help="the paper's complete 2664-case grid")
+    sweep.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes (default: REPRO_SWEEP_WORKERS "
+                            "or the CPU count; 1 = serial)")
+    sweep.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache (default: "
+                            "$REPRO_SWEEP_CACHE_DIR; unset = no disk cache)")
+    sweep.add_argument("--no-cache", action="store_true",
+                       help="ignore both the disk and the in-process cache")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress the per-use-case progress lines")
     return parser
 
 
@@ -166,6 +200,57 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    if args.full:
+        spec = full_grid(seed=args.seed, max_evaluations=args.budget)
+        if args.programs or args.configs:
+            print("note: --full overrides --programs/--configs", file=sys.stderr)
+    else:
+        base = default_grid(
+            programs=args.programs,
+            techs=tuple(args.techs),
+            seed=args.seed,
+            max_evaluations=args.budget,
+        )
+        spec = SweepSpec(
+            programs=base.programs,
+            config_ids=tuple(args.configs) if args.configs else base.config_ids,
+            techs=base.techs,
+            seed=args.seed,
+            max_evaluations=args.budget,
+            baseline=args.baseline,
+        )
+    metrics = SweepMetrics()
+    progress = None
+    if not args.quiet:
+        width = len(str(spec.size))
+
+        def progress(usecase, result):
+            done = metrics.cases
+            print(f"[{done:>{width}}/{spec.size}] "
+                  f"{usecase.program:<14s} {usecase.config_id:<4s} "
+                  f"{usecase.tech:<5s} wcet {result.wcet_ratio:.3f} "
+                  f"acet {result.acet_ratio:.3f} "
+                  f"energy {result.energy_ratio:.3f}")
+
+    cache_dir = "off" if args.no_cache else args.cache_dir
+    results = run_sweep(
+        spec,
+        progress=progress,
+        use_cache=not args.no_cache,
+        workers=args.workers,
+        cache_dir=cache_dir,
+        metrics=metrics,
+    )
+    print()
+    print(metrics.summary())
+    print(f"average improvement: "
+          f"wcet {100 * (1 - average([r.wcet_ratio for r in results])):.1f}%, "
+          f"acet {100 * (1 - average([r.acet_ratio for r in results])):.1f}%, "
+          f"energy {100 * (1 - average([r.energy_ratio for r in results])):.1f}%")
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         for row in table1():
@@ -186,6 +271,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "optimize": lambda: _cmd_optimize(args),
         "usecase": lambda: _cmd_usecase(args),
         "figure": lambda: _cmd_figure(args),
+        "sweep": lambda: _cmd_sweep(args),
         "table": lambda: _cmd_table(args),
     }
     try:

@@ -104,7 +104,10 @@ def verify_wcet_guarantee(
     wcet_opt = analyze_wcet(
         acfg_opt, config, timing, with_persistence=with_persistence
     )
-    ineffective = verify_effectiveness(optimized, config, timing, base_address)
+    ineffective = verify_effectiveness(
+        optimized, config, timing, base_address,
+        with_persistence=with_persistence,
+    )
     check = GuaranteeCheck(
         tau_original=wcet_orig.tau_w,
         tau_optimized=wcet_opt.tau_w,
@@ -149,6 +152,7 @@ def verify_effectiveness(
     config: CacheConfig,
     timing: TimingModel,
     base_address: int = 0,
+    with_persistence: bool = True,
 ) -> List[int]:
     """Timing soundness of every prefetch-enabled hit (Definition 10).
 
@@ -165,7 +169,7 @@ def verify_effectiveness(
         job — the expected outcome).
     """
     acfg = build_acfg(optimized, config.block_size, base_address)
-    wcet = analyze_wcet(acfg, config, timing)
+    wcet = analyze_wcet(acfg, config, timing, with_persistence=with_persistence)
     return find_undercharged_references(acfg, wcet, timing)
 
 
@@ -224,10 +228,20 @@ def verify_miss_reduction(
     config: CacheConfig,
     timing: TimingModel,
     base_address: int = 0,
+    with_persistence: bool = True,
 ) -> bool:
-    """Condition 2 on the WCET path: misses must not have increased."""
+    """Condition 2 on the WCET path: misses must not have increased.
+
+    Like Theorem 1 (see :func:`verify_wcet_guarantee`), the condition is
+    relative to the analysis that gated the insertions — pass the same
+    ``with_persistence`` the optimizer used.
+    """
     acfg_orig = build_acfg(original, config.block_size, base_address)
     acfg_opt = build_acfg(optimized, config.block_size, base_address)
-    wcet_orig = analyze_wcet(acfg_orig, config, timing)
-    wcet_opt = analyze_wcet(acfg_opt, config, timing)
+    wcet_orig = analyze_wcet(
+        acfg_orig, config, timing, with_persistence=with_persistence
+    )
+    wcet_opt = analyze_wcet(
+        acfg_opt, config, timing, with_persistence=with_persistence
+    )
     return wcet_opt.wcet_path_misses <= wcet_orig.wcet_path_misses

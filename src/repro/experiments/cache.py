@@ -1,0 +1,319 @@
+"""Persistent on-disk cache for per-use-case sweep results.
+
+The process-wide ``_SWEEP_CACHE`` in :mod:`repro.experiments.sweep` only
+helps within one interpreter; the full 2664-case grid takes hours, so an
+interrupted run used to lose everything and every fresh process (each
+figure benchmark, each CLI invocation) recomputed the whole sweep.  This
+module stores one JSON record per use case under a content-hash key of
+everything that determines the result:
+
+    (UseCase, seed, OptimizerOptions, code-version tag)
+
+so repeated runs hit disk, interrupted sweeps resume where they stopped,
+and a change to result-affecting code (bump :data:`CODE_VERSION`) or to
+any input invalidates exactly the stale records.
+
+Records round-trip bit-exactly: JSON serialises floats via ``repr``,
+which is lossless for IEEE doubles, and :func:`result_from_dict`
+reconstructs every dataclass field, so a cached
+:class:`~repro.experiments.usecase.UseCaseResult` compares equal to the
+freshly computed one field by field.
+
+The cache directory is chosen explicitly (``cache_dir=`` /
+``--cache-dir``) or through the ``REPRO_SWEEP_CACHE_DIR`` environment
+variable (set to ``0``/``off``/empty to disable); the benchmark harness
+points it at ``benchmarks/results/sweep-cache`` so all figure benches
+share one cache across processes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.analysis.timing import TimingModel
+from repro.cache.config import CacheConfig
+from repro.core.optimizer import (
+    InsertedPrefetch,
+    OptimizationReport,
+    OptimizerOptions,
+)
+from repro.core.profit import ProfitTerms
+from repro.energy.metrics import EnergyBreakdown
+from repro.errors import ExperimentError
+from repro.experiments.usecase import (
+    ProgramMeasurement,
+    UseCase,
+    UseCaseResult,
+)
+
+#: Version tag of the result-producing code.  Bump whenever analysis,
+#: optimizer, simulator, or energy-model changes alter results — every
+#: cached record keyed under the old tag becomes unreachable.
+CODE_VERSION = "2026.08-1"
+
+#: Environment variable naming the default cache directory.
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+#: Record format version (layout of the JSON files themselves).
+_FORMAT = 1
+
+
+def resolve_cache_dir(
+    cache_dir: Union[None, str, Path] = None,
+) -> Optional[Path]:
+    """The effective cache directory, or ``None`` when caching is off.
+
+    An explicit ``cache_dir`` wins; otherwise :data:`CACHE_DIR_ENV` is
+    consulted.  In both places the strings ``""``, ``0``, ``off`` and
+    ``none`` mean "disabled" (that is how ``--no-cache`` and ad-hoc
+    environment overrides switch the disk layer off).
+    """
+    if cache_dir is None:
+        cache_dir = os.environ.get(CACHE_DIR_ENV, "")
+    value = str(cache_dir).strip()
+    if not value or value.lower() in ("0", "off", "none"):
+        return None
+    return Path(value)
+
+
+# ----------------------------------------------------------------------
+# content-hash keys
+# ----------------------------------------------------------------------
+def options_fingerprint(options: OptimizerOptions) -> Dict[str, Any]:
+    """All result-affecting optimizer knobs as JSON-able plain data."""
+    data = dataclasses.asdict(options)
+    # frozensets (locked_blocks) are not JSON-able; sort for stability.
+    for name, value in data.items():
+        if isinstance(value, (set, frozenset)):
+            data[name] = sorted(value)
+    return data
+
+
+def usecase_key(
+    usecase: UseCase,
+    seed: int,
+    options: OptimizerOptions,
+    code_version: str = CODE_VERSION,
+) -> str:
+    """Content-hash key of one use-case evaluation.
+
+    Two evaluations share a key exactly when they are guaranteed to
+    produce the same :class:`UseCaseResult`: same (program, config,
+    tech), same executor seed, same optimizer options, same code
+    version.
+    """
+    payload = {
+        "usecase": [usecase.program, usecase.config_id, usecase.tech],
+        "seed": seed,
+        "options": options_fingerprint(options),
+        "code_version": code_version,
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# (de)serialisation of the result dataclasses
+# ----------------------------------------------------------------------
+def _config_to_dict(config: CacheConfig) -> Dict[str, int]:
+    return {
+        "associativity": config.associativity,
+        "block_size": config.block_size,
+        "capacity": config.capacity,
+    }
+
+
+def _config_from_dict(data: Dict[str, Any]) -> CacheConfig:
+    return CacheConfig(**data)
+
+
+def _timing_to_dict(timing: TimingModel) -> Dict[str, int]:
+    return {
+        "hit_cycles": timing.hit_cycles,
+        "miss_penalty_cycles": timing.miss_penalty_cycles,
+        "prefetch_issue_cycles": timing.prefetch_issue_cycles,
+    }
+
+
+def _energy_to_dict(energy: EnergyBreakdown) -> Dict[str, float]:
+    return {
+        "cache_dynamic_j": energy.cache_dynamic_j,
+        "dram_dynamic_j": energy.dram_dynamic_j,
+        "cache_static_j": energy.cache_static_j,
+        "dram_static_j": energy.dram_static_j,
+    }
+
+
+def _measurement_to_dict(m: ProgramMeasurement) -> Dict[str, Any]:
+    return {
+        "tau_w": m.tau_w,
+        "tau_a": m.tau_a,
+        "energy": _energy_to_dict(m.energy),
+        "miss_rate_acet": m.miss_rate_acet,
+        "miss_rate_wcet": m.miss_rate_wcet,
+        "executed_instructions": m.executed_instructions,
+        "static_instructions": m.static_instructions,
+        "prefetch_transfer_energy_j": m.prefetch_transfer_energy_j,
+    }
+
+
+def _measurement_from_dict(data: Dict[str, Any]) -> ProgramMeasurement:
+    fields = dict(data)
+    fields["energy"] = EnergyBreakdown(**fields["energy"])
+    return ProgramMeasurement(**fields)
+
+
+def _inserted_to_dict(ins: InsertedPrefetch) -> Dict[str, Any]:
+    data = dataclasses.asdict(ins)
+    data["terms"] = dataclasses.asdict(ins.terms)
+    return data
+
+
+def _inserted_from_dict(data: Dict[str, Any]) -> InsertedPrefetch:
+    fields = dict(data)
+    fields["terms"] = ProfitTerms(**fields["terms"])
+    return InsertedPrefetch(**fields)
+
+
+def _report_to_dict(report: OptimizationReport) -> Dict[str, Any]:
+    return {
+        "program": report.program,
+        "config": _config_to_dict(report.config),
+        "timing": _timing_to_dict(report.timing),
+        "tau_original": report.tau_original,
+        "tau_final": report.tau_final,
+        "misses_original": report.misses_original,
+        "misses_final": report.misses_final,
+        "static_instructions_original": report.static_instructions_original,
+        "static_instructions_final": report.static_instructions_final,
+        "inserted": [_inserted_to_dict(i) for i in report.inserted],
+        "candidates_evaluated": report.candidates_evaluated,
+        "candidates_rejected": report.candidates_rejected,
+        "passes": report.passes,
+    }
+
+
+def _report_from_dict(data: Dict[str, Any]) -> OptimizationReport:
+    fields = dict(data)
+    fields["config"] = _config_from_dict(fields["config"])
+    fields["timing"] = TimingModel(**fields["timing"])
+    fields["inserted"] = [_inserted_from_dict(i) for i in fields["inserted"]]
+    return OptimizationReport(**fields)
+
+
+def result_to_dict(result: UseCaseResult) -> Dict[str, Any]:
+    """Serialise a :class:`UseCaseResult` to plain JSON-able data."""
+    return {
+        "usecase": [
+            result.usecase.program,
+            result.usecase.config_id,
+            result.usecase.tech,
+        ],
+        "original": _measurement_to_dict(result.original),
+        "optimized": _measurement_to_dict(result.optimized),
+        "report": _report_to_dict(result.report),
+    }
+
+
+def result_from_dict(data: Dict[str, Any]) -> UseCaseResult:
+    """Reconstruct a :class:`UseCaseResult` from :func:`result_to_dict`."""
+    return UseCaseResult(
+        usecase=UseCase(*data["usecase"]),
+        original=_measurement_from_dict(data["original"]),
+        optimized=_measurement_from_dict(data["optimized"]),
+        report=_report_from_dict(data["report"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# the cache proper
+# ----------------------------------------------------------------------
+class SweepDiskCache:
+    """One JSON file per use-case result, sharded by key prefix.
+
+    Writes are atomic (temp file + rename) so concurrent sweeps and
+    interrupted runs can never leave a torn record; unreadable or
+    stale-format records are treated as misses and overwritten.
+
+    Attributes:
+        root: The cache directory (created on first use).
+        hits: Records served from disk so far.
+        misses: Lookups that found no (valid) record.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """The record file of a key (two-level sharding keeps dirs small)."""
+        if len(key) < 3:
+            raise ExperimentError(f"cache key too short: {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[UseCaseResult]:
+        """The cached result of a key, or ``None``."""
+        path = self.path_for(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+            if data.get("format") != _FORMAT:
+                raise ValueError("stale record format")
+            result = result_from_dict(data["result"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: UseCaseResult) -> Path:
+        """Persist a result atomically; returns the record path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": _FORMAT, "key": key, "result": result_to_dict(result)}
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __len__(self) -> int:
+        """Number of records currently on disk."""
+        if not self.root.exists():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        if not self.root.exists():
+            return 0
+        for record in self.root.glob("*/*.json"):
+            try:
+                record.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SweepDiskCache {self.root} hits={self.hits} "
+            f"misses={self.misses}>"
+        )

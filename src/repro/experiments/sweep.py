@@ -12,19 +12,46 @@ grids are provided:
 * :func:`full_grid` — the paper's complete 2664-case grid, for offline
   runs (see EXPERIMENTS.md).
 
-Results are cached per spec within a process so the per-figure
-benchmarks share one sweep.
+Use cases are independent, so :func:`run_sweep` fans them out over a
+``concurrent.futures.ProcessPoolExecutor`` (``workers=``), assembling
+results in deterministic grid order regardless of completion order, and
+falls back to the serial path when ``workers=1`` or the platform cannot
+run a process pool.  Three cache layers keep repeated work cheap:
+
+* per-spec, in-process (``_SWEEP_CACHE``) — the per-figure benchmarks
+  of one pytest session share one sweep; callers always receive a
+  fresh list so mutating a result list cannot poison later readers;
+* per-use-case, on disk (:mod:`repro.experiments.cache`) — interrupted
+  sweeps resume, and fresh processes (each figure benchmark, each CLI
+  run) reuse earlier results;
+* optional :class:`~repro.experiments.metrics.SweepMetrics` collection
+  reports where every result came from and what it cost.
 """
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import (
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.bench.registry import program_names
 from repro.cache.config import CAPACITIES, TABLE2, config_id
 from repro.errors import ExperimentError
 from repro.experiments.usecase import UseCase, UseCaseResult, run_usecase
+
+#: Environment variable overriding the default worker count.
+WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -127,37 +154,220 @@ def full_grid(seed: int = 1, max_evaluations: Optional[int] = 120) -> SweepSpec:
 
 
 #: Process-wide cache: spec -> results (sweeps are deterministic).
-_SWEEP_CACHE: Dict[SweepSpec, List[UseCaseResult]] = {}
+#: Holds immutable tuples; :func:`run_sweep` hands out fresh lists so a
+#: caller mutating its copy cannot poison later readers.
+_SWEEP_CACHE: Dict[SweepSpec, Tuple[UseCaseResult, ...]] = {}
+
+
+def resolve_workers(workers: Optional[int], pending: int) -> int:
+    """The effective worker count for ``pending`` runnable use cases.
+
+    ``None`` means auto: the :data:`WORKERS_ENV` environment variable if
+    set, else ``os.cpu_count()``.  The result is clamped to the number
+    of runnable cases (never below 1) — a sweep served entirely from
+    cache should not spin up a pool.
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if env:
+            try:
+                workers = int(env)
+            except ValueError:
+                raise ExperimentError(
+                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                ) from None
+        else:
+            workers = os.cpu_count() or 1
+    if workers < 1:
+        raise ExperimentError(f"workers must be >= 1, got {workers}")
+    return max(1, min(workers, pending))
+
+
+def _evaluate_usecase(payload) -> Tuple[UseCaseResult, float, int]:
+    """Worker entry point: run one use case, timed.
+
+    Module-level so it pickles under every multiprocessing start
+    method.  Returns (result, wall seconds, worker pid).
+    """
+    usecase, seed, options = payload
+    start = time.perf_counter()
+    result = run_usecase(usecase, seed=seed, options=options)
+    return result, time.perf_counter() - start, os.getpid()
+
+
+def _pool_results(
+    cases: Sequence[UseCase],
+    pending: Sequence[int],
+    seed: int,
+    options,
+    workers: int,
+) -> Iterator[Tuple[int, Tuple[UseCaseResult, float, int]]]:
+    """Chunked process-pool evaluation, yielding in ``pending`` order.
+
+    Raises whatever pool-infrastructure error occurs so the caller can
+    fall back to the serial path; use-case exceptions propagate as-is.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    context = None
+    if "fork" in multiprocessing.get_all_start_methods():
+        # Cheapest start method where available: workers inherit the
+        # loaded benchmark registry instead of re-importing it.
+        context = multiprocessing.get_context("fork")
+    payloads = [(cases[idx], seed, options) for idx in pending]
+    chunksize = max(1, len(pending) // (workers * 4))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+        yield from zip(pending, pool.map(_evaluate_usecase, payloads,
+                                         chunksize=chunksize))
 
 
 def run_sweep(
     spec: SweepSpec,
     progress: Optional[Callable[[UseCase, UseCaseResult], None]] = None,
     use_cache: bool = True,
+    workers: Optional[int] = None,
+    cache_dir: Union[None, str, Path] = None,
+    metrics=None,
 ) -> List[UseCaseResult]:
     """Run every use case of a spec.
 
     Args:
         spec: The grid.
-        progress: Optional callback invoked after each use case.
+        progress: Optional callback invoked per use case, always in
+            grid order (parallel completions are re-sequenced).
         use_cache: Reuse results of an identical earlier sweep in this
             process (sweeps are deterministic).
+        workers: Process count for the fan-out; ``None`` = auto
+            (:data:`WORKERS_ENV`, else ``os.cpu_count()``), ``1`` =
+            serial.  The serial path is also the automatic fallback
+            when the platform cannot start a process pool.
+        cache_dir: Directory of the persistent per-use-case cache;
+            ``None`` consults ``REPRO_SWEEP_CACHE_DIR`` (unset =
+            disabled).  See :mod:`repro.experiments.cache`.
+        metrics: Optional :class:`~repro.experiments.metrics.SweepMetrics`
+            collector to fill.
 
     Returns:
-        Results in grid order.
+        A fresh list of results in grid order (safe to mutate).
     """
+    from repro.experiments.metrics import (
+        SOURCE_COMPUTED,
+        SOURCE_DISK,
+        SOURCE_MEMORY,
+    )
+
+    cases = spec.usecases()
     if use_cache and spec in _SWEEP_CACHE:
-        return _SWEEP_CACHE[spec]
+        cached = _SWEEP_CACHE[spec]
+        if metrics is not None:
+            for usecase, result in zip(cases, cached):
+                metrics.record(usecase, result, SOURCE_MEMORY)
+        return list(cached)
+
     options = spec.optimizer_options()
-    results: List[UseCaseResult] = []
-    for usecase in spec.usecases():
-        result = run_usecase(usecase, seed=spec.seed, options=options)
-        results.append(result)
-        if progress is not None:
-            progress(usecase, result)
+    from repro.experiments.cache import (
+        SweepDiskCache,
+        resolve_cache_dir,
+        usecase_key,
+    )
+
+    disk_root = resolve_cache_dir(cache_dir)
+    disk = SweepDiskCache(disk_root) if disk_root is not None else None
+
+    n = len(cases)
+    results: List[Optional[UseCaseResult]] = [None] * n
+    sources: List[str] = [SOURCE_COMPUTED] * n
+    timings: List[float] = [0.0] * n
+    pids: List[int] = [0] * n
+    keys: List[Optional[str]] = [None] * n
+    pending: List[int] = []
+    for idx, usecase in enumerate(cases):
+        if disk is not None:
+            keys[idx] = usecase_key(usecase, spec.seed, options)
+            hit = disk.get(keys[idx])
+            if hit is not None:
+                results[idx] = hit
+                sources[idx] = SOURCE_DISK
+                continue
+        pending.append(idx)
+
+    nworkers = resolve_workers(workers, len(pending))
+    if metrics is not None:
+        metrics.workers = nworkers
+
+    emitted = 0
+
+    def take(idx: int, outcome: Tuple[UseCaseResult, float, int]) -> None:
+        result, elapsed, pid = outcome
+        results[idx] = result
+        timings[idx] = elapsed
+        pids[idx] = pid
+        if disk is not None:
+            disk.put(keys[idx], result)
+
+    def emit_ready() -> None:
+        # Re-sequence: progress/metrics fire in grid order as soon as
+        # the prefix up to the first still-running case is complete.
+        nonlocal emitted
+        while emitted < n and results[emitted] is not None:
+            idx = emitted
+            if metrics is not None:
+                metrics.record(
+                    cases[idx],
+                    results[idx],
+                    sources[idx],
+                    wall_time_s=timings[idx],
+                    worker_pid=pids[idx],
+                )
+            if progress is not None:
+                progress(cases[idx], results[idx])
+            emitted += 1
+
+    remaining = pending
+    if remaining and nworkers > 1:
+        try:
+            for idx, outcome in _pool_results(
+                cases, remaining, spec.seed, options, nworkers
+            ):
+                take(idx, outcome)
+                emit_ready()
+            remaining = []
+            if metrics is not None:
+                metrics.parallel = True
+        except _POOL_FAILURES:
+            # The pool could not run (sandboxed platform, missing fork,
+            # dead worker...) — finish whatever is left serially.
+            remaining = [idx for idx in remaining if results[idx] is None]
+            if metrics is not None:
+                metrics.workers = 1
+    for idx in remaining:
+        take(idx, _evaluate_usecase((cases[idx], spec.seed, options)))
+        emit_ready()
+    emit_ready()
+
+    final: List[UseCaseResult] = list(results)  # type: ignore[arg-type]
     if use_cache:
-        _SWEEP_CACHE[spec] = results
-    return results
+        _SWEEP_CACHE[spec] = tuple(final)
+    return final
+
+
+def _pool_failure_types() -> Tuple[type, ...]:
+    """Errors meaning "the pool itself broke", not "a use case failed"."""
+    import pickle
+    from concurrent.futures.process import BrokenProcessPool
+
+    return (
+        BrokenProcessPool,
+        OSError,
+        PermissionError,
+        NotImplementedError,
+        ImportError,
+        pickle.PicklingError,
+    )
+
+
+_POOL_FAILURES = _pool_failure_types()
 
 
 def group_by_capacity(

@@ -1,0 +1,241 @@
+"""Differential tests: abstract cache analysis vs. the concrete cache.
+
+The abstract must/may domains are only useful if they are *never
+optimistic* with respect to the concrete LRU semantics they abstract
+(Touzeau et al., arXiv:1701.08030, build an entire exact model just to
+cross-check such classifications).  Two layers of comparison:
+
+* **state level** — driving :class:`MustState`/:class:`MayState` and a
+  :class:`ConcreteCache` in lockstep over random access sequences, the
+  simulation relation must hold after every access: every must-block is
+  cached with concrete age ≤ its must age, and every cached block is in
+  the may state with concrete age ≥ its may age;
+* **program level** — over generated programs, a reference classified
+  always-hit (in every context) must never miss in the trace simulator,
+  and always-miss must never hit, across direct-mapped and
+  set-associative configurations.
+
+A deterministic slice runs in tier-1; the wide hypothesis sweeps are
+marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.generator import random_program
+from repro.cache.abstract import MayState, MustState
+from repro.cache.classify import Classification, analyze_cache
+from repro.cache.concrete import ConcreteCache
+from repro.cache.config import CacheConfig
+from repro.program.acfg import build_acfg
+from repro.program.layout import AddressLayout
+from repro.sim.executor import block_trace
+
+#: Direct-mapped and set-associative shapes, small enough to evict.
+STATE_CONFIGS = (
+    CacheConfig(1, 16, 64),    # direct-mapped, 4 sets
+    CacheConfig(1, 16, 256),   # direct-mapped, 16 sets
+    CacheConfig(2, 16, 128),   # 2-way, 4 sets
+    CacheConfig(4, 16, 128),   # 4-way, 2 sets
+    CacheConfig(2, 32, 256),   # 2-way, larger blocks
+)
+
+PROGRAM_CONFIGS = (
+    CacheConfig(1, 16, 256),   # direct-mapped
+    CacheConfig(2, 16, 256),   # set-associative
+    CacheConfig(4, 32, 512),   # wider blocks, more ways
+)
+
+
+def _assert_simulation_relation(must, may, concrete, config):
+    """The soundness relation between abstract and concrete state."""
+    cached = set(concrete.cached_blocks())
+    for block in must.blocks():
+        # must is an under-approximation with age upper bounds
+        assert concrete.contains(block), (
+            f"must-state block {block} absent from the concrete cache"
+        )
+        assert concrete.age_of(block) <= must.age_of(block)
+    for block in cached:
+        # may is an over-approximation with age lower bounds
+        assert block in may, (
+            f"cached block {block} missing from the may state"
+        )
+        assert may.age_of(block) <= concrete.age_of(block)
+
+
+def _run_sequence(config, sequence):
+    must = MustState(config)
+    may = MayState(config)
+    concrete = ConcreteCache(config)
+    for block in sequence:
+        # predictions from the *pre*-access states
+        if block in must:
+            assert concrete.contains(block), (
+                f"must predicted a hit for block {block}, concrete misses"
+            )
+        if block not in may:
+            assert not concrete.contains(block), (
+                f"may excluded block {block}, concrete hits"
+            )
+        concrete.access(block)
+        must = must.update(block)
+        may = may.update(block)
+        _assert_simulation_relation(must, may, concrete, config)
+    return must, may, concrete
+
+
+class TestStateLevelDeterministic:
+    @pytest.mark.parametrize("config", STATE_CONFIGS, ids=lambda c: c.label())
+    def test_thrashing_sequence(self, config):
+        # cycle through more blocks than any set holds, twice
+        blocks = list(range(3 * config.num_blocks)) * 2
+        _run_sequence(config, blocks)
+
+    @pytest.mark.parametrize("config", STATE_CONFIGS, ids=lambda c: c.label())
+    def test_repeating_working_set(self, config):
+        working_set = list(range(config.associativity + 1))
+        _run_sequence(config, working_set * 5)
+
+    def test_join_never_invents_must_blocks(self):
+        """After a join, the must state only keeps common blocks — the
+        classification can therefore never claim a hit one path lacks."""
+        config = CacheConfig(2, 16, 128)
+        left = MustState(config).update(1).update(2)
+        right = MustState(config).update(3).update(2)
+        joined = left.join(right)
+        for concrete_path in ([1, 2], [3, 2]):
+            concrete = ConcreteCache(config)
+            for block in concrete_path:
+                concrete.access(block)
+            for block in joined.blocks():
+                assert concrete.contains(block)
+
+    def test_join_keeps_every_possibly_cached_block_in_may(self):
+        config = CacheConfig(2, 16, 128)
+        left = MayState(config).update(1).update(2)
+        right = MayState(config).update(3)
+        joined = left.join(right)
+        assert {1, 2, 3} <= set(joined.blocks())
+
+
+@pytest.mark.slow
+class TestStateLevelPropertyBased:
+    @settings(max_examples=120, deadline=None)
+    @given(
+        config=st.sampled_from(STATE_CONFIGS),
+        sequence=st.lists(
+            st.integers(min_value=0, max_value=40), min_size=0, max_size=60
+        ),
+    )
+    def test_abstract_never_optimistic_on_any_sequence(self, config, sequence):
+        _run_sequence(config, sequence)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        config=st.sampled_from(STATE_CONFIGS),
+        prefix=st.lists(st.integers(0, 20), max_size=25),
+        left=st.lists(st.integers(0, 20), max_size=10),
+        right=st.lists(st.integers(0, 20), max_size=10),
+        suffix=st.lists(st.integers(0, 20), max_size=15),
+    )
+    def test_joined_state_sound_for_both_branches(
+        self, config, prefix, left, right, suffix
+    ):
+        """Branch-shaped flows: the joined abstract state must be sound
+        for the concrete execution of either arm."""
+        base_must = MustState(config)
+        base_may = MayState(config)
+        for block in prefix:
+            base_must = base_must.update(block)
+            base_may = base_may.update(block)
+        arms_must, arms_may = [], []
+        for arm in (left, right):
+            must, may = base_must, base_may
+            for block in arm:
+                must = must.update(block)
+                may = may.update(block)
+            arms_must.append(must)
+            arms_may.append(may)
+        must = arms_must[0].join(arms_must[1])
+        may = arms_may[0].join(arms_may[1])
+        for arm in (left, right):
+            concrete = ConcreteCache(config)
+            for block in prefix + arm:
+                concrete.access(block)
+            state_must, state_may = must, may
+            for block in suffix:
+                if block in state_must:
+                    assert concrete.contains(block)
+                if block not in state_may:
+                    assert not concrete.contains(block)
+                concrete.access(block)
+                state_must = state_must.update(block)
+                state_may = state_may.update(block)
+                _assert_simulation_relation(
+                    state_must, state_may, concrete, config
+                )
+
+
+# ----------------------------------------------------------------------
+# program level: classifications vs. the trace simulator
+# ----------------------------------------------------------------------
+def _concrete_outcomes(cfg, config, seed):
+    """Replay one concrete run; yields (uid, hit) per dynamic fetch."""
+    layout = AddressLayout(cfg)
+    cache = ConcreteCache(config)
+    for block in block_trace(cfg, seed=seed):
+        for instr in block.instructions:
+            mem_block = config.block_of_address(layout.address(instr.uid))
+            yield instr.uid, cache.access(mem_block)
+
+
+def _assert_classification_never_optimistic(program_seed, config, run_seeds):
+    cfg = random_program(program_seed, target_size=90)
+    acfg = build_acfg(cfg, block_size=config.block_size)
+    analysis = analyze_cache(acfg, config)
+    per_uid = {}
+    for vertex in acfg.ref_vertices():
+        per_uid.setdefault(vertex.instr.uid, set()).add(
+            analysis.classification(vertex.rid)
+        )
+    for run_seed in run_seeds:
+        for uid, hit in _concrete_outcomes(cfg, config, run_seed):
+            classes = per_uid[uid]
+            if classes == {Classification.ALWAYS_HIT}:
+                assert hit, (
+                    f"always-hit uid {uid} missed concretely (program "
+                    f"seed {program_seed}, {config.label()})"
+                )
+            if classes == {Classification.ALWAYS_MISS}:
+                assert not hit, (
+                    f"always-miss uid {uid} hit concretely (program "
+                    f"seed {program_seed}, {config.label()})"
+                )
+
+
+class TestProgramLevelDeterministic:
+    @pytest.mark.parametrize("config", PROGRAM_CONFIGS, ids=lambda c: c.label())
+    @pytest.mark.parametrize("program_seed", (3, 17))
+    def test_classification_sound_on_generated_programs(
+        self, program_seed, config
+    ):
+        _assert_classification_never_optimistic(
+            program_seed, config, run_seeds=(0, 1)
+        )
+
+
+@pytest.mark.slow
+class TestProgramLevelPropertyBased:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        program_seed=st.integers(min_value=0, max_value=10_000),
+        config=st.sampled_from(PROGRAM_CONFIGS),
+    )
+    def test_classification_sound_across_configs(self, program_seed, config):
+        _assert_classification_never_optimistic(
+            program_seed, config, run_seeds=(0, 1, 2)
+        )

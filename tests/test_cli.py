@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cli import main
+from repro.experiments import sweep as sweep_module
 
 
 class TestListing:
@@ -73,3 +74,67 @@ class TestUseCaseAndFigures:
     def test_unknown_command_exits(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestSweepCommand:
+    TINY = ["--programs", "bs", "prime", "--configs", "k1",
+            "--techs", "45nm", "--budget", "10"]
+
+    @pytest.fixture(autouse=True)
+    def _clean_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        # each test sees a cold in-process cache
+        monkeypatch.setattr(sweep_module, "_SWEEP_CACHE", {})
+
+    def _case_lines(self, out):
+        return [line for line in out.splitlines() if line.startswith("[")]
+
+    def test_sweep_runs_and_summarises(self, capsys):
+        assert main(["sweep", *self.TINY, "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "sweep: 2 use cases (2 computed" in out
+        assert "workers: 1 (serial)" in out
+        assert "average improvement" in out
+        assert len(self._case_lines(out)) == 2
+
+    def test_workers_1_and_2_agree_on_per_case_output(self, capsys):
+        assert main(["sweep", *self.TINY, "--workers", "1", "--no-cache"]) == 0
+        serial = self._case_lines(capsys.readouterr().out)
+        assert main(["sweep", *self.TINY, "--workers", "2", "--no-cache"]) == 0
+        parallel = self._case_lines(capsys.readouterr().out)
+        assert serial == parallel
+        assert len(serial) == 2
+
+    def test_cache_dir_created_and_hit_on_rerun(self, capsys, tmp_path):
+        cache_dir = tmp_path / "sweep-cache"
+        args = ["sweep", *self.TINY, "--workers", "1",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert cache_dir.is_dir()
+        assert list(cache_dir.glob("*/*.json"))
+        # cold in-process cache, warm disk: everything served from disk
+        sweep_module._SWEEP_CACHE.clear()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "(0 computed, 2 from disk cache" in out
+
+    def test_no_cache_ignores_disk_and_memory(self, capsys, tmp_path,
+                                              monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "env"))
+        assert main(["sweep", *self.TINY, "--workers", "1",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "2 computed, 0 from disk cache" in out
+        assert not (tmp_path / "env").exists()
+
+    def test_quiet_suppresses_per_case_lines(self, capsys):
+        assert main(["sweep", *self.TINY, "--workers", "1", "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert self._case_lines(out) == []
+        assert "sweep: 2 use cases" in out
+
+    def test_flag_parsing_rejects_bad_workers(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--workers", "two"])

@@ -94,9 +94,26 @@ class TestSweep:
         for case, result in zip(SMALL_SPEC.usecases(), small_results):
             assert result.usecase == case
 
-    def test_sweep_cache_returns_same_objects(self, small_results):
+    def test_sweep_cache_returns_equal_results(self, small_results):
         again = run_sweep(SMALL_SPEC)
-        assert again is small_results
+        assert again is not small_results  # fresh list per call
+        assert [r.usecase for r in again] == [r.usecase for r in small_results]
+        assert [r.original.tau_w for r in again] == [
+            r.original.tau_w for r in small_results
+        ]
+
+    def test_mutating_cached_results_cannot_poison_the_cache(self):
+        """Regression: a caller clearing/sorting its result list used to
+        corrupt ``_SWEEP_CACHE`` for every later figure benchmark."""
+        spec = SweepSpec(("bs",), ("k1",), ("45nm",), max_evaluations=10)
+        first = run_sweep(spec)
+        assert len(first) == 1
+        first.clear()
+        second = run_sweep(spec)
+        assert len(second) == 1
+        assert second[0].usecase == UseCase("bs", "k1", "45nm")
+        second.append("junk")
+        assert len(run_sweep(spec)) == 1
 
     def test_progress_callback(self):
         spec = SweepSpec(("bs",), ("k1",), ("45nm",), max_evaluations=10)

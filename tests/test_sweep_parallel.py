@@ -1,0 +1,196 @@
+"""Tests for the parallel sweep engine and the persistent disk cache.
+
+The contract under test: ``run_sweep(spec, workers=N)`` returns exactly
+the serial path's results, in grid order, for any N; the disk cache
+round-trips results bit-exactly and invalidates when any input of the
+computation changes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.cache import (
+    CODE_VERSION,
+    SweepDiskCache,
+    resolve_cache_dir,
+    result_from_dict,
+    result_to_dict,
+    usecase_key,
+)
+from repro.experiments.metrics import SweepMetrics
+from repro.experiments.sweep import (
+    SweepSpec,
+    resolve_workers,
+    run_sweep,
+)
+from repro.experiments.usecase import UseCase
+
+#: Two fast programs, one config, one tech: 2 use cases per sweep.
+TINY_SPEC = SweepSpec(
+    programs=("bs", "prime"),
+    config_ids=("k1",),
+    techs=("45nm",),
+    seed=1,
+    max_evaluations=10,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_cache(monkeypatch):
+    """Keep the environment from injecting a disk cache or workers."""
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+
+
+@pytest.fixture(scope="module")
+def serial_results():
+    """The serial reference run (no caches involved)."""
+    return run_sweep(TINY_SPEC, use_cache=False, workers=1)
+
+
+def _dicts(results):
+    return [result_to_dict(r) for r in results]
+
+
+class TestParallelEquivalence:
+    def test_parallel_matches_serial_in_order_and_fields(self, serial_results):
+        metrics = SweepMetrics()
+        parallel = run_sweep(
+            TINY_SPEC, use_cache=False, workers=2, metrics=metrics
+        )
+        assert [r.usecase for r in parallel] == TINY_SPEC.usecases()
+        assert _dicts(parallel) == _dicts(serial_results)
+
+    def test_parallel_run_uses_other_processes(self):
+        metrics = SweepMetrics()
+        run_sweep(TINY_SPEC, use_cache=False, workers=2, metrics=metrics)
+        if not metrics.parallel:
+            pytest.skip("platform cannot run a process pool")
+        pids = metrics.worker_pids()
+        assert pids, "no computed use case recorded a worker pid"
+        assert os.getpid() not in pids
+        assert metrics.workers == 2
+
+    def test_progress_fires_in_grid_order(self, serial_results):
+        seen = []
+        run_sweep(
+            TINY_SPEC,
+            progress=lambda uc, r: seen.append(uc),
+            use_cache=False,
+            workers=2,
+        )
+        assert seen == TINY_SPEC.usecases()
+
+    def test_workers_resolution(self, monkeypatch):
+        assert resolve_workers(3, pending=10) == 3
+        assert resolve_workers(8, pending=2) == 2  # clamped to work
+        assert resolve_workers(4, pending=0) == 1  # nothing to do
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "5")
+        assert resolve_workers(None, pending=100) == 5
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "banana")
+        with pytest.raises(ExperimentError):
+            resolve_workers(None, pending=4)
+        with pytest.raises(ExperimentError):
+            resolve_workers(0, pending=4)
+
+
+class TestDiskCache:
+    def test_round_trip_is_bit_exact(self, tmp_path, serial_results):
+        metrics_cold = SweepMetrics()
+        first = run_sweep(
+            TINY_SPEC,
+            use_cache=False,
+            workers=1,
+            cache_dir=tmp_path,
+            metrics=metrics_cold,
+        )
+        assert metrics_cold.computed == TINY_SPEC.size
+        metrics_warm = SweepMetrics()
+        second = run_sweep(
+            TINY_SPEC,
+            use_cache=False,
+            workers=1,
+            cache_dir=tmp_path,
+            metrics=metrics_warm,
+        )
+        assert metrics_warm.disk_hits == TINY_SPEC.size
+        assert metrics_warm.computed == 0
+        # bit-exact: every float, count and nested report field agrees
+        assert _dicts(second) == _dicts(first) == _dicts(serial_results)
+
+    def test_serializer_round_trip(self, serial_results):
+        result = serial_results[0]
+        clone = result_from_dict(result_to_dict(result))
+        assert result_to_dict(clone) == result_to_dict(result)
+        assert clone.usecase == result.usecase
+        assert clone.report.tau_final == result.report.tau_final
+        assert clone.wcet_ratio == result.wcet_ratio
+
+    def test_key_invalidates_on_seed_options_and_version(self):
+        usecase = UseCase("bs", "k1", "45nm")
+        options = TINY_SPEC.optimizer_options()
+        base = usecase_key(usecase, 1, options)
+        assert base == usecase_key(usecase, 1, options)  # deterministic
+        assert base != usecase_key(usecase, 2, options)
+        other_options = SweepSpec(
+            programs=("bs",),
+            config_ids=("k1",),
+            techs=("45nm",),
+            max_evaluations=99,
+        ).optimizer_options()
+        assert base != usecase_key(usecase, 1, other_options)
+        baseline_options = SweepSpec(
+            programs=("bs",),
+            config_ids=("k1",),
+            techs=("45nm",),
+            max_evaluations=10,
+            baseline="persistence",
+        ).optimizer_options()
+        assert base != usecase_key(usecase, 1, baseline_options)
+        assert base != usecase_key(usecase, 1, options, code_version="older")
+        assert base != usecase_key(
+            UseCase("bs", "k1", "32nm"), 1, options
+        )
+
+    def test_corrupt_record_is_a_miss(self, tmp_path, serial_results):
+        cache = SweepDiskCache(tmp_path)
+        key = usecase_key(
+            UseCase("bs", "k1", "45nm"), 1, TINY_SPEC.optimizer_options()
+        )
+        cache.put(key, serial_results[0])
+        assert len(cache) == 1
+        cache.path_for(key).write_text("{not json")
+        assert cache.get(key) is None
+        assert cache.misses == 1
+        # overwriting heals the record
+        cache.put(key, serial_results[0])
+        restored = cache.get(key)
+        assert restored is not None
+        assert result_to_dict(restored) == result_to_dict(serial_results[0])
+
+    def test_clear_removes_records(self, tmp_path, serial_results):
+        cache = SweepDiskCache(tmp_path)
+        key = usecase_key(
+            UseCase("bs", "k1", "45nm"), 1, TINY_SPEC.optimizer_options()
+        )
+        cache.put(key, serial_results[0])
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_resolve_cache_dir(self, monkeypatch, tmp_path):
+        assert resolve_cache_dir(tmp_path) == tmp_path
+        assert resolve_cache_dir("off") is None
+        assert resolve_cache_dir("0") is None
+        assert resolve_cache_dir(None) is None  # env unset via fixture
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", str(tmp_path / "env"))
+        assert resolve_cache_dir(None) == tmp_path / "env"
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_DIR", "off")
+        assert resolve_cache_dir(None) is None
+
+    def test_code_version_is_part_of_the_contract(self):
+        # The tag exists and is non-empty; bumping it must change keys.
+        assert isinstance(CODE_VERSION, str) and CODE_VERSION
