@@ -9,11 +9,17 @@ Exposes the library's main entry points without writing Python::
     python -m repro figure 3 --programs bs crc fdct --configs k1 k13
     python -m repro sweep --workers 4 --cache-dir ~/.cache/repro-sweep
     python -m repro table 1
+    python -m repro serve --port 8080 --workers 4
+
+``optimize`` and ``sweep`` take ``--json``: the machine-readable
+document goes to stdout and the human-readable text moves to stderr, so
+scripts can pipe results while operators still see progress.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -65,6 +71,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     opt.add_argument("--budget", type=int, default=None, metavar="N",
                      help="optimization budget (candidate evaluations)")
+    opt.add_argument("--json", action="store_true",
+                     help="machine-readable result on stdout "
+                          "(human text moves to stderr)")
 
     usecase = sub.add_parser(
         "usecase", help="paired original/optimized measurement of one use case"
@@ -115,6 +124,34 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="ignore both the disk and the in-process cache")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress the per-use-case progress lines")
+    sweep.add_argument("--json", action="store_true",
+                       help="machine-readable results on stdout "
+                            "(progress/summary move to stderr)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the async analysis service (jobs over HTTP/JSON)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="compute pool size (default: "
+                            "REPRO_SWEEP_WORKERS or the CPU count)")
+    serve.add_argument("--queue-size", type=int, default=64, metavar="N",
+                       help="bounded job queue; beyond it submissions "
+                            "get 429 + Retry-After")
+    serve.add_argument("--job-timeout", type=float, default=600.0,
+                       metavar="SECONDS",
+                       help="per-job wall-clock budget (0 = unlimited)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent result cache (default: "
+                            "$REPRO_SWEEP_CACHE_DIR; unset = no disk cache)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="serve without the persistent disk cache")
+    serve.add_argument("--self-check", action="store_true",
+                       help="boot on an ephemeral port, hit /healthz, "
+                            "report, and exit")
     return parser
 
 
@@ -134,6 +171,8 @@ def _cmd_list_configs() -> int:
 
 
 def _cmd_optimize(args: argparse.Namespace) -> int:
+    from repro.experiments.report import optimize_to_json
+
     config = TABLE2[args.config]
     tech = technology(args.tech)
     timing = cacti_model(config, tech).timing_model()
@@ -147,16 +186,28 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         cfg, optimized, config, timing,
         with_persistence=args.baseline == "persistence",
     )
+    # In --json mode the human rendering moves to stderr so stdout stays
+    # a clean machine-readable document.
+    out = sys.stderr if args.json else sys.stdout
     print(f"{cfg.name} on {args.config}={config.label()} @ {tech.name} "
-          f"[{args.baseline} baseline]")
+          f"[{args.baseline} baseline]", file=out)
     print(f"prefetches : {report.prefetch_count} "
           f"({report.candidates_evaluated} evaluated, "
-          f"{report.candidates_rejected} rejected, {report.passes} passes)")
+          f"{report.candidates_rejected} rejected, {report.passes} passes)",
+          file=out)
     print(f"τ_w        : {report.tau_original:.0f} -> {report.tau_final:.0f} "
-          f"({100 * report.wcet_reduction:+.1f}%)")
-    print(f"worst miss : {report.misses_original} -> {report.misses_final}")
+          f"({100 * report.wcet_reduction:+.1f}%)", file=out)
+    print(f"worst miss : {report.misses_original} -> {report.misses_final}",
+          file=out)
     print(f"Theorem 1  : {check.theorem1_holds}   Condition 2: "
-          f"{check.condition2_holds}   latency-sound: {check.all_effective}")
+          f"{check.condition2_holds}   latency-sound: {check.all_effective}",
+          file=out)
+    if args.json:
+        document = optimize_to_json(report, check)
+        document["config_id"] = args.config
+        document["tech"] = tech.name
+        document["baseline"] = args.baseline
+        print(json.dumps(document, sort_keys=True))
     return 0 if check.theorem1_holds else 1
 
 
@@ -221,6 +272,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             baseline=args.baseline,
         )
     metrics = SweepMetrics()
+    # In --json mode every human-readable line (progress + summary)
+    # moves to stderr; stdout carries only the JSON document.
+    out = sys.stderr if args.json else sys.stdout
     progress = None
     if not args.quiet:
         width = len(str(spec.size))
@@ -231,7 +285,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"{usecase.program:<14s} {usecase.config_id:<4s} "
                   f"{usecase.tech:<5s} wcet {result.wcet_ratio:.3f} "
                   f"acet {result.acet_ratio:.3f} "
-                  f"energy {result.energy_ratio:.3f}")
+                  f"energy {result.energy_ratio:.3f}", file=out)
 
     cache_dir = "off" if args.no_cache else args.cache_dir
     results = run_sweep(
@@ -242,12 +296,63 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         metrics=metrics,
     )
-    print()
-    print(metrics.summary())
+    print(file=out)
+    print(metrics.summary(), file=out)
     print(f"average improvement: "
           f"wcet {100 * (1 - average([r.wcet_ratio for r in results])):.1f}%, "
           f"acet {100 * (1 - average([r.acet_ratio for r in results])):.1f}%, "
-          f"energy {100 * (1 - average([r.energy_ratio for r in results])):.1f}%")
+          f"energy {100 * (1 - average([r.energy_ratio for r in results])):.1f}%",
+          file=out)
+    if args.json:
+        from repro.experiments.report import sweep_to_json
+
+        print(json.dumps(sweep_to_json(results, metrics=metrics),
+                         sort_keys=True))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service.app import BackgroundServer, build_service, run_server
+
+    cache_dir = "off" if args.no_cache else args.cache_dir
+    build_kwargs = dict(
+        workers=args.workers,
+        cache_dir=cache_dir,
+        max_queue=args.queue_size,
+        job_timeout_s=args.job_timeout,
+    )
+
+    if args.self_check:
+        # Boot on an ephemeral port, prove /healthz answers, tear down.
+        from repro.service.client import ServiceClient
+
+        with BackgroundServer(host=args.host, port=0,
+                              **build_kwargs) as server:
+            client = ServiceClient(server.host, server.port)
+            health = client.health()
+            print(f"self-check: {server.url}/healthz -> "
+                  f"{health.get('status')} "
+                  f"(version {health.get('version')}, "
+                  f"workers {health['executor']['workers']})")
+            ok = health.get("status") == "ok"
+        return 0 if ok else 1
+
+    async def _serve() -> None:
+        app = build_service(**build_kwargs)
+
+        def ready(port: int) -> None:
+            print(f"repro service listening on http://{args.host}:{port} "
+                  f"(workers {app.executor.workers}, "
+                  f"queue {args.queue_size})", flush=True)
+
+        await run_server(app, host=args.host, port=args.port, ready=ready)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
     return 0
 
 
@@ -272,6 +377,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "usecase": lambda: _cmd_usecase(args),
         "figure": lambda: _cmd_figure(args),
         "sweep": lambda: _cmd_sweep(args),
+        "serve": lambda: _cmd_serve(args),
         "table": lambda: _cmd_table(args),
     }
     try:

@@ -56,3 +56,34 @@ class GuaranteeViolation(OptimizationError):
 
 class ExperimentError(ReproError):
     """An experiment/sweep was configured inconsistently."""
+
+
+class ConfigError(ExperimentError):
+    """An environment/CLI configuration knob holds an unusable value.
+
+    Raised early, with the offending knob named, instead of letting a
+    raw ``ValueError`` escape from deep inside a sweep or the service.
+    """
+
+
+class ProtocolError(ReproError):
+    """A service request violates the job protocol (HTTP 400)."""
+
+
+class ServiceError(ReproError):
+    """The analysis service (or a client talking to it) failed.
+
+    Attributes:
+        status: HTTP status code of the failing response, if any.
+        retry_after: Server-suggested retry delay in seconds, if any.
+    """
+
+    def __init__(self, message: str, status: "int | None" = None,
+                 retry_after: "float | None" = None):
+        super().__init__(message)
+        self.status = status
+        self.retry_after = retry_after
+
+
+class QueueFullError(ServiceError):
+    """The service job queue is at capacity (HTTP 429 + Retry-After)."""

@@ -23,7 +23,10 @@ The cache directory is chosen explicitly (``cache_dir=`` /
 ``--cache-dir``) or through the ``REPRO_SWEEP_CACHE_DIR`` environment
 variable (set to ``0``/``off``/empty to disable); the benchmark harness
 points it at ``benchmarks/results/sweep-cache`` so all figure benches
-share one cache across processes.
+share one cache across processes.  A total-size cap
+(``REPRO_SWEEP_CACHE_MAX_BYTES`` / :meth:`SweepDiskCache.prune`) evicts
+oldest-mtime-first so long-lived sweeps and the analysis service cannot
+grow the cache without bound.
 """
 
 from __future__ import annotations
@@ -60,6 +63,9 @@ CODE_VERSION = "2026.08-1"
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
 
+#: Environment variable capping the cache's total size in bytes.
+CACHE_MAX_BYTES_ENV = "REPRO_SWEEP_CACHE_MAX_BYTES"
+
 #: Record format version (layout of the JSON files themselves).
 _FORMAT = 1
 
@@ -80,6 +86,37 @@ def resolve_cache_dir(
     if not value or value.lower() in ("0", "off", "none"):
         return None
     return Path(value)
+
+
+def resolve_cache_max_bytes(
+    max_bytes: Union[None, int, str] = None,
+) -> Optional[int]:
+    """The effective cache size cap in bytes, or ``None`` (unbounded).
+
+    An explicit ``max_bytes`` wins; otherwise :data:`CACHE_MAX_BYTES_ENV`
+    is consulted.  ``""``, ``0``, ``off`` and ``none`` mean "no cap";
+    anything else must parse as a positive integer byte count.
+    """
+    from repro.errors import ConfigError
+
+    source = "max_bytes"
+    if max_bytes is None:
+        max_bytes = os.environ.get(CACHE_MAX_BYTES_ENV, "")
+        source = CACHE_MAX_BYTES_ENV
+    value = str(max_bytes).strip()
+    if not value or value.lower() in ("0", "off", "none"):
+        return None
+    try:
+        parsed = int(value)
+    except ValueError:
+        raise ConfigError(
+            f"{source} must be a positive integer byte count, got {value!r}"
+        ) from None
+    if parsed <= 0:
+        raise ConfigError(
+            f"{source} must be a positive integer byte count, got {value!r}"
+        )
+    return parsed
 
 
 # ----------------------------------------------------------------------
@@ -310,6 +347,53 @@ class SweepDiskCache:
                 removed += 1
             except OSError:
                 pass
+        return removed
+
+    def total_bytes(self) -> int:
+        """Total size of all records on disk, in bytes."""
+        total = 0
+        if not self.root.exists():
+            return 0
+        for record in self.root.glob("*/*.json"):
+            try:
+                total += record.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def prune(self, max_bytes: int) -> int:
+        """Evict oldest-mtime-first until the cache fits ``max_bytes``.
+
+        Long-lived sweeps and the analysis service would otherwise grow
+        the cache without bound; eviction by modification time keeps the
+        most recently written (and rewritten) records.  Concurrent
+        writers are safe: a record vanishing mid-scan is just skipped.
+
+        Returns:
+            How many records were removed.
+        """
+        if not self.root.exists():
+            return 0
+        records = []
+        total = 0
+        for record in self.root.glob("*/*.json"):
+            try:
+                stat = record.stat()
+            except OSError:
+                continue
+            records.append((stat.st_mtime, stat.st_size, record))
+            total += stat.st_size
+        records.sort()  # oldest mtime first
+        removed = 0
+        for mtime, size, record in records:
+            if total <= max_bytes:
+                break
+            try:
+                record.unlink()
+            except OSError:
+                continue
+            total -= size
+            removed += 1
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

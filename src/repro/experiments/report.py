@@ -1,14 +1,19 @@
-"""Plain-text rendering of experiment results.
+"""Plain-text and JSON rendering of experiment results.
 
 The benchmark harness prints the same rows/series the paper reports —
 these helpers keep the formatting in one place so benches and examples
 render identically, always with the paper's reference value next to the
 measured one where a reference exists.
+
+The ``*_to_json`` helpers are the machine-readable counterpart: the
+``--json`` CLI modes and the analysis service (:mod:`repro.service`)
+both serialise results through them, so a job fetched over HTTP and a
+``repro sweep --json`` run emit identical documents.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.experiments.figures import (
     CapacitySeries,
@@ -140,6 +145,133 @@ def render_figure7(data: Figure7Data, limit: Optional[int] = 20) -> str:
     if limit is not None and len(data.ratios) > limit:
         lines.append(f"  ... ({len(data.ratios) - limit} more)")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# machine-readable (JSON) serialisation — shared by the --json CLI modes
+# and the analysis service, so both emit identical documents
+# ----------------------------------------------------------------------
+def report_to_json(report) -> Dict[str, Any]:
+    """An :class:`~repro.core.optimizer.OptimizationReport` as plain data."""
+    return {
+        "program": report.program,
+        "config": {
+            "associativity": report.config.associativity,
+            "block_size": report.config.block_size,
+            "capacity": report.config.capacity,
+        },
+        "prefetches": report.prefetch_count,
+        "candidates_evaluated": report.candidates_evaluated,
+        "candidates_rejected": report.candidates_rejected,
+        "passes": report.passes,
+        "tau_original": report.tau_original,
+        "tau_final": report.tau_final,
+        "wcet_reduction": report.wcet_reduction,
+        "misses_original": report.misses_original,
+        "misses_final": report.misses_final,
+        "static_instructions_original": report.static_instructions_original,
+        "static_instructions_final": report.static_instructions_final,
+    }
+
+
+def guarantee_to_json(check) -> Dict[str, Any]:
+    """A :class:`~repro.core.guarantees.GuaranteeCheck` as plain data."""
+    return {
+        "theorem1": check.theorem1_holds,
+        "condition2": check.condition2_holds,
+        "latency_sound": check.all_effective,
+        "tau_original": check.tau_original,
+        "tau_optimized": check.tau_optimized,
+        "misses_original": check.misses_original,
+        "misses_optimized": check.misses_optimized,
+    }
+
+
+def optimize_to_json(report, check=None) -> Dict[str, Any]:
+    """One ``optimize`` outcome as plain data.
+
+    With an independent :class:`GuaranteeCheck` (the CLI re-verifies),
+    its full record is embedded; without one (the service derives the
+    guarantee from the report's own τ/miss accounting) the boolean
+    summary is computed from the report.
+    """
+    data = report_to_json(report)
+    if check is not None:
+        data["guarantee"] = guarantee_to_json(check)
+    else:
+        data["guarantee"] = {
+            "theorem1": report.tau_final <= report.tau_original + 1e-6,
+            "condition2": report.misses_final <= report.misses_original,
+        }
+    return data
+
+
+def usecase_to_json(result) -> Dict[str, Any]:
+    """One use case's paired measurements + the paper's ratios."""
+    from repro.experiments.cache import result_to_dict
+
+    data = result_to_dict(result)
+    data["ratios"] = {
+        "wcet": result.wcet_ratio,
+        "acet": result.acet_ratio,
+        "energy": result.energy_ratio,
+        "energy_paper_mode": result.energy_ratio_paper_mode,
+        "instructions": result.instruction_ratio,
+    }
+    return data
+
+
+def sweep_case_to_json(result) -> Dict[str, Any]:
+    """One sweep row: identification + ratios, without the full report."""
+    return {
+        "program": result.usecase.program,
+        "config": result.usecase.config_id,
+        "tech": result.usecase.tech,
+        "wcet_ratio": result.wcet_ratio,
+        "acet_ratio": result.acet_ratio,
+        "energy_ratio": result.energy_ratio,
+        "energy_ratio_paper_mode": result.energy_ratio_paper_mode,
+        "instruction_ratio": result.instruction_ratio,
+        "miss_rate_original": result.original.miss_rate_acet,
+        "miss_rate_optimized": result.optimized.miss_rate_acet,
+        "prefetches": result.report.prefetch_count,
+    }
+
+
+def metrics_to_json(metrics) -> Dict[str, Any]:
+    """A :class:`~repro.experiments.metrics.SweepMetrics` summary."""
+    return {
+        "cases": metrics.cases,
+        "computed": metrics.computed,
+        "disk_hits": metrics.disk_hits,
+        "memory_hits": metrics.memory_hits,
+        "workers": metrics.workers,
+        "parallel": metrics.parallel,
+        "compute_time_s": metrics.compute_time_s,
+        "evaluations": metrics.evaluations,
+        "prefetches": metrics.prefetches,
+    }
+
+
+def sweep_to_json(results: Sequence, metrics=None) -> Dict[str, Any]:
+    """A whole sweep: per-case rows + aggregate summary (+ metrics)."""
+    from repro.experiments.sweep import average
+
+    cases = [sweep_case_to_json(r) for r in results]
+    data: Dict[str, Any] = {
+        "cases": cases,
+        "summary": {
+            "cases": len(cases),
+            "average_improvement": {
+                "wcet": 1.0 - average([r.wcet_ratio for r in results]),
+                "acet": 1.0 - average([r.acet_ratio for r in results]),
+                "energy": 1.0 - average([r.energy_ratio for r in results]),
+            },
+        },
+    }
+    if metrics is not None:
+        data["metrics"] = metrics_to_json(metrics)
+    return data
 
 
 def render_figure8(data: Figure8Data) -> str:

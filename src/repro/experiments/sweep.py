@@ -166,20 +166,36 @@ def resolve_workers(workers: Optional[int], pending: int) -> int:
     set, else ``os.cpu_count()``.  The result is clamped to the number
     of runnable cases (never below 1) — a sweep served entirely from
     cache should not spin up a pool.
+
+    Raises:
+        ConfigError: If ``workers`` (or the environment override) is not
+            a positive integer — diagnosed here, with the knob named,
+            rather than surfacing as a raw ``ValueError`` from deep
+            inside :func:`run_sweep`.
     """
+    from repro.errors import ConfigError
+
     if workers is None:
         env = os.environ.get(WORKERS_ENV, "").strip()
         if env:
             try:
                 workers = int(env)
             except ValueError:
-                raise ExperimentError(
-                    f"{WORKERS_ENV} must be an integer, got {env!r}"
+                raise ConfigError(
+                    f"{WORKERS_ENV} must be a positive integer, got {env!r}"
                 ) from None
+            if workers < 1:
+                raise ConfigError(
+                    f"{WORKERS_ENV} must be a positive integer, got {env!r}"
+                )
         else:
             workers = os.cpu_count() or 1
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ConfigError(
+            f"workers must be a positive integer, got {workers!r}"
+        )
     if workers < 1:
-        raise ExperimentError(f"workers must be >= 1, got {workers}")
+        raise ConfigError(f"workers must be >= 1, got {workers}")
     return max(1, min(workers, pending))
 
 
@@ -345,6 +361,13 @@ def run_sweep(
         take(idx, _evaluate_usecase((cases[idx], spec.seed, options)))
         emit_ready()
     emit_ready()
+
+    if disk is not None:
+        from repro.experiments.cache import resolve_cache_max_bytes
+
+        cap = resolve_cache_max_bytes()
+        if cap is not None:
+            disk.prune(cap)
 
     final: List[UseCaseResult] = list(results)  # type: ignore[arg-type]
     if use_cache:

@@ -1,0 +1,64 @@
+"""Async analysis service: ``repro serve`` + a blocking client.
+
+A long-lived, stdlib-only serving layer over the experiment engine:
+
+* :mod:`repro.service.protocol` — job request/response schemas; every
+  validation failure maps to HTTP 400 with a named field;
+* :mod:`repro.service.telemetry` — counters / gauges / latency
+  histograms behind ``GET /metrics`` (Prometheus text format);
+* :mod:`repro.service.jobs` — the bounded job queue with backpressure
+  (HTTP 429 + ``Retry-After``), in-flight request coalescing keyed by
+  the disk cache's content hash, per-job timeout and cancellation;
+* :mod:`repro.service.executor` — the shared ``ProcessPoolExecutor``
+  bridged to :mod:`repro.experiments.cache` for persistence;
+* :mod:`repro.service.app` — asyncio HTTP framing/routing
+  (``POST /v1/jobs``, ``GET /v1/jobs/<id>``, ``GET /v1/results/<id>``,
+  ``DELETE /v1/jobs/<id>``, ``GET /healthz``, ``GET /metrics``);
+* :mod:`repro.service.client` — :class:`ServiceClient`, a blocking
+  client with retry + exponential backoff on 429/503.
+"""
+
+from repro.service.app import BackgroundServer, ServiceApp, build_service
+from repro.service.client import ServiceClient
+from repro.service.executor import AnalysisExecutor
+from repro.service.jobs import (
+    JOB_STATES,
+    STATE_CANCELLED,
+    STATE_DONE,
+    STATE_FAILED,
+    STATE_QUEUED,
+    STATE_RUNNING,
+    Job,
+    JobManager,
+)
+from repro.service.protocol import JobRequest, parse_job
+from repro.service.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ServiceTelemetry,
+)
+
+__all__ = [
+    "AnalysisExecutor",
+    "BackgroundServer",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JOB_STATES",
+    "Job",
+    "JobManager",
+    "JobRequest",
+    "MetricsRegistry",
+    "STATE_CANCELLED",
+    "STATE_DONE",
+    "STATE_FAILED",
+    "STATE_QUEUED",
+    "STATE_RUNNING",
+    "ServiceApp",
+    "ServiceClient",
+    "ServiceTelemetry",
+    "build_service",
+    "parse_job",
+]

@@ -1,0 +1,204 @@
+"""Blocking Python client for the analysis service.
+
+:class:`ServiceClient` wraps the job protocol in synchronous calls —
+submit, poll, fetch, cancel — with retry + exponential backoff on the
+two transient statuses the server emits under load (429 queue-full,
+503) and on connection errors during server startup.  A server-sent
+``Retry-After`` always wins over the computed backoff.
+
+    client = ServiceClient("127.0.0.1", 8080)
+    job = client.submit("optimize", program="fdct", config="k1")
+    result = client.result(job["id"], timeout=120.0)
+    print(result["tau_original"], "->", result["tau_final"])
+
+The ``sleep`` hook is injectable so tests exercise the backoff schedule
+without real waiting.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: Statuses worth retrying: queue backpressure and transient overload.
+RETRYABLE_STATUSES = (429, 503)
+
+
+def backoff_delay(attempt: int, base: float = 0.1, cap: float = 2.0) -> float:
+    """Exponential backoff: ``base * 2**attempt``, capped at ``cap``."""
+    return min(cap, base * (2 ** attempt))
+
+
+class ServiceClient:
+    """A blocking client with retry + exponential backoff.
+
+    Args:
+        host / port: Server address.
+        timeout: Per-request socket timeout (seconds).
+        max_retries: Retries on 429/503/connection-refused before
+            giving up (0 = fail on the first rejection).
+        backoff_base / backoff_cap: The exponential schedule
+            (:func:`backoff_delay`).
+        sleep: Injectable ``time.sleep`` replacement for tests.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 30.0,
+        max_retries: int = 5,
+        backoff_base: float = 0.1,
+        backoff_cap: float = 2.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    # transport
+    # ------------------------------------------------------------------
+    def _once(self, method: str, path: str,
+              body: Optional[Dict[str, Any]] = None
+              ) -> Tuple[int, Dict[str, str], Any]:
+        """One HTTP round-trip: (status, headers, decoded body)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = None
+            headers = {}
+            if body is not None:
+                payload = json.dumps(body)
+                headers["Content-Type"] = "application/json"
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            raw = response.read()
+            header_map = {k.lower(): v for k, v in response.getheaders()}
+            content_type = header_map.get("content-type", "")
+            if "json" in content_type:
+                decoded: Any = json.loads(raw.decode("utf-8"))
+            else:
+                decoded = raw.decode("utf-8", errors="replace")
+            return response.status, header_map, decoded
+        finally:
+            conn.close()
+
+    def _request(self, method: str, path: str,
+                 body: Optional[Dict[str, Any]] = None,
+                 max_retries: Optional[int] = None) -> Any:
+        """A round-trip with the retry/backoff policy applied.
+
+        Raises :class:`ServiceError` carrying the final status (and
+        ``retry_after`` when the server sent one) on any >= 400
+        response that outlived the retries.
+        """
+        retries = self.max_retries if max_retries is None else max_retries
+        attempt = 0
+        while True:
+            try:
+                status, headers, decoded = self._once(method, path, body)
+            except (ConnectionError, OSError) as exc:
+                if attempt >= retries:
+                    raise ServiceError(
+                        f"cannot reach service at "
+                        f"{self.host}:{self.port}: {exc}"
+                    ) from exc
+                self._sleep(backoff_delay(attempt, self.backoff_base,
+                                          self.backoff_cap))
+                attempt += 1
+                continue
+            if status < 400:
+                return decoded
+            retry_after = _parse_retry_after(headers.get("retry-after"))
+            if status in RETRYABLE_STATUSES and attempt < retries:
+                delay = (retry_after if retry_after is not None
+                         else backoff_delay(attempt, self.backoff_base,
+                                            self.backoff_cap))
+                self._sleep(delay)
+                attempt += 1
+                continue
+            message = (decoded.get("error", str(decoded))
+                       if isinstance(decoded, dict) else str(decoded))
+            raise ServiceError(
+                f"{method} {path} -> {status}: {message}",
+                status=status,
+                retry_after=retry_after,
+            )
+
+    # ------------------------------------------------------------------
+    # the job protocol
+    # ------------------------------------------------------------------
+    def submit(self, kind: str, max_retries: Optional[int] = None,
+               **params: Any) -> Dict[str, Any]:
+        """Submit a job; returns its record (see :class:`Job`)."""
+        body = {"kind": kind, "params": params}
+        return self._request(
+            "POST", "/v1/jobs", body=body, max_retries=max_retries
+        )["job"]
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """The current job record."""
+        return self._request("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        """Cancel a queued or running job; returns its final record."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}",
+                             max_retries=0)["job"]
+
+    def result(self, job_id: str, timeout: float = 120.0,
+               poll_interval: float = 0.05) -> Dict[str, Any]:
+        """Block until the job finishes; returns its result document.
+
+        Polls the job record, then fetches ``/v1/results/<id>``.
+        Raises :class:`ServiceError` on failure/cancellation or when
+        ``timeout`` seconds pass without a terminal state.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                break
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout:g}s"
+                )
+            self._sleep(poll_interval)
+        return self._request("GET", f"/v1/results/{job_id}",
+                             max_retries=0)["result"]
+
+    def run(self, kind: str, timeout: float = 120.0,
+            **params: Any) -> Dict[str, Any]:
+        """Submit + wait: the one-call convenience path."""
+        job = self.submit(kind, **params)
+        return self.result(job["id"], timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # operational endpoints
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        """The ``/healthz`` document."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> str:
+        """The raw ``/metrics`` text exposition."""
+        return self._request("GET", "/metrics")
+
+
+def _parse_retry_after(value: Optional[str]) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

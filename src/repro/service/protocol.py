@@ -1,0 +1,244 @@
+"""Job request/response schemas of the analysis service.
+
+A job is ``{"kind": ..., "params": {...}}``.  Three kinds exist,
+mirroring the CLI subcommands they serve:
+
+* ``optimize`` — optimize one program for one cache/technology and
+  report the optimizer's outcome plus the WCET guarantee;
+* ``usecase`` — the paper's paired original/optimized measurement of
+  one use case (full serialized result + ratios);
+* ``sweep`` — a grid of use cases, returning per-case rows and the
+  aggregate summary (the same document as ``repro sweep --json``).
+
+:func:`parse_job` normalises a raw JSON payload into a
+:class:`JobRequest`: defaults are filled in, every field is validated
+against the benchmark registry / Table 2 / the technology table, and
+any violation raises :class:`~repro.errors.ProtocolError`, which the
+HTTP layer maps to a 400 response naming the offending field.
+
+Normalisation matters beyond error hygiene: the request's
+:meth:`~JobRequest.fingerprint` — a content hash over the canonical
+form, salted with :data:`~repro.experiments.cache.CODE_VERSION` — is
+the coalescing key, so two payloads that differ only in spelled-out
+defaults share one in-flight computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.bench.registry import TABLE1, program_names
+from repro.cache.config import TABLE2
+from repro.energy.technology import TECHNOLOGIES
+from repro.errors import ProtocolError
+from repro.experiments.cache import CODE_VERSION
+
+#: The job kinds the service accepts.
+JOB_KINDS = ("optimize", "usecase", "sweep")
+
+#: Hard cap on the optimization budget a single job may request.
+MAX_BUDGET = 100_000
+
+_BASELINES = ("classic", "persistence")
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A validated, normalised job.
+
+    Attributes:
+        kind: One of :data:`JOB_KINDS`.
+        params: Canonical parameters (every default filled in, lists as
+            tuples) — hashable, so requests can key dictionaries.
+    """
+
+    kind: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    def param(self, name: str) -> Any:
+        """Look up one canonical parameter."""
+        for key, value in self.params:
+            if key == name:
+                return value
+        raise KeyError(name)
+
+    def params_dict(self) -> Dict[str, Any]:
+        """The canonical parameters as a plain (JSON-able) dict."""
+        return {
+            key: list(value) if isinstance(value, tuple) else value
+            for key, value in self.params
+        }
+
+    def to_json(self) -> Dict[str, Any]:
+        """The request as it is echoed back in job records."""
+        return {"kind": self.kind, "params": self.params_dict()}
+
+    def fingerprint(self) -> str:
+        """Content hash: the coalescing and cache-bridge key.
+
+        Two requests share a fingerprint exactly when they are
+        guaranteed to produce the same result: same kind, same
+        canonical parameters, same result-producing code
+        (:data:`CODE_VERSION`).
+        """
+        blob = json.dumps(
+            {
+                "kind": self.kind,
+                "params": self.params_dict(),
+                "code_version": CODE_VERSION,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ----------------------------------------------------------------------
+# field validators
+# ----------------------------------------------------------------------
+def _fail(field: str, message: str) -> "ProtocolError":
+    return ProtocolError(f"{field}: {message}")
+
+
+def _resolve_program(field: str, value: Any) -> str:
+    if not isinstance(value, str):
+        raise _fail(field, f"expected a program name, got {value!r}")
+    if value in TABLE1:  # Table 1 ids ("p1".."p37") are accepted too
+        return TABLE1[value]
+    if value not in program_names():
+        raise _fail(field, f"unknown program {value!r}")
+    return value
+
+
+def _resolve_config(field: str, value: Any) -> str:
+    if not isinstance(value, str) or value not in TABLE2:
+        raise _fail(field, f"unknown cache configuration {value!r} "
+                           f"(expected a Table 2 id, e.g. 'k1')")
+    return value
+
+
+def _resolve_tech(field: str, value: Any) -> str:
+    if not isinstance(value, str) or value not in TECHNOLOGIES:
+        raise _fail(field, f"unknown technology {value!r} "
+                           f"(expected one of {sorted(TECHNOLOGIES)})")
+    return value
+
+
+def _resolve_baseline(field: str, value: Any) -> str:
+    if value not in _BASELINES:
+        raise _fail(field, f"expected one of {_BASELINES}, got {value!r}")
+    return value
+
+
+def _resolve_int(field: str, value: Any, minimum: int,
+                 maximum: Optional[int] = None) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise _fail(field, f"expected an integer, got {value!r}")
+    if value < minimum:
+        raise _fail(field, f"must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise _fail(field, f"must be <= {maximum}, got {value}")
+    return value
+
+
+def _resolve_budget(field: str, value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    return _resolve_int(field, value, minimum=1, maximum=MAX_BUDGET)
+
+
+def _resolve_str_list(field: str, value: Any, resolver) -> Tuple[str, ...]:
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _fail(field, f"expected a non-empty list, got {value!r}")
+    return tuple(resolver(f"{field}[{i}]", item)
+                 for i, item in enumerate(value))
+
+
+# ----------------------------------------------------------------------
+# per-kind parsing
+# ----------------------------------------------------------------------
+def _parse_point_params(params: Mapping[str, Any],
+                        default_baseline: str) -> Tuple[Tuple[str, Any], ...]:
+    """Shared params of the single-use-case kinds (optimize/usecase)."""
+    return (
+        ("program", _resolve_program("params.program",
+                                     params.get("program"))),
+        ("config", _resolve_config("params.config", params.get("config"))),
+        ("tech", _resolve_tech("params.tech", params.get("tech", "45nm"))),
+        ("baseline", _resolve_baseline("params.baseline",
+                                       params.get("baseline",
+                                                  default_baseline))),
+        ("budget", _resolve_budget("params.budget",
+                                   params.get("budget", 120))),
+        ("seed", _resolve_int("params.seed", params.get("seed", 1),
+                              minimum=0)),
+    )
+
+
+def _parse_sweep_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    from repro.experiments.sweep import default_grid
+
+    grid = default_grid()
+    programs = params.get("programs")
+    configs = params.get("configs")
+    techs = params.get("techs")
+    return (
+        ("programs",
+         grid.programs if programs is None
+         else _resolve_str_list("params.programs", programs,
+                                _resolve_program)),
+        ("configs",
+         grid.config_ids if configs is None
+         else _resolve_str_list("params.configs", configs,
+                                _resolve_config)),
+        ("techs",
+         grid.techs if techs is None
+         else _resolve_str_list("params.techs", techs, _resolve_tech)),
+        ("baseline", _resolve_baseline("params.baseline",
+                                       params.get("baseline", "classic"))),
+        ("budget", _resolve_budget("params.budget",
+                                   params.get("budget", 120))),
+        ("seed", _resolve_int("params.seed", params.get("seed", 1),
+                              minimum=0)),
+    )
+
+
+_KNOWN_POINT_PARAMS = frozenset(
+    ("program", "config", "tech", "baseline", "budget", "seed"))
+_KNOWN_SWEEP_PARAMS = frozenset(
+    ("programs", "configs", "techs", "baseline", "budget", "seed"))
+
+
+def parse_job(payload: Any) -> JobRequest:
+    """Validate and normalise one ``POST /v1/jobs`` body.
+
+    Raises:
+        ProtocolError: On any schema violation; the message names the
+            offending field (the HTTP layer returns it in a 400 body).
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"job must be a JSON object, got {type(payload).__name__}")
+    kind = payload.get("kind")
+    if kind not in JOB_KINDS:
+        raise ProtocolError(
+            f"kind: expected one of {JOB_KINDS}, got {kind!r}")
+    params = payload.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ProtocolError(
+            f"params: expected a JSON object, got {type(params).__name__}")
+    known = _KNOWN_SWEEP_PARAMS if kind == "sweep" else _KNOWN_POINT_PARAMS
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ProtocolError(
+            f"params: unknown field(s) {unknown} for kind {kind!r}")
+    if kind == "sweep":
+        canonical = _parse_sweep_params(params)
+    else:
+        # Both point kinds default to the persistence baseline, like the
+        # `repro optimize`/`repro usecase` CLI paths they serve.
+        canonical = _parse_point_params(params, "persistence")
+    return JobRequest(kind=kind, params=canonical)

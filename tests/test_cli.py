@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -138,3 +140,58 @@ class TestSweepCommand:
     def test_flag_parsing_rejects_bad_workers(self, capsys):
         with pytest.raises(SystemExit):
             main(["sweep", "--workers", "two"])
+
+
+class TestJsonOutput:
+    """``--json``: machine-readable stdout, human rendering on stderr."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_environment(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+        monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+        monkeypatch.setattr(sweep_module, "_SWEEP_CACHE", {})
+
+    def test_optimize_json_document(self, capsys):
+        code = main(["optimize", "bs", "k1", "45nm",
+                     "--budget", "10", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["program"] == "bs"
+        assert document["config_id"] == "k1"
+        assert document["tech"] == "45nm"
+        assert document["baseline"] == "persistence"
+        assert document["guarantee"]["theorem1"] is True
+        assert document["guarantee"]["latency_sound"] is True
+        assert document["tau_final"] <= document["tau_original"]
+        # the human rendering moved to stderr, wholesale
+        assert "Theorem 1" in captured.err
+        assert "Theorem 1" not in captured.out
+
+    def test_sweep_json_document(self, capsys):
+        code = main(["sweep", "--programs", "bs", "--configs", "k1",
+                     "--techs", "45nm", "--budget", "10",
+                     "--workers", "1", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        document = json.loads(captured.out)
+        assert document["summary"]["cases"] == 1
+        assert document["cases"][0]["program"] == "bs"
+        assert document["cases"][0]["wcet_ratio"] <= 1.0
+        assert document["metrics"]["cases"] == 1
+        assert "average improvement" in captured.err
+        assert "average improvement" not in captured.out
+
+    def test_json_stdout_is_a_single_parseable_line(self, capsys):
+        assert main(["optimize", "bs", "k1", "--budget", "5",
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1
+        json.loads(out)
+
+    def test_without_json_flag_stdout_is_human_only(self, capsys):
+        assert main(["optimize", "bs", "k1", "--budget", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "Theorem 1" in captured.out
+        with pytest.raises(ValueError):
+            json.loads(captured.out)

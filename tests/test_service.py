@@ -1,0 +1,434 @@
+"""Tests for the analysis service (``repro serve``).
+
+Four layers:
+
+* protocol — payload validation, canonicalisation, fingerprints;
+* telemetry — counter/histogram semantics and the exposition format;
+* queue semantics over a real socket with a hand-controlled stub
+  executor — coalescing, 429 backpressure, cancellation, timeout
+  (deterministic: the test resolves the futures);
+* end-to-end with the real pool — submit → poll → fetch, the disk-cache
+  fast path, and ``/metrics`` counter consistency.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import List, Tuple
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ProtocolError, ServiceError
+from repro.service.app import BackgroundServer
+from repro.service.client import ServiceClient, backoff_delay
+from repro.service.executor import AnalysisExecutor
+from repro.service.protocol import parse_job
+from repro.service.telemetry import (
+    MetricsRegistry,
+    ServiceTelemetry,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_config(monkeypatch):
+    """Keep the environment from injecting caches, workers or caps."""
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX_BYTES", raising=False)
+
+
+class ManualExecutor:
+    """A backend whose futures the test resolves by hand."""
+
+    workers = 1
+
+    def __init__(self):
+        self.submitted: List[Tuple[object, concurrent.futures.Future]] = []
+
+    def probe_cache(self, request):
+        return None
+
+    def submit(self, request):
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        self.submitted.append((request, future))
+        return future
+
+    def shutdown(self):
+        pass
+
+    def describe(self):
+        return {"workers": self.workers, "pool": "manual",
+                "cache_dir": None, "max_cache_bytes": None}
+
+
+def _metric(text: str, name: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(f"{name} "):
+            return float(line.split()[1])
+    raise AssertionError(f"metric {name!r} not found in:\n{text}")
+
+
+def _wait_for_state(client, job_id, state, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        record = client.status(job_id)
+        if record["state"] == state:
+            return record
+        time.sleep(0.02)
+    raise AssertionError(f"job {job_id} never reached {state!r}")
+
+
+# ----------------------------------------------------------------------
+# protocol
+# ----------------------------------------------------------------------
+class TestProtocol:
+    def test_defaults_are_normalised_into_the_fingerprint(self):
+        sparse = parse_job({"kind": "optimize",
+                            "params": {"program": "bs", "config": "k1"}})
+        spelled = parse_job({"kind": "optimize",
+                             "params": {"program": "bs", "config": "k1",
+                                        "tech": "45nm", "seed": 1,
+                                        "budget": 120,
+                                        "baseline": "persistence"}})
+        assert sparse.params == spelled.params
+        assert sparse.fingerprint() == spelled.fingerprint()
+
+    def test_fingerprint_separates_kinds_and_params(self):
+        base = parse_job({"kind": "optimize",
+                          "params": {"program": "bs", "config": "k1"}})
+        other_kind = parse_job({"kind": "usecase",
+                                "params": {"program": "bs", "config": "k1"}})
+        other_seed = parse_job({"kind": "optimize",
+                                "params": {"program": "bs", "config": "k1",
+                                           "seed": 2}})
+        assert base.fingerprint() != other_kind.fingerprint()
+        assert base.fingerprint() != other_seed.fingerprint()
+
+    def test_table1_ids_resolve_to_program_names(self):
+        req = parse_job({"kind": "optimize",
+                         "params": {"program": "p2", "config": "k1"}})
+        assert req.param("program") == "bs"
+
+    def test_sweep_defaults_fill_the_documented_grid(self):
+        from repro.experiments.sweep import default_grid
+
+        req = parse_job({"kind": "sweep", "params": {}})
+        grid = default_grid()
+        assert req.param("programs") == grid.programs
+        assert req.param("configs") == grid.config_ids
+        assert req.param("techs") == grid.techs
+        assert req.param("baseline") == "classic"
+
+    @pytest.mark.parametrize("payload,needle", [
+        ("not a dict", "JSON object"),
+        ({"kind": "frobnicate", "params": {}}, "kind"),
+        ({"kind": "optimize", "params": {"program": "nope",
+                                         "config": "k1"}}, "params.program"),
+        ({"kind": "optimize", "params": {"program": "bs",
+                                         "config": "zz"}}, "params.config"),
+        ({"kind": "optimize", "params": {"program": "bs", "config": "k1",
+                                         "tech": "90nm"}}, "params.tech"),
+        ({"kind": "optimize", "params": {"program": "bs", "config": "k1",
+                                         "budget": -1}}, "params.budget"),
+        ({"kind": "optimize", "params": {"program": "bs", "config": "k1",
+                                         "typo": 1}}, "unknown field"),
+        ({"kind": "sweep", "params": {"programs": []}}, "params.programs"),
+    ])
+    def test_violations_name_the_offending_field(self, payload, needle):
+        with pytest.raises(ProtocolError, match=needle):
+            parse_job(payload)
+
+
+# ----------------------------------------------------------------------
+# telemetry
+# ----------------------------------------------------------------------
+class TestTelemetry:
+    def test_counter_and_gauge_rendering(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("reqs", "requests seen")
+        gauge = registry.gauge("depth")
+        counter.inc()
+        counter.inc(2)
+        gauge.set(5)
+        gauge.dec()
+        text = registry.render()
+        assert "# TYPE reqs counter" in text
+        assert "# HELP reqs requests seen" in text
+        assert _metric(text, "reqs") == 3
+        assert _metric(text, "depth") == 4
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 5.0, 50.0):
+            hist.observe(value)
+        text = registry.render()
+        assert 'lat_bucket{le="0.1"} 1' in text
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="10"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert _metric(text, "lat_count") == 4
+        assert hist.mean() == pytest.approx(55.55 / 4)
+
+    def test_registry_is_idempotent_but_type_strict(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x") is registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_retry_after_hint_tracks_latency(self):
+        telemetry = ServiceTelemetry()
+        assert telemetry.retry_after_hint() == 1  # no data -> 1s default
+        telemetry.job_latency_seconds.observe(7.0)
+        assert telemetry.retry_after_hint() == 7
+
+
+# ----------------------------------------------------------------------
+# client-side backoff
+# ----------------------------------------------------------------------
+class TestClientBackoff:
+    def test_backoff_schedule_is_exponential_and_capped(self):
+        delays = [backoff_delay(i, base=0.1, cap=2.0) for i in range(8)]
+        assert delays[:5] == [0.1, 0.2, 0.4, 0.8, 1.6]
+        assert delays[5:] == [2.0, 2.0, 2.0]
+
+    def test_retries_on_429_then_succeeds(self, monkeypatch):
+        slept = []
+        client = ServiceClient("127.0.0.1", 1, max_retries=5,
+                               sleep=slept.append)
+        responses = iter([
+            (429, {"retry-after": "3"}, {"error": "full"}),
+            (429, {}, {"error": "full"}),
+            (202, {}, {"job": {"id": "j1"}}),
+        ])
+        monkeypatch.setattr(client, "_once",
+                            lambda method, path, body=None: next(responses))
+        job = client.submit("optimize", program="bs", config="k1")
+        assert job["id"] == "j1"
+        # first delay honoured the server's Retry-After, second fell
+        # back to the exponential schedule
+        assert slept == [3.0, backoff_delay(1, 0.1, 2.0)]
+
+    def test_exhausted_retries_surface_the_status(self, monkeypatch):
+        client = ServiceClient("127.0.0.1", 1, max_retries=1,
+                               sleep=lambda s: None)
+        monkeypatch.setattr(
+            client, "_once",
+            lambda method, path, body=None: (429, {"retry-after": "2"},
+                                             {"error": "full"}))
+        with pytest.raises(ServiceError) as info:
+            client.submit("optimize", program="bs", config="k1")
+        assert info.value.status == 429
+        assert info.value.retry_after == 2.0
+
+
+# ----------------------------------------------------------------------
+# queue semantics over a real socket (hand-controlled backend)
+# ----------------------------------------------------------------------
+class TestQueueSemantics:
+    def test_identical_submissions_coalesce_to_one_computation(self):
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub) as server:
+            client = ServiceClient(server.host, server.port)
+            first = client.submit("optimize", program="bs", config="k1",
+                                  budget=7)
+            second = client.submit("optimize", program="bs", config="k1",
+                                   budget=7)
+            assert not first["coalesced"]
+            assert second["coalesced"]
+            # one underlying computation for two jobs
+            deadline = time.monotonic() + 5
+            while not stub.submitted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(stub.submitted) == 1
+            stub.submitted[0][1].set_result({"answer": 42})
+            for record in (first, second):
+                result = client.result(record["id"], timeout=10)
+                assert result == {"answer": 42}
+            metrics = client.metrics()
+            assert _metric(metrics, "jobs_submitted") == 2
+            assert _metric(metrics, "jobs_coalesced") == 1
+            assert _metric(metrics, "jobs_completed") == 2
+            assert _metric(metrics, "computations") == 1
+            # still exactly one dispatch after both results were fetched
+            assert len(stub.submitted) == 1
+
+    def test_full_queue_returns_429_with_retry_after(self):
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub, max_queue=1,
+                              dispatchers=1) as server:
+            client = ServiceClient(server.host, server.port)
+            # occupy the single dispatcher...
+            running = client.submit("optimize", program="bs", config="k1",
+                                    budget=11)
+            _wait_for_state(client, running["id"], "running")
+            # ...fill the single queue slot...
+            client.submit("optimize", program="bs", config="k1", budget=12)
+            # ...and watch the third distinct submission bounce.
+            with pytest.raises(ServiceError) as info:
+                client.submit("optimize", program="bs", config="k1",
+                              budget=13, max_retries=0)
+            assert info.value.status == 429
+            assert info.value.retry_after is not None
+            assert info.value.retry_after >= 1
+            assert _metric(client.metrics(), "jobs_rejected") == 1
+
+    def test_cancellation_mid_job(self):
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub) as server:
+            client = ServiceClient(server.host, server.port)
+            job = client.submit("optimize", program="bs", config="k1",
+                                budget=9)
+            _wait_for_state(client, job["id"], "running")
+            cancelled = client.cancel(job["id"])
+            assert cancelled["state"] == "cancelled"
+            # the result endpoint reports Gone
+            with pytest.raises(ServiceError) as info:
+                client.result(job["id"], timeout=5)
+            assert info.value.status == 410
+            # the last detaching job cancelled the pool future itself
+            assert stub.submitted
+            future = stub.submitted[0][1]
+            assert future.cancelled()
+            time.sleep(0.1)
+            assert client.status(job["id"])["state"] == "cancelled"
+            # cancelling a terminal job is a conflict
+            with pytest.raises(ServiceError) as info:
+                client.cancel(job["id"])
+            assert info.value.status == 409
+            assert _metric(client.metrics(), "jobs_cancelled") == 1
+
+    def test_job_timeout_fails_the_job(self):
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub,
+                              job_timeout_s=0.2) as server:
+            client = ServiceClient(server.host, server.port)
+            job = client.submit("optimize", program="bs", config="k1",
+                                budget=8)
+            record = _wait_for_state(client, job["id"], "failed")
+            assert "timed out" in record["error"]
+            with pytest.raises(ServiceError) as info:
+                client.result(job["id"], timeout=5)
+            assert info.value.status == 500
+            assert _metric(client.metrics(), "jobs_failed") == 1
+
+    def test_http_error_mapping(self):
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub) as server:
+            base = server.url
+
+            def status_of(method, path, data=None):
+                request = urllib.request.Request(
+                    base + path, data=data, method=method
+                )
+                try:
+                    with urllib.request.urlopen(request, timeout=10) as resp:
+                        return resp.status
+                except urllib.error.HTTPError as error:
+                    return error.code
+
+            assert status_of("POST", "/v1/jobs", b"{not json") == 400
+            assert status_of("POST", "/v1/jobs",
+                             json.dumps({"kind": "bad"}).encode()) == 400
+            assert status_of("GET", "/v1/jobs/unknown") == 404
+            assert status_of("GET", "/v1/results/unknown") == 404
+            assert status_of("DELETE", "/v1/jobs/unknown") == 404
+            assert status_of("GET", "/v1/jobs") == 405
+            assert status_of("GET", "/nope") == 404
+            assert status_of("GET", "/healthz") == 200
+
+
+# ----------------------------------------------------------------------
+# end-to-end with the real compute pool
+# ----------------------------------------------------------------------
+class TestEndToEnd:
+    def test_submit_poll_fetch_cache_and_metrics(self, tmp_path):
+        executor = AnalysisExecutor(workers=2, cache_dir=tmp_path / "cache")
+        with BackgroundServer(executor=executor) as server:
+            client = ServiceClient(server.host, server.port)
+            health = client.health()
+            assert health["status"] == "ok"
+            assert health["executor"]["workers"] == 2
+
+            job = client.submit("optimize", program="bs", config="k1",
+                                budget=5)
+            assert job["state"] in ("queued", "running")
+            result = client.result(job["id"], timeout=120)
+            assert result["program"] == "bs"
+            assert result["guarantee"]["theorem1"] is True
+            assert result["wcet_ratio"] <= 1.0 + 1e-9
+            assert client.status(job["id"])["state"] == "done"
+
+            # identical resubmission: served from the persistent cache,
+            # bit-exactly, without touching the pool again
+            rerun = client.submit("optimize", program="bs", config="k1",
+                                  budget=5)
+            assert rerun["cached"]
+            assert rerun["state"] == "done"
+            assert client.result(rerun["id"], timeout=10) == result
+
+            metrics = client.metrics()
+            assert _metric(metrics, "jobs_submitted") == 2
+            assert _metric(metrics, "jobs_completed") == 2
+            assert _metric(metrics, "cache_hits") == 1
+            assert _metric(metrics, "computations") == 1
+            assert _metric(metrics, "job_latency_seconds_count") == 1
+            assert _metric(metrics, "http_requests") >= 6
+
+    def test_usecase_job_round_trips_the_full_document(self, tmp_path):
+        executor = AnalysisExecutor(workers=1, cache_dir=tmp_path / "cache")
+        with BackgroundServer(executor=executor) as server:
+            client = ServiceClient(server.host, server.port)
+            result = client.run("usecase", program="bs", config="k1",
+                                budget=5, timeout=120)
+            assert result["usecase"] == ["bs", "k1", "45nm"]
+            assert set(result["ratios"]) == {
+                "wcet", "acet", "energy", "energy_paper_mode", "instructions"
+            }
+
+    def test_small_sweep_job(self, tmp_path):
+        executor = AnalysisExecutor(workers=1, cache_dir=tmp_path / "cache")
+        with BackgroundServer(executor=executor) as server:
+            client = ServiceClient(server.host, server.port)
+            result = client.run("sweep", programs=["bs"], configs=["k1"],
+                                techs=["45nm"], budget=5, timeout=120)
+            assert result["summary"]["cases"] == 1
+            assert len(result["cases"]) == 1
+            assert result["cases"][0]["program"] == "bs"
+            assert result["metrics"]["computed"] == 1
+
+    @pytest.mark.slow
+    def test_longer_sweep_shares_the_cli_cache(self, tmp_path):
+        """A service sweep warms the same records a CLI sweep reads."""
+        cache_dir = tmp_path / "cache"
+        executor = AnalysisExecutor(workers=2, cache_dir=cache_dir)
+        with BackgroundServer(executor=executor) as server:
+            client = ServiceClient(server.host, server.port)
+            result = client.run("sweep", programs=["bs", "prime"],
+                                configs=["k1"], techs=["45nm"],
+                                budget=10, timeout=600)
+            assert result["summary"]["cases"] == 2
+        # the CLI sweep over the same grid is now fully disk-served
+        code = main(["sweep", "--programs", "bs", "prime",
+                     "--configs", "k1", "--techs", "45nm",
+                     "--budget", "10", "--workers", "1",
+                     "--cache-dir", str(cache_dir), "--no-cache"])
+        assert code == 0
+
+
+# ----------------------------------------------------------------------
+# CLI integration
+# ----------------------------------------------------------------------
+class TestServeCLI:
+    def test_self_check_boots_and_reports(self, capsys):
+        assert main(["serve", "--self-check", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "self-check" in out
+        assert "ok" in out

@@ -12,11 +12,12 @@ import os
 
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigError, ExperimentError
 from repro.experiments.cache import (
     CODE_VERSION,
     SweepDiskCache,
     resolve_cache_dir,
+    resolve_cache_max_bytes,
     result_from_dict,
     result_to_dict,
     usecase_key,
@@ -44,6 +45,7 @@ def _no_ambient_cache(monkeypatch):
     """Keep the environment from injecting a disk cache or workers."""
     monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
     monkeypatch.delenv("REPRO_SWEEP_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX_BYTES", raising=False)
 
 
 @pytest.fixture(scope="module")
@@ -194,3 +196,101 @@ class TestDiskCache:
     def test_code_version_is_part_of_the_contract(self):
         # The tag exists and is non-empty; bumping it must change keys.
         assert isinstance(CODE_VERSION, str) and CODE_VERSION
+
+
+class TestWorkerConfigErrors:
+    @pytest.mark.parametrize("value", ["0", "-2", "2.5", "banana"])
+    def test_bad_env_values_raise_config_error(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", value)
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_WORKERS"):
+            resolve_workers(None, pending=4)
+
+    def test_empty_env_value_means_auto(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_WORKERS", "")
+        assert resolve_workers(None, pending=1) == 1
+
+    @pytest.mark.parametrize("value", [0, -1, True, 2.0, "3"])
+    def test_bad_explicit_values_raise_config_error(self, value):
+        with pytest.raises(ConfigError):
+            resolve_workers(value, pending=4)
+
+    def test_config_error_is_an_experiment_error(self):
+        # callers catching the broader class keep working
+        assert issubclass(ConfigError, ExperimentError)
+
+
+class TestCacheSizeCap:
+    def _filled_cache(self, tmp_path, serial_results):
+        """A cache of two records with strictly increasing mtimes."""
+        cache = SweepDiskCache(tmp_path)
+        options = TINY_SPEC.optimizer_options()
+        keys = [
+            usecase_key(usecase, 1, options)
+            for usecase in TINY_SPEC.usecases()
+        ]
+        for key, result, age in zip(keys, serial_results, (200, 100)):
+            cache.put(key, result)
+            stamp = os.stat(cache.path_for(key)).st_mtime - age
+            os.utime(cache.path_for(key), (stamp, stamp))
+        return cache, keys
+
+    def test_total_bytes_sums_the_records(self, tmp_path, serial_results):
+        cache, keys = self._filled_cache(tmp_path, serial_results)
+        expected = sum(
+            os.path.getsize(cache.path_for(key)) for key in keys
+        )
+        assert cache.total_bytes() == expected
+        assert SweepDiskCache(tmp_path / "missing").total_bytes() == 0
+
+    def test_prune_evicts_oldest_first(self, tmp_path, serial_results):
+        cache, keys = self._filled_cache(tmp_path, serial_results)
+        newest_size = os.path.getsize(cache.path_for(keys[1]))
+        removed = cache.prune(newest_size)
+        assert removed == 1
+        assert cache.get(keys[0]) is None      # the old record went
+        assert cache.get(keys[1]) is not None  # the fresh one survived
+        assert cache.total_bytes() <= newest_size
+
+    def test_prune_is_a_noop_under_the_cap(self, tmp_path, serial_results):
+        cache, keys = self._filled_cache(tmp_path, serial_results)
+        assert cache.prune(cache.total_bytes()) == 0
+        assert len(cache) == len(keys)
+
+    def test_prune_zero_evicts_everything(self, tmp_path, serial_results):
+        cache, keys = self._filled_cache(tmp_path, serial_results)
+        assert cache.prune(0) == len(keys)
+        assert cache.total_bytes() == 0
+
+    def test_resolve_cache_max_bytes(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX_BYTES", raising=False)
+        assert resolve_cache_max_bytes(None) is None
+        assert resolve_cache_max_bytes(12345) == 12345
+        assert resolve_cache_max_bytes("12345") == 12345
+        for alias in ("", "0", "off", "none"):
+            assert resolve_cache_max_bytes(alias) is None
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_BYTES", "4096")
+        assert resolve_cache_max_bytes(None) == 4096
+        assert resolve_cache_max_bytes(99) == 99  # explicit beats env
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_BYTES", "lots")
+        with pytest.raises(ConfigError, match="REPRO_SWEEP_CACHE_MAX_BYTES"):
+            resolve_cache_max_bytes(None)
+        with pytest.raises(ConfigError):
+            resolve_cache_max_bytes(-5)
+
+    def test_run_sweep_honours_the_env_cap(self, tmp_path, monkeypatch):
+        cache_dir = tmp_path / "capped"
+        run_sweep(TINY_SPEC, use_cache=False, workers=1,
+                  cache_dir=cache_dir)
+        cache = SweepDiskCache(cache_dir)
+        assert len(cache) == TINY_SPEC.size
+        # rerun with a cap that fits exactly the largest single record:
+        # the sweep prunes down to it after writing
+        cap = max(
+            os.path.getsize(record)
+            for record in cache_dir.glob("*/*.json")
+        )
+        monkeypatch.setenv("REPRO_SWEEP_CACHE_MAX_BYTES", str(cap))
+        run_sweep(TINY_SPEC, use_cache=False, workers=1,
+                  cache_dir=cache_dir)
+        assert cache.total_bytes() <= cap
+        assert len(cache) == 1
