@@ -1,0 +1,780 @@
+"""Staged, cached, incremental WCET analysis (the analysis pipeline).
+
+:func:`repro.analysis.wcet.analyze_wcet` recomputes everything from the
+CFG on every call.  That is the right interface for one-shot analyses,
+but the optimizer's loop calls it once per candidate insertion and most
+of the work is identical between calls: the ACFG of the unmodified
+program, the abstract fixpoint over the untouched prefix, transfer
+functions applied to states already seen.  :class:`AnalysisPipeline`
+decomposes the analysis into explicitly cached stages:
+
+1. **Structural artifacts** — ACFG, loop instance spans, and the IPET
+   structural recurrence inputs, keyed by a *content key* of the CFG
+   (block/instruction streams, structure-tree shape, loop bounds,
+   layout parameters).  Two CFG objects with equal content share one
+   artifact, which is what lets ``measure → optimize → measure`` inside
+   a use case build the ACFG once.
+2. **Hash-consed abstract states** — a per-domain
+   :class:`TransferCache` interns every
+   :class:`~repro.cache.abstract.AbstractCacheState` it produces and
+   memoizes ``update``/``join``/``unknown_access`` by value, so the
+   fixpoint engine never recomputes a transfer it has already seen —
+   across candidates, passes, and use-case phases.
+3. **Delta re-analysis** — after a prefetch insertion the pipeline
+   computes the *divergence boundary*: the first reference vertex at
+   which the old and new ACFGs differ, lowered (closure) until no back
+   edge of either graph crosses from at-or-above the boundary into the
+   prefix.  Below the boundary the dataflow equations, classifications,
+   ``t_w`` entries, latency-guard verdicts and IPET table entries of the
+   base analysis are provably unchanged, so the fixpoint and the
+   structural solve warm-start there and only the affected suffix is
+   recomputed.  When the invariants cannot be established (no base,
+   foreign base, boundary 0) the pipeline falls back to a cold run; a
+   ``differential`` mode re-runs every delta analysis from scratch and
+   asserts bit-identical ``tau_w``, classifications and
+   ``wcet_path_misses``.
+
+Counters for every cache (hits/misses/invalidations) and per-stage
+wall-clock accumulate in :class:`PipelineStats`; the counters are
+deterministic (pure functions of the analysis sequence) and flow into
+:class:`~repro.core.optimizer.OptimizationReport`, sweep metrics and the
+service's telemetry, while the wall-clock profile stays out of
+serialized reports (see ``repro optimize --profile``).
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.analysis.slack import rest_instance_spans
+from repro.analysis.structural import solve_wcet_path_tables
+from repro.analysis.timing import TimingModel
+from repro.analysis.wcet import (
+    WCETResult,
+    _charged_persistent_blocks,
+    _latency_guard,
+    analyze_wcet,
+    compute_ref_times,
+)
+from repro.cache.abstract import MayState, MustState
+from repro.cache.classify import (
+    CacheAnalysis,
+    DataflowResult,
+    classify_references,
+    propagate,
+)
+from repro.cache.config import CacheConfig
+from repro.cache.persistence import PersistenceState
+from repro.errors import AnalysisError
+from repro.program.acfg import ACFG, build_acfg
+from repro.program.cfg import ControlFlowGraph
+from repro.program.structure import (
+    BlockNode,
+    CallNode,
+    IfElseNode,
+    LoopNode,
+    SeqNode,
+    SwitchNode,
+)
+
+
+@dataclass
+class PipelineStats:
+    """Cache counters and stage timings of one :class:`AnalysisPipeline`.
+
+    All counters are deterministic functions of the analysis sequence
+    (no wall-clock, no memory addresses), so they can be embedded in
+    serialized reports and compared across serial/parallel runs.  The
+    wall-clock numbers live only in :attr:`stage_seconds` and are
+    surfaced separately (``--profile``).
+    """
+
+    result_hits: int = 0
+    structural_hits: int = 0
+    structural_misses: int = 0
+    dataflow_hits: int = 0
+    dataflow_misses: int = 0
+    transfer_hits: int = 0
+    transfer_misses: int = 0
+    delta_runs: int = 0
+    cold_runs: int = 0
+    delta_fallbacks: int = 0
+    invalidations: int = 0
+    differential_checks: int = 0
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_time(self, stage: str, seconds: float) -> None:
+        """Accumulate wall-clock into one stage bucket."""
+        self.stage_seconds[stage] = self.stage_seconds.get(stage, 0.0) + seconds
+
+    def counters(self) -> Dict[str, int]:
+        """Deterministic counter snapshot (safe to serialize in reports)."""
+        return {
+            "result_hits": self.result_hits,
+            "structural_hits": self.structural_hits,
+            "structural_misses": self.structural_misses,
+            "dataflow_hits": self.dataflow_hits,
+            "dataflow_misses": self.dataflow_misses,
+            "transfer_hits": self.transfer_hits,
+            "transfer_misses": self.transfer_misses,
+            "delta_runs": self.delta_runs,
+            "cold_runs": self.cold_runs,
+            "delta_fallbacks": self.delta_fallbacks,
+            "invalidations": self.invalidations,
+            "differential_checks": self.differential_checks,
+        }
+
+    def profile(self) -> Dict[str, float]:
+        """Per-stage wall-clock snapshot (never serialized into reports)."""
+        return dict(self.stage_seconds)
+
+
+class TransferCache:
+    """Hash-consing interner + transfer memos for one abstract domain.
+
+    ``update``/``join``/``unknown`` are pure functions of immutable
+    states, so memoizing them by value is exact.  Results are interned,
+    which (a) dedupes state memory and (b) makes the value-keyed memo
+    lookups cheap: interned keys hit the ``__eq__`` identity fast path.
+    When the combined tables exceed ``max_entries`` everything is
+    cleared at once (counted as an invalidation) — correctness never
+    depends on residency.
+
+    Plugs into :func:`repro.cache.classify.propagate` via its
+    ``transfer`` parameter.
+    """
+
+    __slots__ = ("stats", "max_entries", "_intern", "_update", "_join",
+                 "_unknown")
+
+    def __init__(self, stats: PipelineStats, max_entries: int = 200_000):
+        self.stats = stats
+        self.max_entries = max_entries
+        self._intern: Dict[Any, Any] = {}
+        self._update: Dict[Tuple[Any, int], Any] = {}
+        self._join: Dict[Tuple[Any, Any], Any] = {}
+        self._unknown: Dict[Any, Any] = {}
+
+    def intern(self, state):
+        """The canonical object for ``state``'s value."""
+        canonical = self._intern.get(state)
+        if canonical is None:
+            self._intern[state] = state
+            canonical = state
+        return canonical
+
+    def update(self, state, block: int):
+        """Memoized ``state.update(block)``."""
+        key = (state, block)
+        hit = self._update.get(key)
+        if hit is not None:
+            self.stats.transfer_hits += 1
+            return hit
+        self.stats.transfer_misses += 1
+        result = self.intern(state.update(block))
+        self._update[key] = result
+        self._maybe_clear()
+        return result
+
+    def join(self, a, b):
+        """Memoized ``a.join(b)``."""
+        key = (a, b)
+        hit = self._join.get(key)
+        if hit is not None:
+            self.stats.transfer_hits += 1
+            return hit
+        self.stats.transfer_misses += 1
+        result = self.intern(a.join(b))
+        self._join[key] = result
+        self._maybe_clear()
+        return result
+
+    def unknown(self, state):
+        """Memoized ``state.unknown_access()``."""
+        hit = self._unknown.get(state)
+        if hit is not None:
+            self.stats.transfer_hits += 1
+            return hit
+        self.stats.transfer_misses += 1
+        result = self.intern(state.unknown_access())
+        self._unknown[state] = result
+        self._maybe_clear()
+        return result
+
+    def _maybe_clear(self) -> None:
+        total = (
+            len(self._intern) + len(self._update) + len(self._join)
+            + len(self._unknown)
+        )
+        if total > self.max_entries:
+            self._intern.clear()
+            self._update.clear()
+            self._join.clear()
+            self._unknown.clear()
+            self.stats.invalidations += 1
+
+
+@dataclass
+class StructuralArtifacts:
+    """Stage-1 products: everything derivable from CFG content alone."""
+
+    key: Any
+    acfg: ACFG
+    #: REST instance spans ``(entry_join, last_rid, exit_rids)`` — the
+    #: optimizer's loop ranges and the latency guard's wrap-around scopes.
+    loop_spans: List[Tuple[int, int, Tuple[int, ...]]]
+
+
+class PipelineResult:
+    """One analysis run: WCET bundle + reusable solver/dataflow state.
+
+    Also carries the optimizer's per-pass derived artifacts
+    (:meth:`reverse_events`, :meth:`exec_counts`, :meth:`miss_uses`)
+    lazily, so ``_run_pass`` stops recomputing them per pass.
+    """
+
+    __slots__ = ("owner", "artifacts", "wcet", "dataflows", "best",
+                 "best_pred", "with_may", "locked_blocks",
+                 "_reverse_events", "_exec_counts", "_miss_uses")
+
+    def __init__(self, owner, artifacts, wcet, dataflows, best, best_pred,
+                 with_may, locked_blocks):
+        self.owner = owner
+        self.artifacts = artifacts
+        self.wcet = wcet
+        self.dataflows = dataflows
+        self.best = best
+        self.best_pred = best_pred
+        self.with_may = with_may
+        self.locked_blocks = locked_blocks
+        self._reverse_events = None
+        self._exec_counts = None
+        self._miss_uses = None
+
+    @property
+    def acfg(self) -> ACFG:
+        """The analysed ACFG."""
+        return self.artifacts.acfg
+
+    def loop_ranges(self) -> Dict[int, Tuple[int, Tuple[int, ...]]]:
+        """``{entry_join: (last_rid, exit_rids)}`` from the cached spans."""
+        return {
+            join: (last, exits)
+            for join, last, exits in self.artifacts.loop_spans
+        }
+
+    def reverse_events(self):
+        """Cached replacement events of the WCET path (Property 3)."""
+        if self._reverse_events is None:
+            from repro.core.update import collect_reverse_events
+
+            self._reverse_events = collect_reverse_events(
+                self.artifacts.acfg,
+                self.wcet.cache.config,
+                self.wcet.solution,
+                locked_blocks=self.locked_blocks,
+            )
+        return self._reverse_events
+
+    def exec_counts(self) -> Dict[int, int]:
+        """Cached per-instruction-uid WCET execution counts."""
+        if self._exec_counts is None:
+            counts: Dict[int, int] = {}
+            n_w = self.wcet.solution.n_w
+            for vertex in self.artifacts.acfg.ref_vertices():
+                counts[vertex.instr.uid] = (
+                    counts.get(vertex.instr.uid, 0) + n_w[vertex.rid]
+                )
+            self._exec_counts = counts
+        return self._exec_counts
+
+    def miss_uses(self) -> Dict[int, List[int]]:
+        """Per memory block: sorted rids of on-path references still
+        paying for a miss — the misses a prefetch could preclude."""
+        if self._miss_uses is None:
+            uses: Dict[int, List[int]] = {}
+            acfg = self.artifacts.acfg
+            n_w = self.wcet.solution.n_w
+            for vertex in acfg.ref_vertices():
+                rid = vertex.rid
+                if n_w[rid] == 0:
+                    continue
+                if self.wcet.cache.classification(rid).is_always_hit:
+                    continue
+                uses.setdefault(acfg.block_of(rid), []).append(rid)
+            self._miss_uses = uses
+        return self._miss_uses
+
+
+def _structure_sig(node) -> tuple:
+    """Hashable signature of a structure tree (shape + block names)."""
+    if node is None:
+        return ("none",)
+    if isinstance(node, BlockNode):
+        return ("b", node.block_name)
+    if isinstance(node, SeqNode):
+        return ("s",) + tuple(_structure_sig(item) for item in node.items)
+    if isinstance(node, IfElseNode):
+        return (
+            "if",
+            node.cond_block,
+            _structure_sig(node.then_node),
+            _structure_sig(node.else_node),
+        )
+    if isinstance(node, LoopNode):
+        return ("lp", node.loop_name, _structure_sig(node.body))
+    if isinstance(node, SwitchNode):
+        return ("sw", node.selector_block) + tuple(
+            _structure_sig(case) for case in node.cases
+        )
+    if isinstance(node, CallNode):
+        return ("call", node.call_block, node.function_name, node.site_id)
+    raise AnalysisError(f"unknown structure node {type(node).__name__}")
+
+
+def content_key(cfg: ControlFlowGraph, block_size: int, base_address: int):
+    """Hashable key of everything the instruction-cache analysis reads.
+
+    Covers the per-block instruction streams (uid, prefetch role,
+    prefetch target — layout order determines addresses), the CFG
+    edges, the structure-tree shape, loop bounds, function bodies, and
+    the layout parameters.  Two CFG objects with equal keys yield
+    byte-for-byte identical analyses, which is the pipeline's licence to
+    share artifacts across objects (e.g. ``optimize``'s working clone
+    and the measured original).
+    """
+    blocks = tuple(
+        (
+            block.name,
+            tuple(
+                (instr.uid, instr.is_prefetch, instr.prefetch_target)
+                for instr in block.instructions
+            ),
+        )
+        for block in cfg.blocks
+    )
+    edges = tuple(sorted(cfg.edges()))
+    loops = tuple(
+        sorted((name, info.bound) for name, info in cfg.loops.items())
+    )
+    functions = tuple(
+        sorted(
+            (name, _structure_sig(info.structure))
+            for name, info in cfg.functions.items()
+        )
+    )
+    return (
+        cfg.name,
+        blocks,
+        edges,
+        loops,
+        _structure_sig(cfg.structure),
+        functions,
+        block_size,
+        base_address,
+    )
+
+
+def _vertex_matches(old: ACFG, new: ACFG, rid: int) -> bool:
+    """Whether vertex ``rid`` is analysis-equivalent in both ACFGs.
+
+    Compares everything the dataflow/guard/IPET equations read at this
+    vertex: kind, context, instruction identity and prefetch role,
+    memory blocks (own + target — these capture address-layout shifts),
+    execution multiplier, and the forward predecessor list.
+    """
+    a = old.vertices[rid]
+    b = new.vertices[rid]
+    if a.kind is not b.kind or a.context != b.context:
+        return False
+    ia, ib = a.instr, b.instr
+    if (ia is None) != (ib is None):
+        return False
+    if ia is not None and (
+        ia.uid != ib.uid
+        or ia.is_prefetch != ib.is_prefetch
+        or ia.prefetch_target != ib.prefetch_target
+    ):
+        return False
+    if (
+        old._ref_block[rid] != new._ref_block[rid]
+        or old._target_block[rid] != new._target_block[rid]
+        or old.multiplier[rid] != new.multiplier[rid]
+    ):
+        return False
+    return old.predecessors(rid) == new.predecessors(rid)
+
+
+def divergence_boundary(old: ACFG, new: ACFG) -> int:
+    """The warm-start boundary between two ACFGs.
+
+    Returns the largest ``b`` such that every analysis equation of
+    vertices ``rid < b`` is identical in both graphs: first the lowest
+    rid whose vertex differs (:func:`_vertex_matches`), then lowered by
+    closure until no back edge of *either* graph — and no back edge
+    present in only one of them — targets the prefix from at or above
+    the boundary.  With that closure, the prefix fixpoint states,
+    classifications, ``t_w`` entries, latency-guard verdicts and IPET
+    table entries of the base analysis carry over unchanged.
+
+    Returns 0 when nothing can be reused.
+    """
+    n = min(len(old.vertices), len(new.vertices))
+    b = n
+    for rid in range(n):
+        if not _vertex_matches(old, new, rid):
+            b = rid
+            break
+    if b <= 0:
+        return 0
+    old_edges = set(old.back_edges)
+    new_edges = set(new.back_edges)
+    only_one = old_edges ^ new_edges
+    every = old_edges | new_edges
+    changed = True
+    while changed and b > 0:
+        changed = False
+        for src, dst in every:
+            if dst < b and (src >= b or (src, dst) in only_one):
+                b = dst
+                changed = True
+    return max(b, 0)
+
+
+class AnalysisPipeline:
+    """Staged, cached WCET analysis for one (config, timing) context.
+
+    One pipeline serves one use case: the cache configuration, timing
+    model, persistence setting, locked blocks and base address are fixed
+    at construction so every cached artifact is valid for every call.
+    Not thread-safe; sweep workers build one per use case.
+
+    Args:
+        config: Cache configuration.
+        timing: Timing model.
+        with_persistence: Run the persistence domain (must match the
+            optimizer options the pipeline is used with).
+        locked_blocks: Hybrid-locking pinned blocks.
+        base_address: Program load address.
+        differential: Verify every delta re-analysis against a cold
+            :func:`~repro.analysis.wcet.analyze_wcet` run (slow; used by
+            the equivalence tests).
+        stats: Optionally share a :class:`PipelineStats` instance.
+    """
+
+    #: LRU capacities.  Structural artifacts and dataflow results are
+    #: keyed by program content; candidate evaluations churn through
+    #: unique contents, so the caps bound memory while keeping the
+    #: cross-phase entries (original and final program) resident.
+    MAX_STRUCTURAL = 32
+    MAX_DATAFLOW = 64
+    MAX_RESULTS = 8
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        timing: TimingModel,
+        with_persistence: bool = True,
+        locked_blocks: frozenset = frozenset(),
+        base_address: int = 0,
+        differential: bool = False,
+        stats: Optional[PipelineStats] = None,
+    ):
+        self.config = config
+        self.timing = timing
+        self.with_persistence = with_persistence
+        self.locked_blocks = frozenset(locked_blocks or ())
+        self.base_address = base_address
+        self.differential = differential
+        self.stats = stats if stats is not None else PipelineStats()
+        self._transfer: Dict[str, TransferCache] = {
+            "must": TransferCache(self.stats),
+            "may": TransferCache(self.stats),
+            "persistence": TransferCache(self.stats),
+        }
+        self._structural_cache: "OrderedDict[Any, StructuralArtifacts]" = (
+            OrderedDict()
+        )
+        self._dataflow_cache: "OrderedDict[Any, DataflowResult]" = OrderedDict()
+        self._results: "OrderedDict[Any, PipelineResult]" = OrderedDict()
+        #: id(cfg) -> (version, weakref, content key): memoizes the
+        #: content key per live CFG object; the weakref guards against
+        #: id reuse after garbage collection and the version (bumped by
+        #: every CFG mutation, never reused) against in-place edits.
+        self._content_keys: Dict[int, Tuple[int, Any, Any]] = {}
+
+    @classmethod
+    def for_options(cls, config: CacheConfig, timing: TimingModel, options,
+                    **kwargs) -> "AnalysisPipeline":
+        """A pipeline matching an :class:`~repro.core.optimizer.OptimizerOptions`."""
+        return cls(
+            config,
+            timing,
+            with_persistence=options.with_persistence,
+            locked_blocks=options.locked_blocks,
+            base_address=options.base_address,
+            **kwargs,
+        )
+
+    def matches_options(self, options) -> bool:
+        """Whether this pipeline's fixed context agrees with ``options``."""
+        return (
+            self.with_persistence == options.with_persistence
+            and self.locked_blocks == frozenset(options.locked_blocks or ())
+            and self.base_address == options.base_address
+        )
+
+    # ------------------------------------------------------------------
+    # the staged analysis
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        cfg: ControlFlowGraph,
+        with_may: bool = True,
+        base: Optional[PipelineResult] = None,
+    ) -> PipelineResult:
+        """Analyse ``cfg``, reusing every stage the caches allow.
+
+        Args:
+            cfg: The program (any object; keyed by content).
+            with_may: Run the may domain (as in :func:`analyze_wcet`).
+            base: A previous result *from this pipeline* to delta
+                against — typically the analysis of the program this
+                ``cfg`` was derived from by one prefetch insertion.
+
+        Returns:
+            A :class:`PipelineResult` whose ``wcet`` is bit-identical to
+            a fresh :func:`~repro.analysis.wcet.analyze_wcet` call.
+        """
+        key = self._content_key_of(cfg)
+        result_key = (key, bool(with_may))
+        cached = self._results.get(result_key)
+        if cached is not None:
+            self._results.move_to_end(result_key)
+            self.stats.result_hits += 1
+            return cached
+
+        artifacts = self._structural_stage(cfg, key)
+        acfg = artifacts.acfg
+
+        boundary = 0
+        if base is not None:
+            if base.owner is not self:
+                self.stats.delta_fallbacks += 1
+                base = None
+            else:
+                boundary = divergence_boundary(base.artifacts.acfg, acfg)
+                if boundary <= 0:
+                    self.stats.delta_fallbacks += 1
+                    base = None
+        use_delta = base is not None and boundary > 0
+        if use_delta:
+            self.stats.delta_runs += 1
+        else:
+            self.stats.cold_runs += 1
+            boundary = 0
+
+        domains = ["must"]
+        if with_may:
+            domains.append("may")
+        if self.with_persistence:
+            domains.append("persistence")
+        started = time.perf_counter()
+        dataflows = {
+            domain: self._dataflow_stage(
+                artifacts, domain, base if use_delta else None, boundary
+            )
+            for domain in domains
+        }
+        self.stats.add_time("fixpoint", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        locked = self.locked_blocks or None
+        classifications = classify_references(
+            acfg,
+            dataflows["must"],
+            dataflows.get("may"),
+            dataflows.get("persistence"),
+            locked,
+        )
+        cache_analysis = CacheAnalysis(
+            self.config,
+            classifications,
+            dataflows["must"],
+            dataflows.get("may"),
+            dataflows.get("persistence"),
+        )
+        self.stats.add_time("classify", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        t_w = compute_ref_times(acfg, cache_analysis, self.timing)
+        guarded = _latency_guard(
+            acfg,
+            cache_analysis,
+            self.timing,
+            t_w,
+            boundary=boundary,
+            base_guarded=base.wcet.latency_guarded if use_delta else frozenset(),
+        )
+        for rid in guarded:
+            t_w[rid] = float(self.timing.miss_cycles)
+        self.stats.add_time("guard", time.perf_counter() - started)
+
+        started = time.perf_counter()
+        warm = (boundary, base.best, base.best_pred) if use_delta else None
+        solution, best, best_pred = solve_wcet_path_tables(acfg, t_w, warm=warm)
+        charged = _charged_persistent_blocks(acfg, cache_analysis, solution)
+        wcet = WCETResult(
+            acfg=acfg,
+            cache=cache_analysis,
+            timing=self.timing,
+            t_w=t_w,
+            solution=solution,
+            persistent_charged_blocks=charged,
+            latency_guarded=guarded,
+        )
+        self.stats.add_time("ipet", time.perf_counter() - started)
+
+        if use_delta and self.differential:
+            self._differential_check(acfg, wcet, with_may)
+
+        result = PipelineResult(
+            owner=self,
+            artifacts=artifacts,
+            wcet=wcet,
+            dataflows=dataflows,
+            best=best,
+            best_pred=best_pred,
+            with_may=bool(with_may),
+            locked_blocks=locked,
+        )
+        if base is None:
+            # Candidate evaluations (base != None) churn through unique
+            # contents and are carried by the optimizer explicitly; only
+            # cold analyses of "real" programs earn a result-cache slot.
+            self._results[result_key] = result
+            while len(self._results) > self.MAX_RESULTS:
+                self._results.popitem(last=False)
+                self.stats.invalidations += 1
+        return result
+
+    # ------------------------------------------------------------------
+    # stages
+    # ------------------------------------------------------------------
+    def _content_key_of(self, cfg: ControlFlowGraph):
+        cached = self._content_keys.get(id(cfg))
+        if cached is not None:
+            version, ref, key = cached
+            if ref() is cfg and version == cfg.version:
+                return key
+        key = content_key(cfg, self.config.block_size, self.base_address)
+        self._content_keys[id(cfg)] = (cfg.version, weakref.ref(cfg), key)
+        if len(self._content_keys) > 16:
+            self._content_keys = {
+                obj_id: entry
+                for obj_id, entry in self._content_keys.items()
+                if entry[1]() is not None
+            }
+        return key
+
+    def _structural_stage(self, cfg: ControlFlowGraph, key) -> StructuralArtifacts:
+        hit = self._structural_cache.get(key)
+        if hit is not None:
+            self._structural_cache.move_to_end(key)
+            self.stats.structural_hits += 1
+            return hit
+        self.stats.structural_misses += 1
+        started = time.perf_counter()
+        acfg = build_acfg(cfg, self.config.block_size, self.base_address)
+        artifacts = StructuralArtifacts(
+            key=key, acfg=acfg, loop_spans=rest_instance_spans(acfg)
+        )
+        self.stats.add_time("acfg", time.perf_counter() - started)
+        self._structural_cache[key] = artifacts
+        while len(self._structural_cache) > self.MAX_STRUCTURAL:
+            self._structural_cache.popitem(last=False)
+            self.stats.invalidations += 1
+        return artifacts
+
+    def _initial_state(self, domain: str):
+        if domain == "must":
+            return MustState(self.config)
+        if domain == "may":
+            return MayState(self.config)
+        if domain == "persistence":
+            return PersistenceState(self.config)
+        raise AnalysisError(f"unknown abstract domain {domain!r}")
+
+    def _dataflow_stage(
+        self,
+        artifacts: StructuralArtifacts,
+        domain: str,
+        base: Optional[PipelineResult],
+        boundary: int,
+    ) -> DataflowResult:
+        key = (artifacts.key, domain)
+        hit = self._dataflow_cache.get(key)
+        if hit is not None:
+            self._dataflow_cache.move_to_end(key)
+            self.stats.dataflow_hits += 1
+            return hit
+        self.stats.dataflow_misses += 1
+        transfer = self._transfer[domain]
+        warm = None
+        if base is not None and boundary > 0:
+            base_df = base.dataflows.get(domain)
+            if base_df is not None:
+                warm = (boundary, base_df.in_states, base_df.out_states)
+        result = propagate(
+            artifacts.acfg,
+            self.config,
+            transfer.intern(self._initial_state(domain)),
+            locked_blocks=self.locked_blocks or None,
+            transfer=transfer,
+            warm=warm,
+        )
+        self._dataflow_cache[key] = result
+        while len(self._dataflow_cache) > self.MAX_DATAFLOW:
+            self._dataflow_cache.popitem(last=False)
+            self.stats.invalidations += 1
+        return result
+
+    def _differential_check(self, acfg: ACFG, wcet: WCETResult,
+                            with_may: bool) -> None:
+        """Prove one delta analysis bit-identical to a from-scratch run."""
+        self.stats.differential_checks += 1
+        cold = analyze_wcet(
+            acfg,
+            self.config,
+            self.timing,
+            with_may=with_may,
+            with_persistence=self.with_persistence,
+            locked_blocks=self.locked_blocks or None,
+        )
+        problems = []
+        if wcet.tau_w != cold.tau_w:
+            problems.append(f"tau_w {wcet.tau_w!r} != {cold.tau_w!r}")
+        if wcet.cache.classifications != cold.cache.classifications:
+            problems.append("classifications differ")
+        if wcet.t_w != cold.t_w:
+            problems.append("t_w differs")
+        if wcet.latency_guarded != cold.latency_guarded:
+            problems.append("latency_guarded differs")
+        if wcet.solution.n_w != cold.solution.n_w:
+            problems.append("n_w differs")
+        if wcet.persistent_charged_blocks != cold.persistent_charged_blocks:
+            problems.append("persistent_charged_blocks differ")
+        if wcet.wcet_path_misses != cold.wcet_path_misses:
+            problems.append(
+                f"wcet_path_misses {wcet.wcet_path_misses} != "
+                f"{cold.wcet_path_misses}"
+            )
+        if problems:
+            raise AnalysisError(
+                "delta re-analysis diverged from cold analysis: "
+                + "; ".join(problems)
+            )

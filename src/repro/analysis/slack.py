@@ -53,6 +53,82 @@ def min_path_slack(
     return infinity
 
 
+def min_path_slacks(
+    acfg: ACFG,
+    t_w: Sequence[float],
+    from_rid: int,
+    to_rids: Sequence[int],
+) -> Dict[int, float]:
+    """Batched :func:`min_path_slack`: one DP sweep, many targets.
+
+    Computes ``{to: min_path_slack(acfg, t_w, from_rid, to)}`` for every
+    ``to`` in ``to_rids`` with a single forward pass up to the largest
+    target.  The recurrence, iteration order, and float additions are
+    exactly those of the per-pair function, so results are bit-identical
+    — a target that lies between ``from_rid`` and a later target also
+    contributes its own weight to paths through it, just as it does in
+    the per-pair DP.
+    """
+    if not to_rids:
+        return {}
+    if not 0 <= from_rid < len(acfg.vertices):
+        raise OptimizationError("slack endpoints out of range")
+    last = -1
+    for to_rid in to_rids:
+        if not 0 <= to_rid < len(acfg.vertices):
+            raise OptimizationError("slack endpoints out of range")
+        if to_rid <= from_rid:
+            raise OptimizationError(
+                f"slack requires from_rid < to_rid, got {from_rid} >= {to_rid}"
+            )
+        if to_rid > last:
+            last = to_rid
+    infinity = math.inf
+    dist = [infinity] * (last + 1)
+    dist[from_rid] = 0.0
+    wanted = set(to_rids)
+    out: Dict[int, float] = {}
+    for rid in range(from_rid + 1, last + 1):
+        best = infinity
+        for pred in acfg.predecessors(rid):
+            if pred >= from_rid and dist[pred] < best:
+                best = dist[pred]
+        if rid in wanted:
+            out[rid] = best  # exclude the endpoint's own weight
+        if best is infinity:
+            continue
+        weight = t_w[rid] if acfg.vertex(rid).is_ref else 0.0
+        dist[rid] = best + weight
+    return out
+
+
+def min_tail_slack(
+    acfg: ACFG,
+    t_w: Sequence[float],
+    evictor_rid: int,
+    exit_rids: Sequence[int],
+) -> float:
+    """The loop-tail half of :func:`wraparound_slack`.
+
+    ``min over latches e >= evictor of (minpath(evictor→e) + t_w(e))`` —
+    independent of the use, so the latency guard computes it once per
+    (prefetch, loop instance) and shares it across every wrapped use.
+    """
+    after = [e for e in exit_rids if e > evictor_rid]
+    parts = min_path_slacks(acfg, t_w, evictor_rid, after) if after else {}
+    best_tail = math.inf
+    for exit_rid in exit_rids:
+        if exit_rid == evictor_rid:
+            tail = 0.0
+        elif exit_rid > evictor_rid:
+            weight = t_w[exit_rid] if acfg.vertex(exit_rid).is_ref else 0.0
+            tail = parts[exit_rid] + weight
+        else:
+            continue
+        best_tail = min(best_tail, tail)
+    return best_tail
+
+
 def wraparound_slack(
     acfg: ACFG,
     t_w: Sequence[float],

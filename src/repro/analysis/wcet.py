@@ -16,6 +16,7 @@ criterion (:mod:`repro.core.profit`) consumes.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -218,7 +219,14 @@ def analyze_wcet(
     )
 
 
-def _latency_guard(acfg, cache, timing, t_w) -> frozenset:
+def _latency_guard(
+    acfg,
+    cache,
+    timing,
+    t_w,
+    boundary: int = 0,
+    base_guarded: frozenset = frozenset(),
+) -> frozenset:
     """References whose hit classification cannot be guaranteed in time.
 
     The abstract semantics install a prefetched block immediately; the
@@ -228,11 +236,26 @@ def _latency_guard(acfg, cache, timing, t_w) -> frozenset:
     both straight-line and loop-carried (wrap-around) proximity.  This
     is the conservative counterpart of the prefetching-aware abstract
     semantics of the paper's ref. [22].
+
+    Slack queries are batched: one DAG sweep per prefetch covers all its
+    straight-line uses, and per loop instance the tail of the wrap-around
+    slack is computed once and shared across the wrapped uses.  The
+    sweeps replay exactly the per-pair recurrence, so the guarded set is
+    identical to pairwise evaluation.
+
+    ``boundary``/``base_guarded`` support the delta re-analysis of
+    :mod:`repro.analysis.pipeline`: verdicts of uses below the
+    divergence boundary are taken from ``base_guarded`` and only pairs
+    with ``use >= boundary`` are recomputed.  Sound because after the
+    boundary closure no slack span of a below-boundary use crosses the
+    boundary (straight-line spans end at the use; a wrap-around span
+    reaching past it would need a back edge from >= boundary into the
+    prefix, which the closure rules out).
     """
     from repro.analysis.slack import (
-        min_path_slack,
+        min_path_slacks,
+        min_tail_slack,
         rest_instance_spans,
-        wraparound_slack,
     )
 
     prefetches = [v for v in acfg.ref_vertices() if v.is_prefetch]
@@ -250,32 +273,43 @@ def _latency_guard(acfg, cache, timing, t_w) -> frozenset:
             )
     spans = rest_instance_spans(acfg)
     latency = float(timing.prefetch_latency)
-    guarded = set()
+    guarded = {use for use in base_guarded if use < boundary}
     for prefetch in prefetches:
         target = acfg.target_block_or_none(prefetch.rid)
         if target is None:
             continue  # data prefetch: no instruction-cache effect
         uses = uses_by_block.get(target, ())
-        for use in uses:
-            if use in guarded:
-                continue
-            if use > prefetch.rid:
-                slack = min_path_slack(acfg, t_w, prefetch.rid, use)
-                if slack < latency:
+        straight = [
+            use
+            for use in uses
+            if use > prefetch.rid and use >= boundary and use not in guarded
+        ]
+        if straight:
+            slacks = min_path_slacks(acfg, t_w, prefetch.rid, straight)
+            for use in straight:
+                if slacks[use] < latency:
                     guarded.add(use)
-            else:
-                # Loop-carried proximity: prefetch late in the body,
-                # use early in the next iteration of the same instance.
-                for join_rid, last_rid, exit_rids in reversed(spans):
-                    if not join_rid <= prefetch.rid <= last_rid:
-                        continue
-                    if join_rid <= use <= prefetch.rid:
-                        slack = wraparound_slack(
-                            acfg, t_w, prefetch.rid, use, join_rid, exit_rids
-                        )
-                        if slack < latency:
+        # Loop-carried proximity: prefetch late in the body, use early
+        # in the next iteration of the same (innermost) instance.
+        wrapped = [
+            use
+            for use in uses
+            if use <= prefetch.rid and use >= boundary and use not in guarded
+        ]
+        if not wrapped:
+            continue
+        for join_rid, last_rid, exit_rids in reversed(spans):
+            if not join_rid <= prefetch.rid <= last_rid:
+                continue
+            in_span = [use for use in wrapped if join_rid <= use]
+            if in_span:
+                tail = min_tail_slack(acfg, t_w, prefetch.rid, exit_rids)
+                if not math.isinf(tail):
+                    heads = min_path_slacks(acfg, t_w, join_rid, in_span)
+                    for use in in_span:
+                        if tail + heads[use] < latency:
                             guarded.add(use)
-                    break
+            break
     return frozenset(guarded)
 
 

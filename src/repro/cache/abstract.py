@@ -30,6 +30,21 @@ from repro.errors import AnalysisError
 #: blocks with (must: maximal / may: minimal) age ``i``.
 SetLines = Tuple[FrozenSet[int], ...]
 
+#: Interned all-empty ``SetLines`` per associativity.  ``lines()`` is the
+#: hottest query of the fixpoint engine and most lookups miss (states are
+#: sparse), so handing out one shared tuple instead of allocating a fresh
+#: ``assoc``-sized tuple per miss is a measurable win.
+_EMPTY_LINES: Dict[int, SetLines] = {}
+
+
+def empty_lines(associativity: int) -> SetLines:
+    """The canonical all-empty per-age tuple for ``associativity`` ways."""
+    cached = _EMPTY_LINES.get(associativity)
+    if cached is None:
+        cached = tuple(frozenset() for _ in range(associativity))
+        _EMPTY_LINES[associativity] = cached
+    return cached
+
 
 class AbstractCacheState:
     """Common machinery of the must/may domains.
@@ -40,7 +55,7 @@ class AbstractCacheState:
     empty mapping.
     """
 
-    __slots__ = ("config", "_sets", "_hash")
+    __slots__ = ("config", "_sets", "_hash", "_ages")
 
     def __init__(
         self,
@@ -60,26 +75,34 @@ class AbstractCacheState:
                 cleaned[index] = lines
         self._sets = cleaned
         self._hash: Optional[int] = None
+        self._ages: Optional[Dict[int, int]] = None
 
     # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
     def lines(self, set_index: int) -> SetLines:
         """Per-age block sets of one cache set."""
-        empty = frozenset()
-        return self._sets.get(
-            set_index, tuple(empty for _ in range(self.config.associativity))
-        )
+        found = self._sets.get(set_index)
+        if found is None:
+            return empty_lines(self.config.associativity)
+        return found
 
     def age_of(self, block: int) -> Optional[int]:
-        """Age bound of ``block`` in its set, or ``None`` when absent."""
-        lines = self._sets.get(self.config.set_index(block))
-        if lines is None:
-            return None
-        for age, entry in enumerate(lines):
-            if block in entry:
-                return age
-        return None
+        """Age bound of ``block`` in its set, or ``None`` when absent.
+
+        Backed by a lazily built block -> age index: the optimizer and
+        the classifier probe the same state for many different blocks,
+        so one inversion pass beats a linear scan per query.
+        """
+        ages = self._ages
+        if ages is None:
+            ages = {}
+            for lines in self._sets.values():
+                for age, entry in enumerate(lines):
+                    for member in entry:
+                        ages[member] = age
+            self._ages = ages
+        return ages.get(block)
 
     def __contains__(self, block: int) -> bool:
         return self.age_of(block) is not None
@@ -107,6 +130,8 @@ class AbstractCacheState:
     # identity
     # ------------------------------------------------------------------
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AbstractCacheState):
             return NotImplemented
         return (
@@ -170,6 +195,7 @@ class AbstractCacheState:
         fresh.config = config
         fresh._sets = sets
         fresh._hash = None
+        fresh._ages = None
         return fresh
 
     def evicted_by(self, block: int) -> FrozenSet[int]:

@@ -85,6 +85,8 @@ def propagate(
     initial: AbstractCacheState,
     locked_blocks: Optional[frozenset] = None,
     plan: Optional[List[Optional[tuple]]] = None,
+    transfer=None,
+    warm: Optional[tuple] = None,
 ) -> DataflowResult:
     """Run one abstract domain over the ACFG to fixpoint.
 
@@ -98,6 +100,16 @@ def propagate(
         config: Cache configuration (defines set mapping).
         initial: State at the source — typically the all-invalid state
             of the chosen domain (``MustState(config)``/``MayState(config)``).
+        transfer: Optional transfer-function provider with
+            ``update(state, block)``, ``join(a, b)`` and
+            ``unknown(state)`` — the pipeline's hash-consing
+            :class:`~repro.analysis.pipeline.TransferCache` plugs in
+            here.  ``None`` calls the domain methods directly.
+        warm: Optional warm start ``(boundary, base_in, base_out)``:
+            states of every vertex below ``boundary`` are copied from
+            the base run and the sweeps start at ``boundary``.  Only
+            sound when the caller has proven the prefix equations
+            unchanged (the pipeline's divergence-boundary closure).
 
     Returns:
         A :class:`DataflowResult` with the converged states.
@@ -108,6 +120,26 @@ def propagate(
     back_by_target: Dict[int, List[int]] = {}
     for src, dst in acfg.back_edges:
         back_by_target.setdefault(dst, []).append(src)
+
+    start = 0
+    if warm is not None:
+        boundary, base_in, base_out = warm
+        if 0 < boundary <= n and len(base_in) >= boundary and len(
+            base_out
+        ) >= boundary:
+            in_states[:boundary] = base_in[:boundary]
+            out_states[:boundary] = base_out[:boundary]
+            start = boundary
+
+    domain = type(initial)
+    if transfer is None:
+        join_op = domain.join
+        update_op = domain.update
+        unknown_op = domain.unknown_access
+    else:
+        join_op = transfer.join
+        update_op = transfer.update
+        unknown_op = transfer.unknown
 
     # Per-rid access plan: None for no accesses, else a tuple of ops —
     # each op a memory-block id or :data:`UNKNOWN_ACCESS`.  The default
@@ -140,7 +172,10 @@ def propagate(
         changed = [False] * n
         any_changed = False
         first_pass = pass_count == 1
-        for rid in range(n):
+        # Vertices below the warm-start boundary can never re-enter the
+        # worklist: their preds and back-edge sources all lie below the
+        # boundary too (the pipeline's closure), and those never change.
+        for rid in range(start, n):
             if not first_pass:
                 need = any(changed[p] for p in preds[rid]) or any(
                     back_src_changed.get(src, False)
@@ -161,7 +196,7 @@ def propagate(
                     continue  # unreachable this pass (back edge pending)
                 new_in = contributions[0]
                 for extra in contributions[1:]:
-                    new_in = new_in.join(extra)
+                    new_in = join_op(new_in, extra)
             access = plan[rid]
             if access is None:
                 new_out = new_in
@@ -169,9 +204,9 @@ def propagate(
                 new_out = new_in
                 for op in access:
                     if op == UNKNOWN_ACCESS:
-                        new_out = new_out.unknown_access()
+                        new_out = unknown_op(new_out)
                     else:
-                        new_out = new_out.update(op)
+                        new_out = update_op(new_out, op)
             if new_out != out_states[rid]:
                 changed[rid] = True
                 any_changed = True
@@ -276,6 +311,25 @@ def analyze_cache(
         if with_persistence
         else None
     )
+    classifications = classify_references(
+        acfg, must, may, persistence, locked_blocks
+    )
+    return CacheAnalysis(config, classifications, must, may, persistence)
+
+
+def classify_references(
+    acfg: ACFG,
+    must: DataflowResult,
+    may: Optional[DataflowResult],
+    persistence: Optional[DataflowResult],
+    locked_blocks: Optional[frozenset] = None,
+) -> List[Optional[Classification]]:
+    """Per-rid classifications from converged dataflow results.
+
+    The pure classification step of :func:`analyze_cache`, shared with
+    the staged pipeline which obtains the dataflow results from its own
+    caches.
+    """
     classifications: List[Optional[Classification]] = [None] * len(acfg.vertices)
     locked = locked_blocks or frozenset()
     for vertex in acfg.ref_vertices():
@@ -300,4 +354,4 @@ def analyze_cache(
             classifications[rid] = Classification.ALWAYS_MISS
         else:
             classifications[rid] = Classification.NOT_CLASSIFIED
-    return CacheAnalysis(config, classifications, must, may, persistence)
+    return classifications

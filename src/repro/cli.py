@@ -74,6 +74,9 @@ def _build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--json", action="store_true",
                      help="machine-readable result on stdout "
                           "(human text moves to stderr)")
+    opt.add_argument("--profile", action="store_true",
+                     help="per-stage wall-clock breakdown of the analysis "
+                          "pipeline on stderr (and in the --json document)")
 
     usecase = sub.add_parser(
         "usecase", help="paired original/optimized measurement of one use case"
@@ -202,8 +205,26 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     print(f"Theorem 1  : {check.theorem1_holds}   Condition 2: "
           f"{check.condition2_holds}   latency-sound: {check.all_effective}",
           file=out)
+    profile = report.profile if getattr(args, "profile", False) else None
+    if profile is not None:
+        # Always on stderr: diagnostics, not part of the result proper.
+        total = sum(profile.values())
+        print("pipeline stage breakdown:", file=sys.stderr)
+        for stage in ("acfg", "fixpoint", "classify", "guard", "ipet"):
+            seconds = profile.get(stage, 0.0)
+            share = (100.0 * seconds / total) if total else 0.0
+            print(f"  {stage:<9}: {seconds:8.3f}s ({share:4.1f}%)",
+                  file=sys.stderr)
+        for stage in sorted(set(profile) - {"acfg", "fixpoint", "classify",
+                                            "guard", "ipet"}):
+            print(f"  {stage:<9}: {profile[stage]:8.3f}s", file=sys.stderr)
+        counters = report.pipeline
+        print(f"  analyses : {counters.get('delta_runs', 0)} delta, "
+              f"{counters.get('cold_runs', 0)} cold, "
+              f"{counters.get('delta_fallbacks', 0)} fallbacks",
+              file=sys.stderr)
     if args.json:
-        document = optimize_to_json(report, check)
+        document = optimize_to_json(report, check, profile=profile)
         document["config_id"] = args.config
         document["tech"] = tech.name
         document["baseline"] = args.baseline

@@ -29,12 +29,12 @@ the optimization from paying for itself.
 from __future__ import annotations
 
 import bisect
-from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.pipeline import AnalysisPipeline, PipelineResult
 from repro.analysis.timing import TimingModel
-from repro.analysis.wcet import WCETResult, analyze_wcet
+from repro.analysis.wcet import WCETResult
 from repro.cache.classify import Classification
 from repro.cache.config import CacheConfig
 from repro.core.profit import ProfitTerms, estimate_profit, wraparound_slack
@@ -43,9 +43,9 @@ from repro.core.relocation import (
     insertion_point_after,
     relocation_cost,
 )
-from repro.core.update import PrefetchCandidateEvent, collect_reverse_events
+from repro.core.update import PrefetchCandidateEvent
 from repro.errors import GuaranteeViolation, OptimizationError
-from repro.program.acfg import ACFG, build_acfg
+from repro.program.acfg import ACFG
 from repro.program.cfg import ControlFlowGraph
 
 #: Numerical slack for float comparisons of τ_w values.
@@ -173,6 +173,14 @@ class OptimizationReport:
     candidates_evaluated: int = 0
     candidates_rejected: int = 0
     passes: int = 0
+    #: Snapshot of the analysis pipeline's cache counters at the end of
+    #: the run (cumulative over the pipeline's lifetime when a shared
+    #: pipeline was passed in).  Deterministic; serialized in reports.
+    pipeline: Dict[str, int] = field(default_factory=dict)
+    #: Per-stage wall-clock seconds (``repro optimize --profile``).
+    #: Machine-dependent, therefore excluded from equality and never
+    #: serialized.
+    profile: Optional[Dict[str, float]] = field(default=None, compare=False)
 
     @property
     def prefetch_count(self) -> int:
@@ -210,6 +218,7 @@ def optimize(
     timing: TimingModel,
     options: Optional[OptimizerOptions] = None,
     inplace: bool = False,
+    pipeline: Optional[AnalysisPipeline] = None,
 ) -> Tuple[ControlFlowGraph, OptimizationReport]:
     """Run the paper's optimization on a program.
 
@@ -220,6 +229,11 @@ def optimize(
             technology).
         options: Gates and limits; defaults to the paper's setting.
         inplace: Mutate ``cfg`` instead of working on a clone.
+        pipeline: Optionally share an
+            :class:`~repro.analysis.pipeline.AnalysisPipeline` (e.g. one
+            per use case, so the measure/optimize/measure phases reuse
+            each other's artifacts).  Must agree with ``config``,
+            ``timing`` and ``options``; by default a fresh one is built.
 
     Returns:
         ``(optimized_program, report)``.  The optimized program is
@@ -230,20 +244,27 @@ def optimize(
     opts = options or OptimizerOptions()
     work = cfg if inplace else cfg.clone()
 
-    acfg = build_acfg(work, config.block_size, opts.base_address)
-    wcet = analyze_wcet(
-        acfg, config, timing, with_may=False,
-        with_persistence=opts.with_persistence,
-        locked_blocks=opts.locked_blocks or None,
-    )
+    if pipeline is None:
+        pipeline = AnalysisPipeline.for_options(config, timing, opts)
+    elif (
+        pipeline.config != config
+        or pipeline.timing != timing
+        or not pipeline.matches_options(opts)
+    ):
+        raise OptimizationError(
+            "shared analysis pipeline disagrees with the optimizer's "
+            "config/timing/options"
+        )
+
+    base = pipeline.analyze(work, with_may=False)
     report = OptimizationReport(
         program=work.name,
         config=config,
         timing=timing,
-        tau_original=wcet.tau_w,
-        tau_final=wcet.tau_w,
-        misses_original=wcet.wcet_path_misses,
-        misses_final=wcet.wcet_path_misses,
+        tau_original=base.wcet.tau_w,
+        tau_final=base.wcet.tau_w,
+        misses_original=base.wcet.wcet_path_misses,
+        misses_final=base.wcet.wcet_path_misses,
         static_instructions_original=work.instruction_count,
         static_instructions_final=work.instruction_count,
     )
@@ -251,14 +272,16 @@ def optimize(
     rejected: Set[Tuple] = set()
     while len(report.inserted) < opts.max_insertions:
         report.passes += 1
-        accepted = _run_pass(work, config, timing, opts, acfg, wcet, rejected, report)
+        accepted = _run_pass(work, timing, opts, pipeline, base, rejected, report)
         if accepted is None:
             break
-        acfg, wcet = accepted
+        base = accepted
 
-    report.tau_final = wcet.tau_w
-    report.misses_final = wcet.wcet_path_misses
+    report.tau_final = base.wcet.tau_w
+    report.misses_final = base.wcet.wcet_path_misses
     report.static_instructions_final = work.instruction_count
+    report.pipeline = pipeline.stats.counters()
+    report.profile = pipeline.stats.profile()
 
     if opts.verify_guarantee and opts.require_wcet_nonincrease:
         if report.tau_final > report.tau_original + TAU_EPSILON:
@@ -271,21 +294,26 @@ def optimize(
 
 def _run_pass(
     work: ControlFlowGraph,
-    config: CacheConfig,
     timing: TimingModel,
     opts: OptimizerOptions,
-    acfg: ACFG,
-    wcet: WCETResult,
+    pipeline: AnalysisPipeline,
+    base: PipelineResult,
     rejected: Set[Tuple],
     report: OptimizationReport,
-) -> Optional[Tuple[ACFG, WCETResult]]:
-    """One reverse walk; returns the new (acfg, wcet) on acceptance."""
-    events = collect_reverse_events(
-        acfg, config, wcet.solution, locked_blocks=opts.locked_blocks or None
-    )
-    uses_by_block = _on_path_miss_uses(acfg, wcet)
-    exec_count_by_uid = _exec_counts(acfg, wcet)
-    loop_ranges = {j: (last, exits) for j, last, exits in _loop_ranges(acfg)}
+) -> Optional[PipelineResult]:
+    """One reverse walk; returns the accepted candidate's analysis.
+
+    The per-pass artifacts — reverse events, miss uses, execution
+    counts, loop ranges — all come (cached) from ``base``; candidate
+    evaluations delta-analyse against ``base`` so only the suffix behind
+    the insertion point is recomputed.
+    """
+    acfg = base.acfg
+    wcet = base.wcet
+    events = base.reverse_events()
+    uses_by_block = base.miss_uses()
+    exec_count_by_uid = base.exec_counts()
+    loop_ranges = base.loop_ranges()
 
     for event in events:
         located = _locate_candidate(
@@ -326,12 +354,8 @@ def _run_pass(
             prefetch = work.insert_prefetch(
                 point.block_name, index, miss_vertex.instr.uid
             )
-            new_acfg = build_acfg(work, config.block_size, opts.base_address)
-            new_wcet = analyze_wcet(
-                new_acfg, config, timing, with_may=False,
-                with_persistence=opts.with_persistence,
-                locked_blocks=opts.locked_blocks or None,
-            )
+            candidate = pipeline.analyze(work, with_may=False, base=base)
+            new_wcet = candidate.wcet
             ok = True
             if (
                 opts.require_wcet_nonincrease
@@ -349,14 +373,15 @@ def _run_pass(
             # behind a prefetch the full miss latency, so erosion shows
             # up in new_wcet.tau_w directly.
             if ok:
-                accepted = (prefetch, new_acfg, new_wcet, index)
+                accepted = (prefetch, candidate, index)
                 break
             work.remove_prefetch(prefetch.uid)
             report.candidates_rejected += 1
         if accepted is None:
             rejected.add(key)
             continue
-        prefetch, new_acfg, new_wcet, chosen_index = accepted
+        prefetch, candidate, chosen_index = accepted
+        new_wcet = candidate.wcet
         point = InsertionPoint(point.block_name, chosen_index)
 
         evictor = acfg.vertex(event.insert_after_rid)
@@ -379,7 +404,7 @@ def _run_pass(
                 misses_after=new_wcet.wcet_path_misses,
             )
         )
-        return new_acfg, new_wcet
+        return candidate
     return None
 
 
@@ -498,42 +523,3 @@ def _price_candidate(
     )
 
 
-def _loop_ranges(acfg: ACFG) -> List[Tuple[int, int, Tuple[int, ...]]]:
-    """REST instance spans: ``(entry_join_rid, last_rid, exit_rids)``.
-
-    Derived from the analysis-only back edges; sorted by entry join so
-    ``reversed()`` visits innermost instances first.
-    """
-    by_join: Dict[int, List[int]] = defaultdict(list)
-    for src, dst in acfg.back_edges:
-        by_join[dst].append(src)
-    ranges = [
-        (join, max(exits), tuple(sorted(exits)))
-        for join, exits in by_join.items()
-    ]
-    ranges.sort()
-    return ranges
-
-
-def _on_path_miss_uses(acfg: ACFG, wcet: WCETResult) -> Dict[int, List[int]]:
-    """Per memory block: sorted rids of on-path references still paying
-    for a miss — always-miss, not-classified, or first-miss persistent —
-    the misses a prefetch could preclude."""
-    uses: Dict[int, List[int]] = defaultdict(list)
-    for vertex in acfg.ref_vertices():
-        rid = vertex.rid
-        if wcet.solution.n_w[rid] == 0:
-            continue
-        if wcet.cache.classification(rid).is_always_hit:
-            continue
-        uses[acfg.block_of(rid)].append(rid)
-    return uses
-
-
-def _exec_counts(acfg: ACFG, wcet: WCETResult) -> Dict[int, int]:
-    """Worst-case executions per *static instruction* (summed contexts)."""
-    counts: Dict[int, int] = defaultdict(int)
-    for vertex in acfg.ref_vertices():
-        assert vertex.instr is not None
-        counts[vertex.instr.uid] += wcet.solution.n_w[vertex.rid]
-    return counts

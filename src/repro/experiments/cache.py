@@ -58,7 +58,7 @@ from repro.experiments.usecase import (
 #: Version tag of the result-producing code.  Bump whenever analysis,
 #: optimizer, simulator, or energy-model changes alter results — every
 #: cached record keyed under the old tag becomes unreachable.
-CODE_VERSION = "2026.08-1"
+CODE_VERSION = "2026.08-2"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
@@ -233,6 +233,9 @@ def _report_to_dict(report: OptimizationReport) -> Dict[str, Any]:
         "candidates_evaluated": report.candidates_evaluated,
         "candidates_rejected": report.candidates_rejected,
         "passes": report.passes,
+        # Deterministic pipeline cache counters; the wall-clock profile
+        # is machine-dependent and intentionally not persisted.
+        "pipeline": dict(report.pipeline),
     }
 
 

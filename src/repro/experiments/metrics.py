@@ -44,6 +44,9 @@ class UseCaseMetrics:
             when it was (originally) computed.
         prefetches: Accepted prefetch insertions.
         worker_pid: OS pid of the process that produced the result.
+        pipeline: Analysis-pipeline cache counters of the run
+            (hits/misses/delta runs...; empty for records produced
+            before the pipeline existed).
     """
 
     usecase: UseCase
@@ -52,6 +55,7 @@ class UseCaseMetrics:
     evaluations: int
     prefetches: int
     worker_pid: int
+    pipeline: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -95,6 +99,7 @@ class SweepMetrics:
             evaluations=result.report.candidates_evaluated,
             prefetches=result.report.prefetch_count,
             worker_pid=worker_pid or os.getpid(),
+            pipeline=dict(getattr(result.report, "pipeline", {}) or {}),
         )
         self.records.append(entry)
         return entry
@@ -141,6 +146,14 @@ class SweepMetrics:
         """Total accepted prefetch insertions."""
         return sum(r.prefetches for r in self.records)
 
+    def pipeline_totals(self) -> Dict[str, int]:
+        """Summed analysis-pipeline counters across all recorded cases."""
+        totals: Dict[str, int] = {}
+        for record in self.records:
+            for name, value in record.pipeline.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
+
     def worker_pids(self) -> Tuple[int, ...]:
         """Distinct pids that computed results (cache hits excluded)."""
         return tuple(
@@ -172,6 +185,17 @@ class SweepMetrics:
             f"compute time: {self.compute_time_s:.2f}s across "
             f"{max(len(self.worker_pids()), 1)} process(es)",
         ]
+        totals = self.pipeline_totals()
+        if totals:
+            delta = totals.get("delta_runs", 0)
+            cold = totals.get("cold_runs", 0)
+            lines.append(
+                f"pipeline: {delta} delta / {cold} cold analyses, "
+                f"{totals.get('delta_fallbacks', 0)} fallbacks, "
+                f"{totals.get('transfer_hits', 0)} transfer hits, "
+                f"{totals.get('structural_hits', 0)} structural hits, "
+                f"{totals.get('invalidations', 0)} invalidations"
+            )
         worst = self.slowest(3)
         if worst:
             slowest = ", ".join(

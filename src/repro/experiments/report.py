@@ -171,6 +171,7 @@ def report_to_json(report) -> Dict[str, Any]:
         "misses_final": report.misses_final,
         "static_instructions_original": report.static_instructions_original,
         "static_instructions_final": report.static_instructions_final,
+        "pipeline": dict(getattr(report, "pipeline", {}) or {}),
     }
 
 
@@ -187,13 +188,15 @@ def guarantee_to_json(check) -> Dict[str, Any]:
     }
 
 
-def optimize_to_json(report, check=None) -> Dict[str, Any]:
+def optimize_to_json(report, check=None, profile=None) -> Dict[str, Any]:
     """One ``optimize`` outcome as plain data.
 
     With an independent :class:`GuaranteeCheck` (the CLI re-verifies),
     its full record is embedded; without one (the service derives the
     guarantee from the report's own τ/miss accounting) the boolean
-    summary is computed from the report.
+    summary is computed from the report.  ``profile`` optionally embeds
+    the per-stage wall-clock breakdown (``repro optimize --profile``) —
+    machine-dependent, so only present on explicit request.
     """
     data = report_to_json(report)
     if check is not None:
@@ -203,6 +206,8 @@ def optimize_to_json(report, check=None) -> Dict[str, Any]:
             "theorem1": report.tau_final <= report.tau_original + 1e-6,
             "condition2": report.misses_final <= report.misses_original,
         }
+    if profile is not None:
+        data["profile"] = dict(profile)
     return data
 
 
@@ -250,6 +255,7 @@ def metrics_to_json(metrics) -> Dict[str, Any]:
         "compute_time_s": metrics.compute_time_s,
         "evaluations": metrics.evaluations,
         "prefetches": metrics.prefetches,
+        "pipeline": metrics.pipeline_totals(),
     }
 
 

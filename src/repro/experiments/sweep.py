@@ -48,7 +48,12 @@ from typing import (
 from repro.bench.registry import program_names
 from repro.cache.config import CAPACITIES, TABLE2, config_id
 from repro.errors import ExperimentError
-from repro.experiments.usecase import UseCase, UseCaseResult, run_usecase
+from repro.experiments.usecase import (
+    UseCase,
+    UseCaseResult,
+    pipeline_for_usecase,
+    run_usecase,
+)
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
@@ -207,7 +212,11 @@ def _evaluate_usecase(payload) -> Tuple[UseCaseResult, float, int]:
     """
     usecase, seed, options = payload
     start = time.perf_counter()
-    result = run_usecase(usecase, seed=seed, options=options)
+    # One analysis pipeline per use case: all phases of the use case
+    # share cached artifacts, while use cases stay independent (and the
+    # pipeline never crosses a process boundary).
+    pipeline = pipeline_for_usecase(usecase, options)
+    result = run_usecase(usecase, seed=seed, options=options, pipeline=pipeline)
     return result, time.perf_counter() - start, os.getpid()
 
 

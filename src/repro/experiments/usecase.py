@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.analysis.pipeline import AnalysisPipeline
 from repro.analysis.wcet import analyze_wcet
 from repro.bench.registry import load
 from repro.cache.config import CacheConfig, TABLE2
@@ -159,15 +160,25 @@ def measure_program(
     seed: int = 1,
     base_address: int = 0,
     with_persistence: bool = True,
+    pipeline: Optional[AnalysisPipeline] = None,
 ) -> ProgramMeasurement:
-    """Analyse + simulate one executable on one cache/technology."""
+    """Analyse + simulate one executable on one cache/technology.
+
+    When ``pipeline`` is given the WCET analysis runs through it —
+    sharing artifacts with the optimization phase of the same use case —
+    and the pipeline's own persistence/base-address settings apply.
+    """
     tech = technology(tech_name)
     model = cacti_model(config, tech)
     timing = model.timing_model()
-    acfg = build_acfg(cfg, config.block_size, base_address)
-    wcet = analyze_wcet(
-        acfg, config, timing, with_persistence=with_persistence
-    )
+    if pipeline is not None:
+        base_address = pipeline.base_address
+        wcet = pipeline.analyze(cfg).wcet
+    else:
+        acfg = build_acfg(cfg, config.block_size, base_address)
+        wcet = analyze_wcet(
+            acfg, config, timing, with_persistence=with_persistence
+        )
     sim = simulate(cfg, config, timing, seed=seed, base_address=base_address)
     dram = DRAMModel(tech)
     energy = account_energy(sim.event_counts(), model, dram)
@@ -185,31 +196,53 @@ def measure_program(
     )
 
 
+def pipeline_for_usecase(
+    usecase: UseCase,
+    options: Optional[OptimizerOptions] = None,
+) -> AnalysisPipeline:
+    """One shared analysis pipeline for all phases of one use case.
+
+    Honors the optimizer options' analysis-relevant knobs (persistence
+    domain, locked blocks, base address) so the same pipeline serves the
+    measure → optimize → measure sequence of :func:`run_usecase`.
+    """
+    config = usecase.cache_config()
+    timing = cacti_model(config, technology(usecase.tech)).timing_model()
+    opts = options or OptimizerOptions()
+    return AnalysisPipeline.for_options(config, timing, opts)
+
+
 def run_usecase(
     usecase: UseCase,
     seed: int = 1,
     options: Optional[OptimizerOptions] = None,
+    pipeline: Optional[AnalysisPipeline] = None,
 ) -> UseCaseResult:
     """Run the paper's per-use-case experiment.
 
     Builds the program, measures the original, optimizes for the use
     case's cache/technology, and measures the optimized executable on
-    the same cache/technology.
+    the same cache/technology.  All three phases share one analysis
+    pipeline (``pipeline`` or a fresh :func:`pipeline_for_usecase`), so
+    the optimizer starts from the original measurement's analysis and
+    the final measurement reuses the last accepted candidate's
+    artifacts.
     """
     config = usecase.cache_config()
     tech = technology(usecase.tech)
     model = cacti_model(config, tech)
     timing = model.timing_model()
-    persistence = options.with_persistence if options is not None else True
+    if pipeline is None:
+        pipeline = pipeline_for_usecase(usecase, options)
     original_cfg = load(usecase.program)
     original = measure_program(
-        original_cfg, config, usecase.tech, seed=seed,
-        with_persistence=persistence,
+        original_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
     )
-    optimized_cfg, report = optimize(original_cfg, config, timing, options=options)
+    optimized_cfg, report = optimize(
+        original_cfg, config, timing, options=options, pipeline=pipeline
+    )
     optimized = measure_program(
-        optimized_cfg, config, usecase.tech, seed=seed,
-        with_persistence=persistence,
+        optimized_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
     )
     return UseCaseResult(
         usecase=usecase, original=original, optimized=optimized, report=report
@@ -246,17 +279,22 @@ def run_cross_capacity(
     small_model = cacti_model(small, tech)
     timing_small = small_model.timing_model()
     persistence = options.with_persistence if options is not None else True
+    # One pipeline for the small-cache phases; the original's big-cache
+    # measurement is a different configuration and stays standalone.
+    opts = options or OptimizerOptions()
+    small_pipeline = AnalysisPipeline.for_options(small, timing_small, opts)
     original_cfg = load(usecase.program)
     original = measure_program(
         original_cfg, big, usecase.tech, seed=seed,
         with_persistence=persistence,
     )
     optimized_cfg, report = optimize(
-        original_cfg, small, timing_small, options=options
+        original_cfg, small, timing_small, options=options,
+        pipeline=small_pipeline,
     )
     optimized = measure_program(
         optimized_cfg, small, usecase.tech, seed=seed,
-        with_persistence=persistence,
+        pipeline=small_pipeline,
     )
     return UseCaseResult(
         usecase=usecase, original=original, optimized=optimized, report=report

@@ -61,7 +61,7 @@ class VertexKind(enum.Enum):
     JOIN = "join"
 
 
-@dataclass
+@dataclass(slots=True)
 class RefVertex:
     """One ACFG vertex.
 
@@ -139,6 +139,9 @@ class ACFG:
         #: Per-rid prefetch target block (``None`` unless a prefetch).
         self._target_block: List[Optional[int]] = []
         self._ref_list: Optional[List[RefVertex]] = None
+        #: Context -> execution multiplier; contexts repeat per block
+        #: instance, so memoizing saves a context walk per vertex.
+        self._mult_cache: Dict[Context, int] = {}
 
     # ------------------------------------------------------------------
     # construction helpers (used by build_acfg)
@@ -157,7 +160,11 @@ class ACFG:
         self.vertices.append(vertex)
         self._succ.append([])
         self._pred.append([])
-        self.multiplier.append(execution_multiplier(self.cfg, context))
+        mult = self._mult_cache.get(context)
+        if mult is None:
+            mult = execution_multiplier(self.cfg, context)
+            self._mult_cache[context] = mult
+        self.multiplier.append(mult)
         for pred in preds:
             self._succ[pred].append(rid)
             self._pred[rid].append(pred)
@@ -187,13 +194,21 @@ class ACFG:
     def __len__(self) -> int:
         return len(self.vertices)
 
+    def _freeze(self) -> None:
+        """Convert adjacency to tuples once construction is complete, so
+        the hot accessors below can return them without copying."""
+        self._succ = [tuple(s) for s in self._succ]  # type: ignore[misc]
+        self._pred = [tuple(p) for p in self._pred]  # type: ignore[misc]
+
     def successors(self, rid: int) -> Sequence[int]:
-        """Forward (DAG) successors of a vertex."""
-        return tuple(self._succ[rid])
+        """Forward (DAG) successors of a vertex (do not mutate)."""
+        succs = self._succ[rid]
+        return succs if isinstance(succs, tuple) else tuple(succs)
 
     def predecessors(self, rid: int) -> Sequence[int]:
-        """Forward (DAG) predecessors of a vertex."""
-        return tuple(self._pred[rid])
+        """Forward (DAG) predecessors of a vertex (do not mutate)."""
+        preds = self._pred[rid]
+        return preds if isinstance(preds, tuple) else tuple(preds)
 
     def vertex(self, rid: int) -> RefVertex:
         """Vertex by id."""
@@ -295,6 +310,7 @@ def build_acfg(
 
     exits = _expand(acfg, cfg.structure, TOP, [acfg.source])
     acfg.sink = acfg._new_vertex(VertexKind.SINK, None, TOP, None, -1, exits)
+    acfg._freeze()
     acfg.validate()
     return acfg
 

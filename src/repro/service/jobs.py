@@ -56,6 +56,24 @@ JOB_STATES = (
 _TERMINAL = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
 
 
+def _pipeline_counters(result: Any) -> Optional[Dict[str, int]]:
+    """Analysis-pipeline counters embedded in a result document, if any.
+
+    Tolerant of every result shape the executor produces: a point
+    ``optimize`` document carries them at the top level, a use-case
+    document under ``report``, a sweep document under ``metrics`` —
+    and of documents predating the pipeline (returns ``None``).
+    """
+    if not isinstance(result, dict):
+        return None
+    for holder in (result, result.get("report"), result.get("metrics")):
+        if isinstance(holder, dict):
+            counters = holder.get("pipeline")
+            if isinstance(counters, dict) and counters:
+                return counters
+    return None
+
+
 def _new_job_id() -> str:
     return uuid.uuid4().hex[:16]
 
@@ -339,6 +357,7 @@ class JobManager:
         self._release(comp)
         if comp.cancelled:
             return  # every attached job was cancelled mid-flight
+        self.telemetry.record_pipeline(_pipeline_counters(result))
         now = time.time()
         for job in comp.jobs:
             job.state = STATE_DONE

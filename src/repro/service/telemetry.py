@@ -245,6 +245,13 @@ class ServiceTelemetry:
         job_latency_seconds: Wall-time histogram of pool computations.
         queue_depth: Current bounded-queue occupancy.
         jobs_inflight: Computations currently queued or running.
+        pipeline_stage_hits: Analysis-pipeline cache hits (structural +
+            dataflow + whole-result) across completed jobs.
+        pipeline_stage_misses: Analysis-pipeline cache misses across
+            completed jobs.
+        pipeline_delta_runs: Delta (warm-start) re-analyses.
+        pipeline_delta_fallbacks: Delta attempts that fell back to cold.
+        pipeline_invalidations: Pipeline cache evictions/clears.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -276,6 +283,49 @@ class ServiceTelemetry:
             "queue_depth", "Current job-queue occupancy")
         self.jobs_inflight = r.gauge(
             "jobs_inflight", "Computations currently queued or running")
+        self.pipeline_stage_hits = r.counter(
+            "pipeline_stage_hits",
+            "Analysis-pipeline cache hits across completed jobs")
+        self.pipeline_stage_misses = r.counter(
+            "pipeline_stage_misses",
+            "Analysis-pipeline cache misses across completed jobs")
+        self.pipeline_delta_runs = r.counter(
+            "pipeline_delta_runs", "Delta (warm-start) re-analyses")
+        self.pipeline_delta_fallbacks = r.counter(
+            "pipeline_delta_fallbacks",
+            "Delta re-analyses that fell back to a cold run")
+        self.pipeline_invalidations = r.counter(
+            "pipeline_invalidations", "Pipeline cache evictions and clears")
+
+    def record_pipeline(self, counters: Optional[Dict[str, int]]) -> None:
+        """Fold one run's analysis-pipeline counters into the registry.
+
+        Accepts the ``pipeline`` dict of an
+        :class:`~repro.core.optimizer.OptimizationReport` (or the summed
+        sweep totals); ``None``/empty is a no-op so pre-pipeline records
+        stay accepted.
+        """
+        if not counters:
+            return
+        hits = (
+            counters.get("structural_hits", 0)
+            + counters.get("dataflow_hits", 0)
+            + counters.get("result_hits", 0)
+        )
+        misses = (
+            counters.get("structural_misses", 0)
+            + counters.get("dataflow_misses", 0)
+        )
+        if hits:
+            self.pipeline_stage_hits.inc(hits)
+        if misses:
+            self.pipeline_stage_misses.inc(misses)
+        if counters.get("delta_runs"):
+            self.pipeline_delta_runs.inc(counters["delta_runs"])
+        if counters.get("delta_fallbacks"):
+            self.pipeline_delta_fallbacks.inc(counters["delta_fallbacks"])
+        if counters.get("invalidations"):
+            self.pipeline_invalidations.inc(counters["invalidations"])
 
     def retry_after_hint(self) -> int:
         """Suggested ``Retry-After`` seconds when the queue is full.

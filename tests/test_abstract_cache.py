@@ -212,3 +212,55 @@ class TestSoundnessProperties:
                 concrete.access(block)
                 state_must = state_must.update(block)
                 state_may = state_may.update(block)
+
+
+class TestStateQueryFastPaths:
+    """Regression tests for the interned empty lines and the lazy
+    block -> age index behind ``lines()``/``age_of()``."""
+
+    def test_empty_lines_interned_per_associativity(self):
+        from repro.cache.abstract import empty_lines
+
+        assert empty_lines(2) is empty_lines(2)
+        assert empty_lines(2) is not empty_lines(4)
+        assert empty_lines(4) == tuple(frozenset() for _ in range(4))
+
+    def test_untouched_set_returns_shared_empty_tuple(self):
+        from repro.cache.abstract import empty_lines
+
+        state = MustState(CFG2).update(0)
+        other = MayState(CFG2)
+        # Different states, different configs of the same associativity:
+        # one shared tuple, never a fresh allocation per miss.
+        assert state.lines(1) is empty_lines(2)
+        assert other.lines(0) is state.lines(1)
+        assert MustState(CFG4).lines(0) is empty_lines(4)
+
+    def test_lines_on_empty_state_has_right_width(self):
+        assert len(MustState(CFG4).lines(0)) == 4
+        assert not any(MustState(CFG4).lines(0))
+
+    def test_age_index_matches_linear_scan(self):
+        state = MustState(CFG2)
+        for block in (0, 2, 4, 1, 3, 0):
+            state = state.update(block)
+        for block in range(8):
+            expected = None
+            for set_index in state.touched_sets():
+                for age, entry in enumerate(state.lines(set_index)):
+                    if block in entry:
+                        expected = age
+            assert state.age_of(block) == expected
+
+    def test_age_index_is_not_stale_across_updates(self):
+        state = MustState(CFG2).update(0)
+        assert state.age_of(0) == 0  # builds the index of `state`
+        aged = state.update(2)
+        # The derived state answers from its own (fresh) index.
+        assert aged.age_of(0) == 1
+        assert aged.age_of(2) == 0
+        assert state.age_of(0) == 0  # original untouched
+
+    def test_age_of_absent_block_on_empty_state(self):
+        assert MustState(CFG2).age_of(42) is None
+        assert 42 not in MayState(CFG4)

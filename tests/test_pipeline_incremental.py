@@ -1,0 +1,164 @@
+"""Incremental == cold: equivalence tests for the analysis pipeline.
+
+The pipeline's delta re-analysis (warm-started fixpoint + IPET) must be
+*bit-identical* to a from-scratch run — same τ_w, same classifications,
+same per-reference times, same WCET-path counts.  The fast tests here
+prove it deterministically on a Mälardalen subset; the slow hypothesis
+test sweeps randomly generated programs.  Both lean on the pipeline's
+``differential`` mode, which re-runs every delta analysis cold and
+raises :class:`~repro.errors.AnalysisError` on any divergence.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pipeline import AnalysisPipeline, content_key
+from repro.analysis.wcet import analyze_wcet
+from repro.bench.generator import random_program
+from repro.bench.registry import load
+from repro.cache.config import CacheConfig
+from repro.core.optimizer import OptimizerOptions, optimize
+from repro.energy.cacti import cacti_model
+from repro.energy.technology import technology
+from repro.program.acfg import build_acfg
+
+CONFIG = CacheConfig(1, 16, 256)  # the paper's k1
+TIMING = cacti_model(CONFIG, technology("45nm")).timing_model()
+
+#: Small, fast Mälardalen members — enough structural variety (straight
+#: line, nested loops, calls, branches) without slowing tier-1 down.
+FAST_PROGRAMS = ["bs", "fac", "fibcall", "insertsort", "jfdctint", "crc"]
+
+
+def _wcet_fingerprint(wcet):
+    """Every analysis output the acceptance criterion compares on."""
+    acfg = wcet.acfg
+    return (
+        wcet.tau_w,
+        wcet.wcet_path_misses,
+        tuple(wcet.t_w),
+        tuple(wcet.solution.n_w),
+        tuple(
+            wcet.cache.classification(v.rid).value
+            for v in acfg.ref_vertices()
+        ),
+        tuple(sorted(wcet.latency_guarded)),
+        tuple(sorted(wcet.persistent_charged_blocks)),
+    )
+
+
+class TestColdEqualsStandalone:
+    """A cold pipeline run must equal the plain analyze_wcet path."""
+
+    @pytest.mark.parametrize("program", FAST_PROGRAMS)
+    def test_cold_matches_analyze_wcet(self, program):
+        cfg = load(program)
+        pipeline = AnalysisPipeline(CONFIG, TIMING)
+        via_pipeline = pipeline.analyze(cfg).wcet
+        standalone = analyze_wcet(
+            build_acfg(cfg, CONFIG.block_size), CONFIG, TIMING
+        )
+        assert _wcet_fingerprint(via_pipeline) == _wcet_fingerprint(standalone)
+
+    def test_repeated_analyze_hits_result_cache(self):
+        cfg = load("bs")
+        pipeline = AnalysisPipeline(CONFIG, TIMING)
+        first = pipeline.analyze(cfg)
+        again = pipeline.analyze(cfg)
+        assert again is first
+        assert pipeline.stats.result_hits == 1
+        assert pipeline.stats.cold_runs == 1
+
+
+class TestIncrementalEqualsCold:
+    """Delta re-analysis across optimizer passes is bit-identical."""
+
+    @pytest.mark.parametrize("program", ["crc", "matmult", "jfdctint"])
+    def test_optimize_differential(self, program):
+        cfg = load(program)
+        opts = OptimizerOptions(max_evaluations=12)
+        pipeline = AnalysisPipeline.for_options(
+            CONFIG, TIMING, opts, differential=True
+        )
+        _, report = optimize(
+            cfg, CONFIG, TIMING, options=opts, pipeline=pipeline
+        )
+        # Differential mode re-runs every delta cold and raises on any
+        # mismatch, so reaching this line with checks performed is the
+        # equivalence proof.
+        assert report.candidates_evaluated > 0
+        assert pipeline.stats.delta_runs == report.candidates_evaluated
+        assert pipeline.stats.differential_checks == pipeline.stats.delta_runs
+        assert pipeline.stats.delta_fallbacks == 0
+
+    def test_shared_pipeline_matches_fresh(self):
+        cfg = load("matmult")
+        opts = OptimizerOptions(max_evaluations=12)
+        shared = AnalysisPipeline.for_options(CONFIG, TIMING, opts)
+        _, warm1 = optimize(cfg, CONFIG, TIMING, options=opts, pipeline=shared)
+        _, warm2 = optimize(cfg, CONFIG, TIMING, options=opts, pipeline=shared)
+        _, fresh = optimize(cfg, CONFIG, TIMING, options=opts)
+        for report in (warm1, warm2):
+            assert report.tau_final == fresh.tau_final
+            assert report.misses_final == fresh.misses_final
+            assert report.prefetch_count == fresh.prefetch_count
+            assert report.passes == fresh.passes
+        # The second run re-analyses the same original program: its base
+        # analysis comes straight from the shared result cache.
+        assert shared.stats.result_hits >= 1
+
+    def test_mismatched_pipeline_rejected(self):
+        from repro.errors import OptimizationError
+
+        cfg = load("bs")
+        other_config = CacheConfig(2, 16, 512)
+        other_timing = cacti_model(
+            other_config, technology("45nm")
+        ).timing_model()
+        pipeline = AnalysisPipeline(other_config, other_timing)
+        with pytest.raises(OptimizationError):
+            optimize(cfg, CONFIG, TIMING, pipeline=pipeline)
+
+
+class TestContentKeys:
+    def test_key_is_stable_across_rebuilds(self):
+        a = content_key(load("fac"), CONFIG.block_size, 0)
+        b = content_key(load("fac"), CONFIG.block_size, 0)
+        assert a == b
+
+    def test_key_separates_programs_and_parameters(self):
+        fac = content_key(load("fac"), CONFIG.block_size, 0)
+        assert fac != content_key(load("bs"), CONFIG.block_size, 0)
+        assert fac != content_key(load("fac"), 32, 0)
+        assert fac != content_key(load("fac"), CONFIG.block_size, 64)
+
+
+@pytest.mark.slow
+class TestIncrementalEqualsColdGenerated:
+    """Property check over generated programs (slow suite)."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_optimize_differential_random(self, seed):
+        cfg = random_program(seed, target_size=120, max_depth=3)
+        opts = OptimizerOptions(max_evaluations=10)
+        pipeline = AnalysisPipeline.for_options(
+            CONFIG, TIMING, opts, differential=True
+        )
+        optimize(cfg, CONFIG, TIMING, options=opts, pipeline=pipeline)
+        assert pipeline.stats.differential_checks == pipeline.stats.delta_runs
+        assert pipeline.stats.delta_fallbacks == 0
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_cold_matches_analyze_wcet_random(self, seed):
+        cfg = random_program(seed, target_size=120, max_depth=3)
+        pipeline = AnalysisPipeline(CONFIG, TIMING)
+        via_pipeline = pipeline.analyze(cfg).wcet
+        standalone = analyze_wcet(
+            build_acfg(cfg, CONFIG.block_size), CONFIG, TIMING
+        )
+        assert _wcet_fingerprint(via_pipeline) == _wcet_fingerprint(standalone)
