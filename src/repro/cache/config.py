@@ -121,6 +121,13 @@ TABLE2: Dict[str, CacheConfig] = _table2()
 #: Cache capacities evaluated in the paper (x-axis of Figs 3-5).
 CAPACITIES: Tuple[int, ...] = (256, 512, 1024, 2048, 4096, 8192)
 
+#: Reverse index of :data:`TABLE2` — ``config_id`` sits on the hot path
+#: of cache keys, metrics labels and report rows, so it must be a dict
+#: lookup, not a 36-entry scan (CacheConfig is frozen, hence hashable).
+_ID_BY_CONFIG: Dict[CacheConfig, str] = {
+    config: key for key, config in TABLE2.items()
+}
+
 
 def config_id(config: CacheConfig) -> str:
     """The Table 2 id (``"k7"``...) of a configuration.
@@ -128,10 +135,12 @@ def config_id(config: CacheConfig) -> str:
     Raises :class:`CacheConfigError` when the configuration is not one of
     the paper's 36.
     """
-    for key, value in TABLE2.items():
-        if value == config:
-            return key
-    raise CacheConfigError(f"configuration {config.label()} is not in Table 2")
+    try:
+        return _ID_BY_CONFIG[config]
+    except KeyError:
+        raise CacheConfigError(
+            f"configuration {config.label()} is not in Table 2"
+        ) from None
 
 
 def configs_with_capacity(capacity: int) -> List[CacheConfig]:

@@ -130,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", action="store_true",
                        help="machine-readable results on stdout "
                             "(progress/summary move to stderr)")
+    sweep.add_argument("--max-failures", type=int, default=0, metavar="N",
+                       help="tolerate up to N permanently failed use "
+                            "cases before exiting nonzero (default: 0; "
+                            "partial results are always reported)")
 
     serve = sub.add_parser(
         "serve",
@@ -309,6 +313,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                   f"energy {result.energy_ratio:.3f}", file=out)
 
     cache_dir = "off" if args.no_cache else args.cache_dir
+    # The CLI reports partial results itself, so the sweep never raises
+    # on failures (max_failures=None); the exit code carries the policy.
     results = run_sweep(
         spec,
         progress=progress,
@@ -316,7 +322,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache_dir=cache_dir,
         metrics=metrics,
+        max_failures=None,
     )
+    failures = list(metrics.failures)
     print(file=out)
     print(metrics.summary(), file=out)
     print(f"average improvement: "
@@ -327,8 +335,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         from repro.experiments.report import sweep_to_json
 
-        print(json.dumps(sweep_to_json(results, metrics=metrics),
-                         sort_keys=True))
+        print(json.dumps(
+            sweep_to_json(results, metrics=metrics, failures=failures),
+            sort_keys=True,
+        ))
+    if len(failures) > max(args.max_failures, 0):
+        print(f"error: {len(failures)} use case(s) failed permanently "
+              f"(--max-failures {args.max_failures})", file=sys.stderr)
+        return 1
     return 0
 
 

@@ -58,6 +58,27 @@ class ExperimentError(ReproError):
     """An experiment/sweep was configured inconsistently."""
 
 
+class SweepFailure(ExperimentError):
+    """One or more use cases of a sweep failed permanently.
+
+    Raised by :func:`repro.experiments.sweep.run_sweep` *after* every
+    other case of the grid has completed (and been disk-cached), when
+    the number of permanent failures exceeds the caller's
+    ``max_failures`` policy — so a rerun only recomputes the failed
+    cases.
+
+    Attributes:
+        failures: The per-case
+            :class:`~repro.experiments.sweep.FailureRecord` list.
+        results: The successful results, in grid order.
+    """
+
+    def __init__(self, message: str, failures=(), results=()):
+        super().__init__(message)
+        self.failures = list(failures)
+        self.results = list(results)
+
+
 class ConfigError(ExperimentError):
     """An environment/CLI configuration knob holds an unusable value.
 

@@ -279,18 +279,34 @@ class SweepDiskCache:
 
     Writes are atomic (temp file + rename) so concurrent sweeps and
     interrupted runs can never leave a torn record; unreadable or
-    stale-format records are treated as misses and overwritten.
+    stale-format records are treated as misses *and deleted on sight*,
+    so a corrupted file costs one failed parse ever, not one per run.
+
+    When constructed with ``max_bytes``, the cap is also enforced
+    opportunistically: every ``prune_every``-th :meth:`put` triggers a
+    :meth:`prune`, so a long sweep cannot blow far past the budget
+    before its final end-of-run prune.
 
     Attributes:
         root: The cache directory (created on first use).
         hits: Records served from disk so far.
         misses: Lookups that found no (valid) record.
+        discarded: Corrupted/stale records deleted by :meth:`get`.
     """
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(
+        self,
+        root: Union[str, Path],
+        max_bytes: Optional[int] = None,
+        prune_every: int = 32,
+    ):
         self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.prune_every = max(1, prune_every)
         self.hits = 0
         self.misses = 0
+        self.discarded = 0
+        self._puts_since_prune = 0
 
     def path_for(self, key: str) -> Path:
         """The record file of a key (two-level sharding keeps dirs small)."""
@@ -299,7 +315,15 @@ class SweepDiskCache:
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, key: str) -> Optional[UseCaseResult]:
-        """The cached result of a key, or ``None``."""
+        """The cached result of a key, or ``None``.
+
+        A record that exists but cannot be parsed (truncated write from
+        a crashed pre-atomic-rename version, stale format, hand-edited
+        junk) is deleted, not just skipped: left in place it would be a
+        guaranteed re-parse failure on every future run, and — worse —
+        it would never be rewritten if the recompute that follows this
+        miss crashes too.
+        """
         path = self.path_for(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
@@ -307,7 +331,17 @@ class SweepDiskCache:
             if data.get("format") != _FORMAT:
                 raise ValueError("stale record format")
             result = result_from_dict(data["result"])
-        except (OSError, ValueError, KeyError, TypeError):
+        except OSError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, TypeError):
+            # The file is there but unreadable — evict the corpse so
+            # the slot is cleanly recomputed and rewritten.
+            try:
+                os.unlink(path)
+                self.discarded += 1
+            except OSError:
+                pass
             self.misses += 1
             return None
         self.hits += 1
@@ -331,6 +365,11 @@ class SweepDiskCache:
             except OSError:
                 pass
             raise
+        if self.max_bytes is not None:
+            self._puts_since_prune += 1
+            if self._puts_since_prune >= self.prune_every:
+                self._puts_since_prune = 0
+                self.prune(self.max_bytes)
         return path
 
     def __len__(self) -> int:

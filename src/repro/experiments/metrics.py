@@ -66,11 +66,19 @@ class SweepMetrics:
         records: One entry per use case, in completion order.
         workers: Resolved worker count of the run (1 = serial).
         parallel: Whether the process-pool path actually ran.
+        failures: One :class:`~repro.experiments.sweep.FailureRecord`
+            per permanently failed use case (duck-typed to avoid a
+            circular import).
+        retries: Transient-fault retries performed across the sweep.
+        pool_rebuilds: Times a broken process pool was rebuilt.
     """
 
     records: List[UseCaseMetrics] = field(default_factory=list)
     workers: int = 1
     parallel: bool = False
+    failures: List[object] = field(default_factory=list)
+    retries: int = 0
+    pool_rebuilds: int = 0
 
     def record(
         self,
@@ -104,6 +112,10 @@ class SweepMetrics:
         self.records.append(entry)
         return entry
 
+    def record_failure(self, record) -> None:
+        """Add one permanently failed use case's failure record."""
+        self.failures.append(record)
+
     # ------------------------------------------------------------------
     # aggregate views
     # ------------------------------------------------------------------
@@ -111,6 +123,11 @@ class SweepMetrics:
     def cases(self) -> int:
         """Use cases accounted for."""
         return len(self.records)
+
+    @property
+    def failed(self) -> int:
+        """Use cases that failed permanently."""
+        return len(self.failures)
 
     def count(self, source: str) -> int:
         """Number of records with the given source."""
@@ -185,6 +202,18 @@ class SweepMetrics:
             f"compute time: {self.compute_time_s:.2f}s across "
             f"{max(len(self.worker_pids()), 1)} process(es)",
         ]
+        if self.failed or self.retries or self.pool_rebuilds:
+            lines.append(
+                f"faults: {self.failed} failed, {self.retries} retries, "
+                f"{self.pool_rebuilds} pool rebuild(s)"
+            )
+            for record in self.failures:
+                usecase = record.usecase
+                lines.append(
+                    f"  FAILED {usecase.program}/{usecase.config_id}/"
+                    f"{usecase.tech}: {record.error_type}: "
+                    f"{record.message} (attempts={record.attempts})"
+                )
         totals = self.pipeline_totals()
         if totals:
             delta = totals.get("delta_runs", 0)

@@ -243,6 +243,20 @@ def sweep_case_to_json(result) -> Dict[str, Any]:
     }
 
 
+def failure_to_json(record) -> Dict[str, Any]:
+    """A :class:`~repro.experiments.sweep.FailureRecord` as plain data."""
+    return {
+        "program": record.usecase.program,
+        "config": record.usecase.config_id,
+        "tech": record.usecase.tech,
+        "error_type": record.error_type,
+        "message": record.message,
+        "attempts": record.attempts,
+        "worker_pid": record.worker_pid,
+        "transient": record.transient,
+    }
+
+
 def metrics_to_json(metrics) -> Dict[str, Any]:
     """A :class:`~repro.experiments.metrics.SweepMetrics` summary."""
     return {
@@ -256,11 +270,22 @@ def metrics_to_json(metrics) -> Dict[str, Any]:
         "evaluations": metrics.evaluations,
         "prefetches": metrics.prefetches,
         "pipeline": metrics.pipeline_totals(),
+        "failed": metrics.failed,
+        "retries": metrics.retries,
+        "pool_rebuilds": metrics.pool_rebuilds,
+        "failures": [failure_to_json(r) for r in metrics.failures],
     }
 
 
-def sweep_to_json(results: Sequence, metrics=None) -> Dict[str, Any]:
-    """A whole sweep: per-case rows + aggregate summary (+ metrics)."""
+def sweep_to_json(results: Sequence, metrics=None,
+                  failures: Sequence = ()) -> Dict[str, Any]:
+    """A whole sweep: per-case rows + aggregate summary (+ metrics).
+
+    ``failures`` carries the permanently failed cases of a partial
+    sweep; the summary's averages are over the successes only, so a
+    consumer must check ``summary.failed`` before trusting them as
+    grid-wide numbers.
+    """
     from repro.experiments.sweep import average
 
     cases = [sweep_case_to_json(r) for r in results]
@@ -268,6 +293,7 @@ def sweep_to_json(results: Sequence, metrics=None) -> Dict[str, Any]:
         "cases": cases,
         "summary": {
             "cases": len(cases),
+            "failed": len(failures),
             "average_improvement": {
                 "wcet": 1.0 - average([r.wcet_ratio for r in results]),
                 "acet": 1.0 - average([r.acet_ratio for r in results]),
@@ -275,6 +301,8 @@ def sweep_to_json(results: Sequence, metrics=None) -> Dict[str, Any]:
             },
         },
     }
+    if failures:
+        data["failures"] = [failure_to_json(r) for r in failures]
     if metrics is not None:
         data["metrics"] = metrics_to_json(metrics)
     return data

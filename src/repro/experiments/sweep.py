@@ -26,18 +26,29 @@ run a process pool.  Three cache layers keep repeated work cheap:
   run) reuse earlier results;
 * optional :class:`~repro.experiments.metrics.SweepMetrics` collection
   reports where every result came from and what it cost.
+
+Execution is fault-tolerant: one failing use case becomes a structured
+:class:`FailureRecord` instead of killing the sweep, transient faults
+(``BrokenProcessPool``, ``OSError``, timeouts) are retried with
+exponential backoff, and a broken pool is rebuilt — requeueing only the
+cases that were in flight when it died — rather than degrading the rest
+of the grid to serial.  The ``max_failures`` policy decides whether a
+partially failed sweep raises :class:`~repro.errors.SweepFailure` (the
+default, protecting callers that need the full grid) or returns the
+partial results.  Failure scenarios are testable deterministically via
+:mod:`repro.experiments.faults` (``REPRO_FAULT_PLAN``).
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from pathlib import Path
 from typing import (
     Callable,
     Dict,
-    Iterator,
     List,
     Optional,
     Sequence,
@@ -47,7 +58,7 @@ from typing import (
 
 from repro.bench.registry import program_names
 from repro.cache.config import CAPACITIES, TABLE2, config_id
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SweepFailure
 from repro.experiments.usecase import (
     UseCase,
     UseCaseResult,
@@ -57,6 +68,16 @@ from repro.experiments.usecase import (
 
 #: Environment variable overriding the default worker count.
 WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+#: Attempts per use case before a transient fault becomes permanent.
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: First retry delay; doubles per attempt (0.25 s, 0.5 s, 1 s, ...).
+DEFAULT_BACKOFF_BASE_S = 0.25
+
+#: Exceptions a use case may raise that are worth retrying — the
+#: machine hiccuped, not the computation (which is deterministic).
+_TRANSIENT_CASE_ERRORS = (OSError, TimeoutError)
 
 
 @dataclass(frozen=True)
@@ -204,47 +225,336 @@ def resolve_workers(workers: Optional[int], pending: int) -> int:
     return max(1, min(workers, pending))
 
 
-def _evaluate_usecase(payload) -> Tuple[UseCaseResult, float, int]:
-    """Worker entry point: run one use case, timed.
+@dataclass(frozen=True)
+class FailureRecord:
+    """One use case that failed permanently within a sweep.
+
+    Attributes:
+        usecase: The evaluation point that failed.
+        index: Its position in grid order.
+        error_type: Exception class name of the final failure.
+        message: Its message.
+        attempts: How many attempts were made (> 1 means transient
+            faults were retried before giving up).
+        worker_pid: Pid of the worker that reported the final failure
+            (0 when the worker died before it could report, e.g. a
+            broken pool).
+        transient: Whether the final failure was of the retriable
+            family — ``True`` means the retry budget was exhausted,
+            ``False`` means the case failed deterministically.
+    """
+
+    usecase: UseCase
+    index: int
+    error_type: str
+    message: str
+    attempts: int
+    worker_pid: int
+    transient: bool
+
+
+def _sleep(seconds: float) -> None:
+    """Backoff sleep — a seam so tests can observe the schedule."""
+    time.sleep(seconds)
+
+
+def _evaluate_usecase(payload) -> Tuple:
+    """Worker entry point: run one use case, timed and failure-encoded.
 
     Module-level so it pickles under every multiprocessing start
-    method.  Returns (result, wall seconds, worker pid).
+    method.  ``payload`` is ``(usecase, seed, options[, attempt])``.
+    Returns ``("ok", result, wall_seconds, worker_pid)`` on success and
+    ``("err", error_type, message, worker_pid, transient)`` when the
+    use case raised — failures are encoded rather than propagated so
+    the parent can tell a failed *case* (isolated, maybe retried) from
+    a failed *pool* (rebuilt), and so the worker pid survives the trip
+    even for exceptions.
     """
-    usecase, seed, options = payload
+    from repro.experiments import faults
+
+    usecase, seed, options = payload[0], payload[1], payload[2]
+    attempt = payload[3] if len(payload) > 3 else 1
     start = time.perf_counter()
-    # One analysis pipeline per use case: all phases of the use case
-    # share cached artifacts, while use cases stay independent (and the
-    # pipeline never crosses a process boundary).
-    pipeline = pipeline_for_usecase(usecase, options)
-    result = run_usecase(usecase, seed=seed, options=options, pipeline=pipeline)
-    return result, time.perf_counter() - start, os.getpid()
+    try:
+        faults.inject_before(usecase, attempt)
+        # One analysis pipeline per use case: all phases of the use case
+        # share cached artifacts, while use cases stay independent (and
+        # the pipeline never crosses a process boundary).
+        pipeline = pipeline_for_usecase(usecase, options)
+        result = run_usecase(
+            usecase, seed=seed, options=options, pipeline=pipeline
+        )
+        result = faults.inject_after(usecase, attempt, result)
+    except Exception as exc:
+        return (
+            "err",
+            type(exc).__name__,
+            str(exc),
+            os.getpid(),
+            isinstance(exc, _TRANSIENT_CASE_ERRORS),
+        )
+    return ("ok", result, time.perf_counter() - start, os.getpid())
 
 
-def _pool_results(
+class _FanOut:
+    """``submit`` + ``wait`` pool driver with per-case failure isolation.
+
+    Replaces the old ``pool.map`` fan-out: every case is its own future,
+    so one exception cannot abort the batch; transient failures are
+    requeued with exponential backoff; a broken pool is rebuilt exactly
+    once per break and only the cases lost in flight are resubmitted.
+
+    Raises pool-*setup* errors (the platform cannot start a process
+    pool at all) so :func:`run_sweep` can fall back to serial; per-case
+    failures never escape — they go through ``deliver``/``fail``.
+    """
+
+    def __init__(
+        self,
+        cases: Sequence[UseCase],
+        seed: int,
+        options,
+        workers: int,
+        deliver: Callable[[int, UseCaseResult, float, int], None],
+        fail: Callable[[FailureRecord], None],
+        metrics=None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+        case_timeout_s: Optional[float] = None,
+    ):
+        self.cases = cases
+        self.seed = seed
+        self.options = options
+        self.workers = workers
+        self.deliver = deliver
+        self.fail = fail
+        self.metrics = metrics
+        self.max_attempts = max(1, max_attempts)
+        self.backoff_base_s = backoff_base_s
+        self.case_timeout_s = case_timeout_s
+        self.queue: "deque[int]" = deque()
+        self.attempts: Dict[int, int] = {}
+        self.eligible_at: Dict[int, float] = {}
+        self.inflight: Dict[object, int] = {}
+        self.deadline: Dict[object, float] = {}
+        self.pool = None
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _make_pool(self):
+        import multiprocessing
+        from concurrent.futures import ProcessPoolExecutor
+
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            # Cheapest start method where available: workers inherit the
+            # loaded benchmark registry instead of re-importing it.
+            context = multiprocessing.get_context("fork")
+        return ProcessPoolExecutor(
+            max_workers=self.workers, mp_context=context
+        )
+
+    def _rebuild_pool(self) -> None:
+        old, self.pool = self.pool, None
+        if old is not None:
+            old.shutdown(wait=False)
+        self.pool = self._make_pool()
+        if self.metrics is not None:
+            self.metrics.pool_rebuilds += 1
+
+    # ------------------------------------------------------------------
+    # failure handling
+    # ------------------------------------------------------------------
+    def _handle_error(
+        self, idx: int, error_type: str, message: str, pid: int,
+        transient: bool,
+    ) -> None:
+        if transient and self.attempts[idx] < self.max_attempts:
+            if self.metrics is not None:
+                self.metrics.retries += 1
+            delay = self.backoff_base_s * (2 ** (self.attempts[idx] - 1))
+            self.eligible_at[idx] = time.monotonic() + delay
+            self.queue.append(idx)
+            return
+        self.fail(FailureRecord(
+            usecase=self.cases[idx],
+            index=idx,
+            error_type=error_type,
+            message=message,
+            attempts=self.attempts[idx],
+            worker_pid=pid,
+            transient=transient,
+        ))
+
+    def _dispatch_outcome(self, idx: int, outcome: Tuple) -> None:
+        if outcome[0] == "ok":
+            self.deliver(idx, outcome[1], outcome[2], outcome[3])
+        else:
+            _, error_type, message, pid, transient = outcome
+            self._handle_error(idx, error_type, message, pid, transient)
+
+    # ------------------------------------------------------------------
+    # the drive loop
+    # ------------------------------------------------------------------
+    def run(self, pending: Sequence[int]) -> None:
+        from concurrent.futures import FIRST_COMPLETED
+        from concurrent.futures import TimeoutError as FuturesTimeout
+        from concurrent.futures import wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        self.queue = deque(pending)
+        self.attempts = {idx: 0 for idx in pending}
+        self.pool = self._make_pool()  # setup errors propagate (serial)
+        try:
+            while self.queue or self.inflight:
+                now = time.monotonic()
+                self._submit_eligible(now)
+                timeout = self._wait_timeout(now)
+                if not self.inflight:
+                    # Everything queued is backing off; sleep it out.
+                    if timeout:
+                        _sleep(timeout)
+                    continue
+                done, _ = wait(
+                    set(self.inflight),
+                    timeout=timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in done:
+                    idx = self.inflight.pop(future)
+                    self.deadline.pop(future, None)
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        self._handle_error(
+                            idx, type(exc).__name__,
+                            str(exc) or "worker process died", 0, True,
+                        )
+                    except _TRANSIENT_CASE_ERRORS as exc:
+                        self._handle_error(
+                            idx, type(exc).__name__, str(exc), 0, True
+                        )
+                    except Exception as exc:
+                        self._handle_error(
+                            idx, type(exc).__name__, str(exc), 0, False
+                        )
+                    else:
+                        self._dispatch_outcome(idx, outcome)
+                if broken:
+                    # The pool died: every other in-flight case is lost
+                    # with it.  Requeue exactly those, then rebuild the
+                    # pool once — completed cases are never re-run.
+                    for future, idx in list(self.inflight.items()):
+                        try:
+                            exc = future.exception(timeout=60)
+                        except (FuturesTimeout, Exception):
+                            exc = None
+                        message = (
+                            str(exc) if exc else "lost with broken pool"
+                        )
+                        self._handle_error(
+                            idx, "BrokenProcessPool", message, 0, True
+                        )
+                    self.inflight.clear()
+                    self.deadline.clear()
+                    self._rebuild_pool()
+                    continue
+                self._reap_overdue()
+        finally:
+            if self.pool is not None:
+                self.pool.shutdown(wait=False)
+
+    def _submit_eligible(self, now: float) -> None:
+        waiting: "deque[int]" = deque()
+        while self.queue:
+            idx = self.queue.popleft()
+            if self.eligible_at.get(idx, 0.0) > now:
+                waiting.append(idx)
+                continue
+            self.attempts[idx] += 1
+            future = self.pool.submit(
+                _evaluate_usecase,
+                (self.cases[idx], self.seed, self.options,
+                 self.attempts[idx]),
+            )
+            self.inflight[future] = idx
+            if self.case_timeout_s is not None:
+                self.deadline[future] = now + self.case_timeout_s
+        self.queue = waiting
+
+    def _wait_timeout(self, now: float) -> Optional[float]:
+        bounds = []
+        if self.queue:
+            bounds.append(
+                min(self.eligible_at.get(i, now) for i in self.queue) - now
+            )
+        if self.deadline:
+            bounds.append(min(self.deadline.values()) - now)
+        if not bounds:
+            return None
+        return max(0.0, min(bounds))
+
+    def _reap_overdue(self) -> None:
+        """Abandon futures past their deadline and retry their cases.
+
+        A ``ProcessPoolExecutor`` cannot cancel a *running* task, so a
+        hung worker keeps its slot until it finishes — but the case
+        itself is requeued (transient) immediately, and a late result
+        from the abandoned future is simply dropped.
+        """
+        if self.case_timeout_s is None or not self.deadline:
+            return
+        now = time.monotonic()
+        overdue = [f for f, dl in self.deadline.items() if dl <= now]
+        for future in overdue:
+            idx = self.inflight.pop(future)
+            self.deadline.pop(future, None)
+            future.cancel()
+            self._handle_error(
+                idx, "TimeoutError",
+                f"no result within {self.case_timeout_s:g}s", 0, True,
+            )
+
+
+def _run_serial(
     cases: Sequence[UseCase],
     pending: Sequence[int],
     seed: int,
     options,
-    workers: int,
-) -> Iterator[Tuple[int, Tuple[UseCaseResult, float, int]]]:
-    """Chunked process-pool evaluation, yielding in ``pending`` order.
-
-    Raises whatever pool-infrastructure error occurs so the caller can
-    fall back to the serial path; use-case exceptions propagate as-is.
-    """
-    import multiprocessing
-    from concurrent.futures import ProcessPoolExecutor
-
-    context = None
-    if "fork" in multiprocessing.get_all_start_methods():
-        # Cheapest start method where available: workers inherit the
-        # loaded benchmark registry instead of re-importing it.
-        context = multiprocessing.get_context("fork")
-    payloads = [(cases[idx], seed, options) for idx in pending]
-    chunksize = max(1, len(pending) // (workers * 4))
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        yield from zip(pending, pool.map(_evaluate_usecase, payloads,
-                                         chunksize=chunksize))
+    deliver: Callable[[int, UseCaseResult, float, int], None],
+    fail: Callable[[FailureRecord], None],
+    metrics=None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+) -> None:
+    """The serial path, with the same isolation/retry semantics."""
+    for idx in pending:
+        attempt = 0
+        while True:
+            attempt += 1
+            outcome = _evaluate_usecase((cases[idx], seed, options, attempt))
+            if outcome[0] == "ok":
+                deliver(idx, outcome[1], outcome[2], outcome[3])
+                break
+            _, error_type, message, pid, transient = outcome
+            if transient and attempt < max_attempts:
+                if metrics is not None:
+                    metrics.retries += 1
+                _sleep(backoff_base_s * (2 ** (attempt - 1)))
+                continue
+            fail(FailureRecord(
+                usecase=cases[idx],
+                index=idx,
+                error_type=error_type,
+                message=message,
+                attempts=attempt,
+                worker_pid=pid,
+                transient=transient,
+            ))
+            break
 
 
 def run_sweep(
@@ -254,6 +564,10 @@ def run_sweep(
     workers: Optional[int] = None,
     cache_dir: Union[None, str, Path] = None,
     metrics=None,
+    max_failures: Optional[int] = 0,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    backoff_base_s: float = DEFAULT_BACKOFF_BASE_S,
+    case_timeout_s: Optional[float] = None,
 ) -> List[UseCaseResult]:
     """Run every use case of a spec.
 
@@ -272,9 +586,29 @@ def run_sweep(
             disabled).  See :mod:`repro.experiments.cache`.
         metrics: Optional :class:`~repro.experiments.metrics.SweepMetrics`
             collector to fill.
+        max_failures: Failure policy.  The grid always runs to
+            completion (successes are disk-cached either way); this
+            only decides what happens *afterwards* when cases failed
+            permanently: ``0`` (the default) raises
+            :class:`~repro.errors.SweepFailure` on any failure, ``N``
+            tolerates up to N, ``None`` never raises — callers then
+            read ``metrics.failures`` for the partial-result story.
+        max_attempts: Attempts per use case before a transient fault
+            (``OSError``, timeout, broken pool) becomes permanent.
+        backoff_base_s: First retry delay; doubles per attempt.
+        case_timeout_s: Per-case wall-clock budget in the parallel
+            path; an overdue case is abandoned and retried.  ``None``
+            (the default) = no timeout.
 
     Returns:
-        A fresh list of results in grid order (safe to mutate).
+        A fresh list of the *successful* results in grid order (safe
+        to mutate).  Without failures — the overwhelmingly common case
+        — that is the full grid.
+
+    Raises:
+        SweepFailure: When more than ``max_failures`` cases failed
+            permanently.  The exception carries the failure records
+            and the partial results.
     """
     from repro.experiments.metrics import (
         SOURCE_COMPUTED,
@@ -294,18 +628,31 @@ def run_sweep(
     from repro.experiments.cache import (
         SweepDiskCache,
         resolve_cache_dir,
+        resolve_cache_max_bytes,
         usecase_key,
     )
 
     disk_root = resolve_cache_dir(cache_dir)
-    disk = SweepDiskCache(disk_root) if disk_root is not None else None
+    cap = resolve_cache_max_bytes()
+    # The cache enforces its cap opportunistically during the sweep,
+    # not just at the end — a long grid must not blow past the budget
+    # for hours before the final prune.
+    disk = (
+        SweepDiskCache(disk_root, max_bytes=cap)
+        if disk_root is not None
+        else None
+    )
 
     n = len(cases)
     results: List[Optional[UseCaseResult]] = [None] * n
+    #: A case is settled once it has a result *or* a failure record —
+    #: the grid-order re-sequencer must not stall behind failed cases.
+    settled: List[bool] = [False] * n
     sources: List[str] = [SOURCE_COMPUTED] * n
     timings: List[float] = [0.0] * n
     pids: List[int] = [0] * n
     keys: List[Optional[str]] = [None] * n
+    failures: List[FailureRecord] = []
     pending: List[int] = []
     for idx, usecase in enumerate(cases):
         if disk is not None:
@@ -313,6 +660,7 @@ def run_sweep(
             hit = disk.get(keys[idx])
             if hit is not None:
                 results[idx] = hit
+                settled[idx] = True
                 sources[idx] = SOURCE_DISK
                 continue
         pending.append(idx)
@@ -323,63 +671,104 @@ def run_sweep(
 
     emitted = 0
 
-    def take(idx: int, outcome: Tuple[UseCaseResult, float, int]) -> None:
-        result, elapsed, pid = outcome
+    def deliver(idx: int, result: UseCaseResult, elapsed: float,
+                pid: int) -> None:
         results[idx] = result
+        settled[idx] = True
         timings[idx] = elapsed
         pids[idx] = pid
         if disk is not None:
             disk.put(keys[idx], result)
 
+    def fail(record: FailureRecord) -> None:
+        settled[record.index] = True
+        failures.append(record)
+        if metrics is not None:
+            metrics.record_failure(record)
+
     def emit_ready() -> None:
         # Re-sequence: progress/metrics fire in grid order as soon as
-        # the prefix up to the first still-running case is complete.
+        # the prefix up to the first still-running case is settled.
         nonlocal emitted
-        while emitted < n and results[emitted] is not None:
+        while emitted < n and settled[emitted]:
             idx = emitted
-            if metrics is not None:
-                metrics.record(
-                    cases[idx],
-                    results[idx],
-                    sources[idx],
-                    wall_time_s=timings[idx],
-                    worker_pid=pids[idx],
-                )
-            if progress is not None:
-                progress(cases[idx], results[idx])
+            if results[idx] is not None:
+                if metrics is not None:
+                    metrics.record(
+                        cases[idx],
+                        results[idx],
+                        sources[idx],
+                        wall_time_s=timings[idx],
+                        worker_pid=pids[idx],
+                    )
+                if progress is not None:
+                    progress(cases[idx], results[idx])
             emitted += 1
+
+    def deliver_and_emit(idx: int, result: UseCaseResult, elapsed: float,
+                         pid: int) -> None:
+        deliver(idx, result, elapsed, pid)
+        emit_ready()
+
+    def fail_and_emit(record: FailureRecord) -> None:
+        fail(record)
+        emit_ready()
 
     remaining = pending
     if remaining and nworkers > 1:
         try:
-            for idx, outcome in _pool_results(
-                cases, remaining, spec.seed, options, nworkers
-            ):
-                take(idx, outcome)
-                emit_ready()
+            _FanOut(
+                cases,
+                spec.seed,
+                options,
+                nworkers,
+                deliver_and_emit,
+                fail_and_emit,
+                metrics=metrics,
+                max_attempts=max_attempts,
+                backoff_base_s=backoff_base_s,
+                case_timeout_s=case_timeout_s,
+            ).run(remaining)
             remaining = []
             if metrics is not None:
                 metrics.parallel = True
         except _POOL_FAILURES:
-            # The pool could not run (sandboxed platform, missing fork,
-            # dead worker...) — finish whatever is left serially.
-            remaining = [idx for idx in remaining if results[idx] is None]
+            # The pool could not be *started* (sandboxed platform,
+            # missing fork...) — finish whatever is left serially.
+            # Per-case failures never reach here; they are records.
+            remaining = [idx for idx in remaining if not settled[idx]]
             if metrics is not None:
                 metrics.workers = 1
-    for idx in remaining:
-        take(idx, _evaluate_usecase((cases[idx], spec.seed, options)))
-        emit_ready()
+    if remaining:
+        _run_serial(
+            cases,
+            remaining,
+            spec.seed,
+            options,
+            deliver_and_emit,
+            fail_and_emit,
+            metrics=metrics,
+            max_attempts=max_attempts,
+            backoff_base_s=backoff_base_s,
+        )
     emit_ready()
 
-    if disk is not None:
-        from repro.experiments.cache import resolve_cache_max_bytes
+    if disk is not None and cap is not None:
+        disk.prune(cap)
 
-        cap = resolve_cache_max_bytes()
-        if cap is not None:
-            disk.prune(cap)
-
-    final: List[UseCaseResult] = list(results)  # type: ignore[arg-type]
-    if use_cache:
+    final: List[UseCaseResult] = [r for r in results if r is not None]
+    if failures and max_failures is not None and len(failures) > max_failures:
+        raise SweepFailure(
+            f"{len(failures)} of {n} use cases failed permanently "
+            f"(first: {failures[0].usecase.program}/"
+            f"{failures[0].usecase.config_id}/{failures[0].usecase.tech}: "
+            f"{failures[0].error_type}: {failures[0].message})",
+            failures=failures,
+            results=final,
+        )
+    if use_cache and not failures:
+        # Never memoize a partial grid: a rerun must recompute the
+        # failed cases (the successes come back from disk).
         _SWEEP_CACHE[spec] = tuple(final)
     return final
 

@@ -148,8 +148,12 @@ class UseCaseResult:
 
 
 def _ratio(num: float, den: float) -> float:
+    # 0/0 is a genuine no-op (neither build consumed the quantity), so
+    # 1.0 is the honest ratio; anything/0 means the optimized build
+    # consumes something the original did not — an unbounded regression
+    # that must not masquerade as "unchanged".
     if den == 0:
-        return 1.0
+        return 1.0 if num == 0 else float("inf")
     return num / den
 
 
@@ -284,8 +288,12 @@ def run_cross_capacity(
     opts = options or OptimizerOptions()
     small_pipeline = AnalysisPipeline.for_options(small, timing_small, opts)
     original_cfg = load(usecase.program)
+    # Same base address as the optimized build (the pipeline's): both
+    # executables must be laid out identically or the big-cache side
+    # measures a different memory image than the comparison assumes.
     original = measure_program(
         original_cfg, big, usecase.tech, seed=seed,
+        base_address=opts.base_address,
         with_persistence=persistence,
     )
     optimized_cfg, report = optimize(

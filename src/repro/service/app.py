@@ -288,8 +288,14 @@ class ServiceApp:
         if job.state == STATE_CANCELLED:
             raise ServiceError(f"job {job_id} was cancelled", status=410)
         if job.state == STATE_FAILED:
-            raise ServiceError(
-                f"job {job_id} failed: {job.error}", status=500
+            # Structured body, not an opaque ServiceError: clients get
+            # the failure record (error type, attempts, transient) next
+            # to the "error" string the older protocol exposed.
+            return _Response(
+                500,
+                {"id": job.id, "state": job.state,
+                 "error": f"job {job_id} failed: {job.error}",
+                 "failure": job.failure},
             )
         return _Response(
             409,

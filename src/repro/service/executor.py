@@ -100,14 +100,20 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
             baseline=params["baseline"],
         )
         metrics = SweepMetrics()
+        # Never raise on per-case failures: the job's response document
+        # carries the failure records, so the client sees exactly which
+        # cases failed next to the successes instead of an opaque 500.
         results = run_sweep(
             spec,
             use_cache=False,
             workers=1,
             cache_dir=cache_dir if cache_dir else "off",
             metrics=metrics,
+            max_failures=None,
         )
-        return sweep_to_json(results, metrics=metrics)
+        return sweep_to_json(
+            results, metrics=metrics, failures=metrics.failures
+        )
 
     usecase = UseCase(params["program"], params["config"], params["tech"])
     options = _options_for(params)
@@ -151,6 +157,7 @@ class AnalysisExecutor:
         )
         self._pool: Optional[concurrent.futures.Executor] = None
         self._pool_is_processes = False
+        self.pool_rebuilds = 0
 
     # ------------------------------------------------------------------
     # the three resolution paths
@@ -214,6 +221,28 @@ class AnalysisExecutor:
             max_workers=self.workers, mp_context=context
         )
 
+    def recover(self) -> "concurrent.futures.Executor":
+        """Replace a broken pool with a fresh *process* pool.
+
+        Called by the job layer when a worker died mid-job
+        (``BrokenProcessPool``): unlike :meth:`_fall_back_to_threads`,
+        a pool break is not a platform limitation — the next pool of
+        processes is perfectly healthy — so the service keeps its
+        parallelism instead of permanently degrading to threads.
+        Falls back to threads only when the rebuild itself fails.
+        """
+        old = self._pool
+        self._pool = None
+        if old is not None:
+            old.shutdown(wait=False)
+        try:
+            self._pool = self._make_process_pool()
+            self._pool_is_processes = True
+        except _POOL_FAILURES:
+            return self._fall_back_to_threads()
+        self.pool_rebuilds += 1
+        return self._pool
+
     def _fall_back_to_threads(self) -> "concurrent.futures.Executor":
         old = self._pool
         self._pool = concurrent.futures.ThreadPoolExecutor(
@@ -242,6 +271,7 @@ class AnalysisExecutor:
             ),
             "cache_dir": str(self.disk.root) if self.disk is not None else None,
             "max_cache_bytes": self.max_cache_bytes,
+            "pool_rebuilds": self.pool_rebuilds,
         }
 
 

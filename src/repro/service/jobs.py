@@ -55,6 +55,20 @@ JOB_STATES = (
 
 _TERMINAL = (STATE_DONE, STATE_FAILED, STATE_CANCELLED)
 
+#: Attempts per computation when the failure is transient (a worker
+#: died, the pool broke) — mirrors the sweep layer's retry budget.
+JOB_MAX_ATTEMPTS = 3
+
+#: First retry delay; doubles per attempt.
+JOB_BACKOFF_BASE_S = 0.25
+
+
+def _transient_job_error(exc: BaseException) -> bool:
+    """Whether a pool exception is worth a retry on a fresh pool."""
+    from concurrent.futures.process import BrokenProcessPool
+
+    return isinstance(exc, (BrokenProcessPool, OSError))
+
 
 def _pipeline_counters(result: Any) -> Optional[Dict[str, int]]:
     """Analysis-pipeline counters embedded in a result document, if any.
@@ -93,6 +107,10 @@ class Job:
         created_at / started_at / finished_at: Unix timestamps.
         result: The response document once ``done``.
         error: Failure description once ``failed``.
+        failure: Structured failure record once ``failed`` —
+            ``{"error_type", "message", "attempts", "transient"}`` —
+            so clients can distinguish an exhausted retry budget from
+            a deterministic failure without parsing ``error``.
     """
 
     id: str
@@ -105,6 +123,7 @@ class Job:
     finished_at: Optional[float] = None
     result: Optional[Dict[str, Any]] = None
     error: Optional[str] = None
+    failure: Optional[Dict[str, Any]] = None
 
     @property
     def terminal(self) -> bool:
@@ -125,6 +144,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "error": self.error,
+            "failure": self.failure,
         }
 
 
@@ -320,33 +340,67 @@ class JobManager:
             job.started_at = now
         self.telemetry.computations.inc()
         start = time.monotonic()
-        try:
-            comp.future = self.executor.submit(comp.request)
-        except Exception as exc:  # pool is gone / cannot spawn
-            self._finish_failed(comp, f"dispatch failed: {exc}")
-            return
-        try:
-            if self.job_timeout_s is not None:
-                result = await asyncio.wait_for(
-                    asyncio.wrap_future(comp.future), self.job_timeout_s
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                comp.future = self.executor.submit(comp.request)
+            except Exception as exc:  # pool is gone / cannot spawn
+                self._finish_failed(
+                    comp, f"dispatch failed: {exc}",
+                    error_type=type(exc).__name__, attempts=attempt,
                 )
+                return
+            try:
+                if self.job_timeout_s is not None:
+                    result = await asyncio.wait_for(
+                        asyncio.wrap_future(comp.future), self.job_timeout_s
+                    )
+                else:
+                    result = await asyncio.wrap_future(comp.future)
+            except asyncio.TimeoutError:
+                comp.future.cancel()
+                self._finish_failed(
+                    comp,
+                    f"job timed out after {self.job_timeout_s:g}s",
+                    error_type="TimeoutError", attempts=attempt,
+                    transient=True,
+                )
+                return
+            except asyncio.CancelledError:
+                comp.future.cancel()
+                raise
+            except Exception as exc:
+                # Transient infrastructure failures (a worker died, the
+                # pool broke) are retried on a rebuilt pool; the job's
+                # computation itself is deterministic, so anything else
+                # fails immediately.
+                transient = _transient_job_error(exc)
+                if (transient and attempt < JOB_MAX_ATTEMPTS
+                        and not comp.cancelled):
+                    self.telemetry.job_retries.inc()
+                    recover = getattr(self.executor, "recover", None)
+                    if recover is not None:
+                        try:
+                            recover()
+                            self.telemetry.pool_rebuilds.inc()
+                        except Exception:
+                            pass  # next submit() finds its own fallback
+                    await asyncio.sleep(
+                        JOB_BACKOFF_BASE_S * (2 ** (attempt - 1))
+                    )
+                    continue
+                self._finish_failed(
+                    comp, f"{type(exc).__name__}: {exc}",
+                    error_type=type(exc).__name__, attempts=attempt,
+                    transient=transient,
+                )
+                return
             else:
-                result = await asyncio.wrap_future(comp.future)
-        except asyncio.TimeoutError:
-            comp.future.cancel()
-            self._finish_failed(
-                comp,
-                f"job timed out after {self.job_timeout_s:g}s",
-            )
-        except asyncio.CancelledError:
-            comp.future.cancel()
-            raise
-        except Exception as exc:
-            self._finish_failed(comp, f"{type(exc).__name__}: {exc}")
-        else:
-            elapsed = time.monotonic() - start
-            self.telemetry.job_latency_seconds.observe(elapsed)
-            self._finish_done(comp, result)
+                elapsed = time.monotonic() - start
+                self.telemetry.job_latency_seconds.observe(elapsed)
+                self._finish_done(comp, result)
+                return
 
     def _release(self, comp: _Computation) -> None:
         if self._inflight.get(comp.key) is comp:
@@ -358,6 +412,7 @@ class JobManager:
         if comp.cancelled:
             return  # every attached job was cancelled mid-flight
         self.telemetry.record_pipeline(_pipeline_counters(result))
+        self.telemetry.record_job_result(result)
         now = time.time()
         for job in comp.jobs:
             job.state = STATE_DONE
@@ -365,15 +420,29 @@ class JobManager:
             job.result = result
             self.telemetry.jobs_completed.inc()
 
-    def _finish_failed(self, comp: _Computation, error: str) -> None:
+    def _finish_failed(
+        self,
+        comp: _Computation,
+        error: str,
+        error_type: str = "ServiceError",
+        attempts: int = 1,
+        transient: bool = False,
+    ) -> None:
         self._release(comp)
         if comp.cancelled:
             return
+        failure = {
+            "error_type": error_type,
+            "message": error,
+            "attempts": attempts,
+            "transient": transient,
+        }
         now = time.time()
         for job in comp.jobs:
             job.state = STATE_FAILED
             job.finished_at = now
             job.error = error
+            job.failure = dict(failure)
             self.telemetry.jobs_failed.inc()
 
     # ------------------------------------------------------------------

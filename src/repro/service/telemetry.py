@@ -252,6 +252,13 @@ class ServiceTelemetry:
         pipeline_delta_runs: Delta (warm-start) re-analyses.
         pipeline_delta_fallbacks: Delta attempts that fell back to cold.
         pipeline_invalidations: Pipeline cache evictions/clears.
+        job_retries: Computations retried after a transient
+            infrastructure failure (worker died, pool broke).
+        pool_rebuilds: Broken process pools replaced with fresh ones.
+        sweep_case_failures: Use cases that failed permanently inside
+            completed sweep jobs (partial results).
+        sweep_case_retries: Per-use-case transient retries inside
+            completed sweep jobs.
     """
 
     def __init__(self, registry: Optional[MetricsRegistry] = None):
@@ -296,6 +303,37 @@ class ServiceTelemetry:
             "Delta re-analyses that fell back to a cold run")
         self.pipeline_invalidations = r.counter(
             "pipeline_invalidations", "Pipeline cache evictions and clears")
+        self.job_retries = r.counter(
+            "job_retries",
+            "Computations retried after a transient pool failure")
+        self.pool_rebuilds = r.counter(
+            "pool_rebuilds", "Broken process pools replaced")
+        self.sweep_case_failures = r.counter(
+            "sweep_case_failures",
+            "Use cases failed permanently inside completed sweep jobs")
+        self.sweep_case_retries = r.counter(
+            "sweep_case_retries",
+            "Per-use-case transient retries inside completed sweep jobs")
+
+    def record_job_result(self, result) -> None:
+        """Fold one completed job's failure/retry story into the registry.
+
+        Sweep jobs complete even when individual use cases failed
+        permanently (their document carries the records); this surfaces
+        those partial-result facts on ``/metrics``.  Point jobs and
+        pre-fault-tolerance documents are a no-op.
+        """
+        if not isinstance(result, dict):
+            return
+        metrics = result.get("metrics")
+        if not isinstance(metrics, dict):
+            return
+        if metrics.get("failed"):
+            self.sweep_case_failures.inc(metrics["failed"])
+        if metrics.get("retries"):
+            self.sweep_case_retries.inc(metrics["retries"])
+        if metrics.get("pool_rebuilds"):
+            self.pool_rebuilds.inc(metrics["pool_rebuilds"])
 
     def record_pipeline(self, counters: Optional[Dict[str, int]]) -> None:
         """Fold one run's analysis-pipeline counters into the registry.

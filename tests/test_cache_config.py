@@ -90,6 +90,21 @@ class TestTable2:
         with pytest.raises(CacheConfigError):
             config_id(CacheConfig(8, 16, 256))
 
+    def test_config_id_resolves_reconstructed_configs(self):
+        # the lookup must key on value equality, not identity: a config
+        # rebuilt from its fields resolves to the same Table 2 id
+        for kid, cfg in TABLE2.items():
+            clone = CacheConfig(
+                cfg.associativity, cfg.block_size, cfg.capacity
+            )
+            assert clone is not cfg
+            assert config_id(clone) == kid
+
+    def test_config_id_error_names_the_config(self):
+        rogue = CacheConfig(8, 16, 256)
+        with pytest.raises(CacheConfigError, match=r"\(8, 16, 256\)"):
+            config_id(rogue)
+
     def test_configs_with_capacity(self):
         found = configs_with_capacity(1024)
         assert len(found) == 6

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import json
+from concurrent.futures.process import BrokenProcessPool
 import time
 import urllib.error
 import urllib.request
@@ -314,10 +315,60 @@ class TestQueueSemantics:
                                 budget=8)
             record = _wait_for_state(client, job["id"], "failed")
             assert "timed out" in record["error"]
+            # the structured failure record travels with the job
+            assert record["failure"]["error_type"] == "TimeoutError"
+            assert record["failure"]["transient"] is True
+            assert record["failure"]["attempts"] == 1
             with pytest.raises(ServiceError) as info:
                 client.result(job["id"], timeout=5)
             assert info.value.status == 500
             assert _metric(client.metrics(), "jobs_failed") == 1
+
+    def test_transient_executor_failure_is_retried(self):
+        """A broken pool fails the first attempt; the manager resubmits
+        after backoff and the second attempt's result completes the job."""
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub) as server:
+            client = ServiceClient(server.host, server.port)
+            job = client.submit("optimize", program="bs", config="k1",
+                                budget=21)
+            deadline = time.monotonic() + 5
+            while not stub.submitted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(stub.submitted) == 1
+            stub.submitted[0][1].set_exception(
+                BrokenProcessPool("worker died")
+            )
+            # the retry resubmits to the same (recover-less) executor
+            while len(stub.submitted) < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert len(stub.submitted) == 2
+            stub.submitted[1][1].set_result({"answer": 7})
+            assert client.result(job["id"], timeout=10) == {"answer": 7}
+            metrics = client.metrics()
+            assert _metric(metrics, "job_retries") == 1
+            # ManualExecutor has no recover(): nothing was rebuilt
+            assert _metric(metrics, "pool_rebuilds") == 0
+            assert _metric(metrics, "jobs_completed") == 1
+            assert _metric(metrics, "jobs_failed") == 0
+
+    def test_permanent_executor_failure_is_not_retried(self):
+        stub = ManualExecutor()
+        with BackgroundServer(executor=stub) as server:
+            client = ServiceClient(server.host, server.port)
+            job = client.submit("optimize", program="bs", config="k1",
+                                budget=22)
+            deadline = time.monotonic() + 5
+            while not stub.submitted and time.monotonic() < deadline:
+                time.sleep(0.01)
+            stub.submitted[0][1].set_exception(ValueError("bad input"))
+            record = _wait_for_state(client, job["id"], "failed")
+            assert record["failure"]["error_type"] == "ValueError"
+            assert record["failure"]["transient"] is False
+            assert record["failure"]["attempts"] == 1
+            # deterministic failures burn exactly one attempt
+            assert len(stub.submitted) == 1
+            assert _metric(client.metrics(), "job_retries") == 0
 
     def test_http_error_mapping(self):
         stub = ManualExecutor()
@@ -343,6 +394,29 @@ class TestQueueSemantics:
             assert status_of("GET", "/v1/jobs") == 405
             assert status_of("GET", "/nope") == 404
             assert status_of("GET", "/healthz") == 200
+
+
+# ----------------------------------------------------------------------
+# executor recovery
+# ----------------------------------------------------------------------
+class TestExecutorRecovery:
+    def test_recover_rebuilds_a_fresh_process_pool(self, tmp_path):
+        executor = AnalysisExecutor(workers=1, cache_dir=tmp_path / "cache")
+        try:
+            before = executor._ensure_pool()
+            if not executor._pool_is_processes:
+                pytest.skip("platform cannot run a process pool")
+            rebuilt = executor.recover()
+            assert rebuilt is not before
+            assert executor.pool_rebuilds == 1
+            facts = executor.describe()
+            assert facts["pool"] == "processes"
+            assert facts["pool_rebuilds"] == 1
+            # the rebuilt pool still computes
+            future = rebuilt.submit(int, "7")
+            assert future.result(timeout=60) == 7
+        finally:
+            executor.shutdown()
 
 
 # ----------------------------------------------------------------------

@@ -158,7 +158,9 @@ class TestDiskCache:
             UseCase("bs", "k1", "32nm"), 1, options
         )
 
-    def test_corrupt_record_is_a_miss(self, tmp_path, serial_results):
+    def test_corrupt_record_is_a_miss_and_gets_evicted(
+        self, tmp_path, serial_results
+    ):
         cache = SweepDiskCache(tmp_path)
         key = usecase_key(
             UseCase("bs", "k1", "45nm"), 1, TINY_SPEC.optimizer_options()
@@ -168,11 +170,48 @@ class TestDiskCache:
         cache.path_for(key).write_text("{not json")
         assert cache.get(key) is None
         assert cache.misses == 1
+        # the unreadable file was deleted, not left to fail every run
+        assert cache.discarded == 1
+        assert not cache.path_for(key).exists()
+        assert len(cache) == 0
         # overwriting heals the record
         cache.put(key, serial_results[0])
         restored = cache.get(key)
         assert restored is not None
         assert result_to_dict(restored) == result_to_dict(serial_results[0])
+
+    def test_truncated_record_is_evicted(self, tmp_path, serial_results):
+        cache = SweepDiskCache(tmp_path)
+        key = usecase_key(
+            UseCase("bs", "k1", "45nm"), 1, TINY_SPEC.optimizer_options()
+        )
+        path = cache.put(key, serial_results[0])
+        # a torn write from a crashed pre-atomic-rename producer
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        assert cache.get(key) is None
+        assert cache.discarded == 1
+        assert not path.exists()
+
+    def test_stale_format_record_is_evicted(self, tmp_path, serial_results):
+        cache = SweepDiskCache(tmp_path)
+        key = usecase_key(
+            UseCase("bs", "k1", "45nm"), 1, TINY_SPEC.optimizer_options()
+        )
+        path = cache.put(key, serial_results[0])
+        import json as _json
+
+        record = _json.loads(path.read_text())
+        record["format"] = 0
+        path.write_text(_json.dumps(record))
+        assert cache.get(key) is None
+        assert cache.discarded == 1
+        assert not path.exists()
+
+    def test_missing_record_is_a_plain_miss(self, tmp_path):
+        cache = SweepDiskCache(tmp_path)
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+        assert cache.discarded == 0
 
     def test_clear_removes_records(self, tmp_path, serial_results):
         cache = SweepDiskCache(tmp_path)
@@ -276,6 +315,41 @@ class TestCacheSizeCap:
             resolve_cache_max_bytes(None)
         with pytest.raises(ConfigError):
             resolve_cache_max_bytes(-5)
+
+    def test_put_prunes_opportunistically(self, tmp_path, serial_results):
+        # size the cap to exactly one record: every put enforces it
+        # immediately (prune_every=1), so a long sweep can never blow
+        # far past the budget mid-run
+        probe = SweepDiskCache(tmp_path / "probe")
+        options = TINY_SPEC.optimizer_options()
+        first_key = usecase_key(TINY_SPEC.usecases()[0], 1, options)
+        one_record = os.path.getsize(probe.put(first_key, serial_results[0]))
+        cache = SweepDiskCache(
+            tmp_path / "capped", max_bytes=one_record, prune_every=1
+        )
+        for usecase, result in zip(TINY_SPEC.usecases(), serial_results):
+            cache.put(usecase_key(usecase, 1, options), result)
+            assert cache.total_bytes() <= one_record
+            assert len(cache) <= 1
+
+    def test_put_without_cap_never_prunes(self, tmp_path, serial_results):
+        cache = SweepDiskCache(tmp_path, prune_every=1)
+        options = TINY_SPEC.optimizer_options()
+        for usecase, result in zip(TINY_SPEC.usecases(), serial_results):
+            cache.put(usecase_key(usecase, 1, options), result)
+        assert len(cache) == TINY_SPEC.size
+
+    def test_prune_every_batches_the_scans(self, tmp_path, serial_results):
+        # with prune_every above the put count the cap is not enforced
+        # until the threshold is crossed (the end-of-sweep prune covers
+        # the tail)
+        cache = SweepDiskCache(tmp_path, max_bytes=1, prune_every=99)
+        options = TINY_SPEC.optimizer_options()
+        for usecase, result in zip(TINY_SPEC.usecases(), serial_results):
+            cache.put(usecase_key(usecase, 1, options), result)
+        assert len(cache) == TINY_SPEC.size  # untouched so far
+        cache.prune(1)
+        assert len(cache) == 0
 
     def test_run_sweep_honours_the_env_cap(self, tmp_path, monkeypatch):
         cache_dir = tmp_path / "capped"

@@ -10,7 +10,9 @@ from repro.core.optimizer import OptimizerOptions
 from repro.experiments.usecase import (
     ProgramMeasurement,
     UseCase,
+    _ratio,
     measure_program,
+    run_cross_capacity,
     run_usecase,
 )
 
@@ -59,6 +61,62 @@ class TestPaperModeEnergy:
             assert result.energy_ratio_paper_mode == pytest.approx(
                 result.energy_ratio
             )
+
+
+class TestRatioEdgeCases:
+    def test_plain_division(self):
+        assert _ratio(1.0, 2.0) == 0.5
+        assert _ratio(3.0, 3.0) == 1.0
+
+    def test_zero_over_zero_is_a_true_noop(self):
+        # neither build consumed the quantity: "unchanged" is honest
+        assert _ratio(0.0, 0.0) == 1.0
+
+    def test_positive_over_zero_is_an_unbounded_regression(self):
+        # the optimized build consumes something the original did not;
+        # this must not masquerade as "unchanged"
+        assert _ratio(2.0, 0.0) == float("inf")
+        assert _ratio(1e-12, 0.0) == float("inf")
+
+
+class TestCrossCapacityBaseAddress:
+    def test_original_measurement_uses_the_options_base_address(self):
+        """Regression: the big-cache original measurement used to ignore
+        ``options.base_address`` (always 0) while the optimized
+        small-cache measurement ran at the pipeline's base address, so
+        the two executables were laid out differently."""
+        usecase = UseCase("bs", "k1", "45nm")
+        options = OptimizerOptions(max_evaluations=5, base_address=64)
+        result = run_cross_capacity(usecase, 0.5, seed=1, options=options)
+        # the original side must equal a standalone measurement of the
+        # same program at the same (nonzero) base address...
+        big = usecase.cache_config()
+        expected = measure_program(
+            load("bs"), big, "45nm", seed=1, base_address=64,
+        )
+        assert result.original.tau_w == expected.tau_w
+        assert result.original.tau_a == expected.tau_a
+        assert result.original.miss_rate_acet == expected.miss_rate_acet
+        # ...and differ from the base-address-0 layout whenever the
+        # layout matters to this cache (guards against the fix rotting)
+        at_zero = measure_program(
+            load("bs"), big, "45nm", seed=1, base_address=0,
+        )
+        if (at_zero.tau_w, at_zero.tau_a) != (expected.tau_w, expected.tau_a):
+            assert (result.original.tau_w, result.original.tau_a) != (
+                at_zero.tau_w, at_zero.tau_a
+            )
+
+    def test_default_options_keep_base_address_zero(self):
+        usecase = UseCase("bs", "k1", "45nm")
+        options = OptimizerOptions(max_evaluations=5)
+        result = run_cross_capacity(usecase, 0.5, seed=1, options=options)
+        expected = measure_program(
+            load("bs"), usecase.cache_config(), "45nm", seed=1,
+            base_address=0,
+        )
+        assert result.original.tau_w == expected.tau_w
+        assert result.original.tau_a == expected.tau_a
 
 
 class TestBaselineThreading:
