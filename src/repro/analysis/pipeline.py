@@ -48,7 +48,7 @@ import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.slack import rest_instance_spans
 from repro.analysis.structural import solve_wcet_path_tables
@@ -68,6 +68,15 @@ from repro.cache.classify import (
     propagate,
 )
 from repro.cache.config import CacheConfig
+from repro.cache.kernel import (
+    BlockUniverse,
+    DenseDataflowResult,
+    KernelSchedule,
+    SegmentMemo,
+    classify_references_dense,
+    propagate_kernel_batch,
+    resolve_kernel,
+)
 from repro.cache.persistence import PersistenceState
 from repro.errors import AnalysisError
 from repro.program.acfg import ACFG, build_acfg
@@ -100,6 +109,8 @@ class PipelineStats:
     dataflow_misses: int = 0
     transfer_hits: int = 0
     transfer_misses: int = 0
+    kernel_segment_hits: int = 0
+    kernel_segment_misses: int = 0
     delta_runs: int = 0
     cold_runs: int = 0
     delta_fallbacks: int = 0
@@ -121,6 +132,8 @@ class PipelineStats:
             "dataflow_misses": self.dataflow_misses,
             "transfer_hits": self.transfer_hits,
             "transfer_misses": self.transfer_misses,
+            "kernel_segment_hits": self.kernel_segment_hits,
+            "kernel_segment_misses": self.kernel_segment_misses,
             "delta_runs": self.delta_runs,
             "cold_runs": self.cold_runs,
             "delta_fallbacks": self.delta_fallbacks,
@@ -227,6 +240,12 @@ class StructuralArtifacts:
     #: REST instance spans ``(entry_join, last_rid, exit_rids)`` — the
     #: optimizer's loop ranges and the latency guard's wrap-around scopes.
     loop_spans: List[Tuple[int, int, Tuple[int, ...]]]
+    #: Lazily compiled :class:`~repro.cache.kernel.KernelSchedule` of the
+    #: vectorized kernel (``None`` until first dense analysis, or when
+    #: the pipeline runs the python kernel).  Invalidated implicitly
+    #: when the pipeline's block universe is rebuilt (the schedule keeps
+    #: a reference to the universe it was compiled against).
+    schedule: Optional[KernelSchedule] = None
 
 
 class PipelineResult:
@@ -464,6 +483,10 @@ class AnalysisPipeline:
             :func:`~repro.analysis.wcet.analyze_wcet` run (slow; used by
             the equivalence tests).
         stats: Optionally share a :class:`PipelineStats` instance.
+        kernel: Abstract-domain implementation: ``"python"`` (the
+            verified oracle), ``"vectorized"`` (the dense numpy kernel,
+            bit-identical by the differential suite), or ``None`` to
+            follow ``REPRO_CACHE_KERNEL`` (default ``python``).
     """
 
     #: LRU capacities.  Structural artifacts and dataflow results are
@@ -483,6 +506,7 @@ class AnalysisPipeline:
         base_address: int = 0,
         differential: bool = False,
         stats: Optional[PipelineStats] = None,
+        kernel: Optional[str] = None,
     ):
         self.config = config
         self.timing = timing
@@ -491,11 +515,18 @@ class AnalysisPipeline:
         self.base_address = base_address
         self.differential = differential
         self.stats = stats if stats is not None else PipelineStats()
+        self.kernel = resolve_kernel(kernel)
         self._transfer: Dict[str, TransferCache] = {
             "must": TransferCache(self.stats),
             "may": TransferCache(self.stats),
             "persistence": TransferCache(self.stats),
         }
+        #: Vectorized-kernel state: one block universe shared by every
+        #: schedule/dense matrix of this pipeline (rebuilt with headroom
+        #: when a program outgrows it) and one segment memo keyed by
+        #: (domain batch, segment ops, in-state bytes).
+        self._universe: Optional[BlockUniverse] = None
+        self._segment_memo = SegmentMemo(stats=self.stats)
         self._structural_cache: "OrderedDict[Any, StructuralArtifacts]" = (
             OrderedDict()
         )
@@ -517,6 +548,7 @@ class AnalysisPipeline:
             with_persistence=options.with_persistence,
             locked_blocks=options.locked_blocks,
             base_address=options.base_address,
+            kernel=getattr(options, "kernel", None),
             **kwargs,
         )
 
@@ -526,6 +558,7 @@ class AnalysisPipeline:
             self.with_persistence == options.with_persistence
             and self.locked_blocks == frozenset(options.locked_blocks or ())
             and self.base_address == options.base_address
+            and self.kernel == resolve_kernel(getattr(options, "kernel", None))
         )
 
     # ------------------------------------------------------------------
@@ -584,23 +617,40 @@ class AnalysisPipeline:
         if self.with_persistence:
             domains.append("persistence")
         started = time.perf_counter()
-        dataflows = {
-            domain: self._dataflow_stage(
-                artifacts, domain, base if use_delta else None, boundary
+        if self.kernel == "vectorized":
+            dataflows = self._dense_dataflow_stage(
+                artifacts, domains, base if use_delta else None, boundary
             )
-            for domain in domains
-        }
+        else:
+            dataflows = {
+                domain: self._dataflow_stage(
+                    artifacts, domain, base if use_delta else None, boundary
+                )
+                for domain in domains
+            }
         self.stats.add_time("fixpoint", time.perf_counter() - started)
 
         started = time.perf_counter()
         locked = self.locked_blocks or None
-        classifications = classify_references(
-            acfg,
-            dataflows["must"],
-            dataflows.get("may"),
-            dataflows.get("persistence"),
-            locked,
-        )
+        if all(
+            isinstance(df, DenseDataflowResult) for df in dataflows.values()
+        ):
+            classifications = classify_references_dense(
+                acfg,
+                dataflows["must"],
+                dataflows.get("may"),
+                dataflows.get("persistence"),
+                locked,
+                schedule=artifacts.schedule,
+            )
+        else:
+            classifications = classify_references(
+                acfg,
+                dataflows["must"],
+                dataflows.get("may"),
+                dataflows.get("persistence"),
+                locked,
+            )
         cache_analysis = CacheAnalysis(
             self.config,
             classifications,
@@ -693,6 +743,10 @@ class AnalysisPipeline:
         artifacts = StructuralArtifacts(
             key=key, acfg=acfg, loop_spans=rest_instance_spans(acfg)
         )
+        if self.kernel == "vectorized":
+            # Schedule compilation is structural work (per program
+            # content, domain-independent), so it rides the acfg stage.
+            self._schedule_for(artifacts)
         self.stats.add_time("acfg", time.perf_counter() - started)
         self._structural_cache[key] = artifacts
         while len(self._structural_cache) > self.MAX_STRUCTURAL:
@@ -723,12 +777,15 @@ class AnalysisPipeline:
             self.stats.dataflow_hits += 1
             return hit
         self.stats.dataflow_misses += 1
+        base_df = (
+            base.dataflows.get(domain)
+            if base is not None and boundary > 0
+            else None
+        )
         transfer = self._transfer[domain]
         warm = None
-        if base is not None and boundary > 0:
-            base_df = base.dataflows.get(domain)
-            if base_df is not None:
-                warm = (boundary, base_df.in_states, base_df.out_states)
+        if base_df is not None:
+            warm = (boundary, base_df.in_states, base_df.out_states)
         result = propagate(
             artifacts.acfg,
             self.config,
@@ -742,6 +799,113 @@ class AnalysisPipeline:
             self._dataflow_cache.popitem(last=False)
             self.stats.invalidations += 1
         return result
+
+    def _dense_dataflow_stage(
+        self,
+        artifacts: StructuralArtifacts,
+        domains: Sequence[str],
+        base: Optional[PipelineResult],
+        boundary: int,
+    ) -> Dict[str, DataflowResult]:
+        """All requested domains in one batched dense fixpoint.
+
+        The vectorized counterpart of mapping :meth:`_dataflow_stage`
+        over ``domains``: per-domain dataflow-cache keys are honoured
+        first, then every *missing* domain rides a single stacked
+        :func:`propagate_kernel_batch` walk — one schedule traversal,
+        one join, one memo probe per segment for the whole batch.
+        """
+        dataflows: Dict[str, DataflowResult] = {}
+        missing = []
+        for domain in domains:
+            key = (artifacts.key, domain)
+            hit = self._dataflow_cache.get(key)
+            if hit is not None and isinstance(hit, DenseDataflowResult):
+                self._dataflow_cache.move_to_end(key)
+                self.stats.dataflow_hits += 1
+                dataflows[domain] = hit
+            else:
+                self.stats.dataflow_misses += 1
+                missing.append(domain)
+        if not missing:
+            return dataflows
+
+        schedule = self._schedule_for(artifacts)
+        warm = None
+        if base is not None and boundary > 0:
+            bases = {
+                domain: df
+                for domain in missing
+                for df in (base.dataflows.get(domain),)
+                if isinstance(df, DenseDataflowResult)
+            }
+            if len(bases) == len(missing):
+                warm = (boundary, bases)
+        batch = propagate_kernel_batch(
+            schedule, missing, memo=self._segment_memo, warm=warm
+        )
+        for domain in missing:
+            result = batch[domain]
+            dataflows[domain] = result
+            self._dataflow_cache[(artifacts.key, domain)] = result
+        while len(self._dataflow_cache) > self.MAX_DATAFLOW:
+            self._dataflow_cache.popitem(last=False)
+            self.stats.invalidations += 1
+        return dataflows
+
+    def _schedule_for(self, artifacts: StructuralArtifacts) -> KernelSchedule:
+        """The compiled schedule of one ACFG against the live universe.
+
+        Compiles optimistically against the current universe — the
+        compiler's own column-range check doubles as the coverage probe,
+        so the common candidate path skips the per-call block scan.  A
+        program outgrowing the universe raises, and only then is the
+        universe regrown (with headroom) and the schedule recompiled.
+        """
+        schedule = artifacts.schedule
+        universe = self._universe
+        if schedule is not None and schedule.universe is universe:
+            return schedule
+        if universe is not None:
+            try:
+                schedule = KernelSchedule(
+                    artifacts.acfg, universe, self.locked_blocks
+                )
+                artifacts.schedule = schedule
+                return schedule
+            except AnalysisError:
+                pass  # outgrown: rebuild below
+        universe = self._ensure_universe(artifacts.acfg)
+        schedule = KernelSchedule(artifacts.acfg, universe, self.locked_blocks)
+        artifacts.schedule = schedule
+        return schedule
+
+    def _ensure_universe(self, acfg: ACFG) -> BlockUniverse:
+        """The pipeline's block universe, grown to cover ``acfg``.
+
+        Rebuilding (a program referencing blocks outside the current
+        range) clears the segment memos — dense rows of different widths
+        are incomparable — and counts as an invalidation.  The headroom
+        absorbs the small upward block drift of candidate programs (each
+        prefetch insertion shifts later addresses by one instruction).
+        """
+        probe = BlockUniverse.for_acfg(acfg, self.config)
+        current = self._universe
+        if current is not None and current.covers(probe.base_block) and (
+            current.covers(probe.base_block + probe.width - 1)
+        ):
+            return current
+        lo = probe.base_block
+        hi = probe.base_block + probe.width - 1
+        if current is not None:
+            lo = min(lo, current.base_block)
+            hi = max(hi, current.base_block + current.width - 1)
+        universe = BlockUniverse(self.config, lo, hi - lo + 1 + 32)
+        self._universe = universe
+        self._segment_memo.clear()
+        if current is not None:
+            self.stats.invalidations += 1
+        return universe
 
     def _differential_check(self, acfg: ACFG, wcet: WCETResult,
                             with_may: bool) -> None:

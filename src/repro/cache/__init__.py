@@ -26,6 +26,19 @@ from repro.cache.classify import (
     propagate,
 )
 from repro.cache.concrete import ConcreteCache
+from repro.cache.kernel import (
+    BlockUniverse,
+    DenseDataflowResult,
+    KERNEL_ENV,
+    KernelSchedule,
+    SegmentMemo,
+    classify_references_dense,
+    propagate_kernel,
+    propagate_kernel_batch,
+    resolve_kernel,
+    row_to_state,
+    state_to_row,
+)
 from repro.cache.persistence import PersistenceState
 from repro.cache.config import (
     CAPACITIES,
@@ -37,22 +50,33 @@ from repro.cache.config import (
 
 __all__ = [
     "AbstractCacheState",
+    "BlockUniverse",
     "CAPACITIES",
     "CacheAnalysis",
     "CacheConfig",
     "Classification",
     "ConcreteCache",
     "DataflowResult",
+    "DenseDataflowResult",
+    "KERNEL_ENV",
+    "KernelSchedule",
     "MAX_FIXPOINT_PASSES",
     "MayState",
     "MustState",
     "PersistenceState",
+    "SegmentMemo",
     "SetLines",
     "UNKNOWN_ACCESS",
     "TABLE2",
     "analyze_cache",
+    "classify_references_dense",
     "config_id",
     "configs_with_capacity",
     "join_all",
     "propagate",
+    "propagate_kernel",
+    "propagate_kernel_batch",
+    "resolve_kernel",
+    "row_to_state",
+    "state_to_row",
 ]

@@ -57,6 +57,13 @@ class AbstractCacheState:
 
     __slots__ = ("config", "_sets", "_hash", "_ages")
 
+    #: Domain identity for ``__eq__``/``__hash__``.  States compare (and
+    #: hash-cons in the pipeline's :class:`TransferCache`) by *domain*,
+    #: not concrete class, so states materialized by the vectorized
+    #: kernel — possibly via subclasses — share one interning table with
+    #: the pure-python oracle's states instead of double-populating it.
+    domain_tag = ""
+
     def __init__(
         self,
         config: CacheConfig,
@@ -135,7 +142,7 @@ class AbstractCacheState:
         if not isinstance(other, AbstractCacheState):
             return NotImplemented
         return (
-            type(self) is type(other)
+            self.domain_tag == other.domain_tag
             and self.config == other.config
             and self._sets == other._sets
         )
@@ -143,7 +150,7 @@ class AbstractCacheState:
     def __hash__(self) -> int:
         if self._hash is None:
             self._hash = hash(
-                (type(self).__name__, tuple(sorted(self._sets.items())))
+                (self.domain_tag, tuple(sorted(self._sets.items())))
             )
         return self._hash
 
@@ -212,6 +219,8 @@ class AbstractCacheState:
 class MustState(AbstractCacheState):
     """Must domain: guaranteed cache contents with maximal ages."""
 
+    domain_tag = "must"
+
     def update(self, block: int) -> "MustState":
         """LRU must-update: ``block`` to age 0; younger blocks age."""
         config = self.config
@@ -277,6 +286,8 @@ class MustState(AbstractCacheState):
 
 class MayState(AbstractCacheState):
     """May domain: possible cache contents with minimal ages."""
+
+    domain_tag = "may"
 
     def update(self, block: int) -> "MayState":
         """LRU may-update: minimal ages age only below the hit age."""

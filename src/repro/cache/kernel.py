@@ -1,0 +1,930 @@
+"""Vectorized abstract-domain kernel (dense numpy age vectors).
+
+The pure-python must/may/persistence domains of
+:mod:`repro.cache.abstract` and :mod:`repro.cache.persistence` represent
+one cache set as per-age block sets.  That representation is the
+*oracle*: verified against the concrete LRU semantics by
+``tests/test_cache_differential.py`` and deliberately written for
+auditability, not speed.  This module is the fast path: the same
+domains re-implemented over **dense age vectors**, selected with
+``REPRO_CACHE_KERNEL=vectorized`` (or ``--kernel``/pipeline options) and
+proven bit-identical to the oracle by the differential test layer.
+
+Representation
+--------------
+
+A state is an ``int8`` vector over a contiguous *block universe*
+``[base_block, base_block + width)``; column ``c`` holds the age bound
+of memory block ``base_block + c``:
+
+* **must / may** — ages ``0 .. assoc-1``; the value ``assoc`` means
+  *absent*.  With that encoding the classical domain operations become
+  single array expressions:
+
+  - LRU update on an access to column ``j``: every block in ``j``'s
+    cache set with age ``< row[j]`` ages by one, then ``row[j] = 0``.
+    A miss (``row[j] == assoc``) ages every present block and pushes
+    age ``assoc-1`` blocks to ``assoc`` — i.e. out of the state —
+    with no special case.
+  - must join = ``np.maximum`` (intersection of contents, maximal age:
+    *absent* is the additive top), may join = ``np.minimum`` (union,
+    minimal age).
+
+* **persistence** — ages ``0 .. assoc`` with ``assoc`` the sticky
+  evicted-⊤ and ``-1`` for ⊥ (never loaded).  Join = ``np.maximum``
+  (⊥ loses against any real bound, exactly the oracle's
+  present-in-one-side rule).
+
+Because a cache set's columns are exactly ``c ≡ block (mod num_sets)``,
+the set of an access is a *strided view* — no gather, no index arrays.
+All primitives accept whole batches (any leading shape): one call
+updates or joins every state of a batch of VIVU contexts at once.
+
+Fixpoint
+--------
+
+:func:`propagate_kernel` replays :func:`repro.cache.classify.propagate`
+on a :class:`KernelSchedule` — the ACFG compiled into maximal
+single-entry chain *segments* (a basic-block instance is one chain, and
+chains extend through straight-line control flow).  Per sweep a segment
+is one unit of work: its in-state row is joined from its predecessors,
+then either looked up in a content-keyed **segment memo** (the whole
+``(k × width)`` in/out matrices of the chain come back as one memcpy)
+or replayed with the dense primitives.  Convergence uses the same
+monotone-fixpoint argument as the oracle: both iterate the identical
+transfer equations from the identical initial state, so they converge
+to the identical least fixpoint, state for state.
+
+The result is a :class:`DenseDataflowResult` — a drop-in
+:class:`~repro.cache.classify.DataflowResult` whose per-vertex states
+materialize lazily into ordinary oracle states (so every downstream
+consumer, and the hash-consing interner, sees values indistinguishable
+from a python-kernel run), plus the dense matrices themselves for
+warm-started delta re-analysis and the vectorized classifier
+(:func:`classify_references_dense`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cache.abstract import MayState, MustState
+from repro.cache.classify import Classification, DataflowResult
+from repro.cache.config import CacheConfig
+from repro.cache.persistence import PersistenceState
+from repro.errors import AnalysisError
+from repro.program.acfg import ACFG
+
+#: Environment variable selecting the kernel implementation.
+KERNEL_ENV = "REPRO_CACHE_KERNEL"
+
+#: Supported kernel names.
+KERNELS = ("python", "vectorized")
+
+#: Dense domain names (must match the pipeline's domain keys).
+DOMAINS = ("must", "may", "persistence")
+
+
+def resolve_kernel(kernel: Optional[str] = None) -> str:
+    """The effective kernel name: explicit argument, else the
+    :data:`KERNEL_ENV` environment variable, else ``"python"``."""
+    chosen = kernel if kernel is not None else os.environ.get(KERNEL_ENV)
+    if chosen is None or chosen == "":
+        return "python"
+    if chosen not in KERNELS:
+        raise AnalysisError(
+            f"unknown cache kernel {chosen!r}; expected one of {KERNELS}"
+        )
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# block universe
+# ----------------------------------------------------------------------
+class BlockUniverse:
+    """The contiguous memory-block range a dense state vector covers.
+
+    Column ``c`` stands for memory block ``base_block + c``.  The
+    universe is sized with headroom so that the block-id shifts caused
+    by prefetch insertions (4 bytes each) rarely force a rebuild; when
+    they do, the pipeline rebuilds the universe and clears its segment
+    memos (dense rows of different widths are incomparable).
+    """
+
+    __slots__ = ("config", "base_block", "width")
+
+    def __init__(self, config: CacheConfig, base_block: int, width: int):
+        if width <= 0:
+            raise AnalysisError(f"universe width must be positive, got {width}")
+        self.config = config
+        self.base_block = base_block
+        self.width = width
+
+    def covers(self, block: int) -> bool:
+        """Whether ``block`` has a column in this universe."""
+        return self.base_block <= block < self.base_block + self.width
+
+    def column(self, block: int) -> int:
+        """Column index of a memory block."""
+        if not self.covers(block):
+            raise AnalysisError(
+                f"block {block} outside universe "
+                f"[{self.base_block}, {self.base_block + self.width})"
+            )
+        return block - self.base_block
+
+    def block(self, column: int) -> int:
+        """Memory block id of a column."""
+        return self.base_block + column
+
+    @classmethod
+    def for_acfg(cls, acfg: ACFG, config: CacheConfig,
+                 headroom: int = 0) -> "BlockUniverse":
+        """A universe covering every block an ACFG references.
+
+        ``headroom`` extra columns absorb the upward block-id drift of
+        later candidate programs (each insertion shifts addresses by
+        one instruction).
+        """
+        # Scans the ACFG's per-rid block arrays directly: this probe
+        # runs once per candidate program, so accessor-call overhead
+        # matters.
+        blocks = [b for b in acfg._ref_block if b is not None]
+        blocks += [b for b in acfg._target_block if b is not None]
+        if not blocks:
+            # A program with no references still needs a 1-wide universe
+            # so the matrices are well-formed.
+            return cls(config, 0, 1 + max(headroom, 0))
+        lo = min(blocks)
+        hi = max(blocks)
+        return cls(config, lo, hi - lo + 1 + max(headroom, 0))
+
+
+# ----------------------------------------------------------------------
+# batched domain primitives
+# ----------------------------------------------------------------------
+# All primitives operate in place on ``rows`` — an int8 array whose last
+# axis is the universe width; any leading batch shape is allowed, so one
+# call transforms a whole batch of states (e.g. every VIVU context of a
+# block) at once.
+
+def lru_update(rows: np.ndarray, col: int, num_sets: int) -> None:
+    """Must/may LRU update for an access to column ``col`` (in place).
+
+    Blocks of the accessed set younger than the accessed block age by
+    one; the accessed block becomes age 0.  With absent encoded as
+    ``assoc`` this covers hit, miss and eviction uniformly.
+    """
+    sub = rows[..., col % num_sets::num_sets]
+    h = rows[..., col:col + 1]
+    np.add(sub, sub < h, out=sub)
+    rows[..., col] = 0
+
+
+def must_join(a: np.ndarray, b: np.ndarray,
+              out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Must join: intersection of contents, maximal ages."""
+    return np.maximum(a, b, out=out)
+
+
+def may_join(a: np.ndarray, b: np.ndarray,
+             out: Optional[np.ndarray] = None) -> np.ndarray:
+    """May join: union of contents, minimal ages."""
+    return np.minimum(a, b, out=out)
+
+
+def must_unknown(rows: np.ndarray, associativity: int) -> None:
+    """Must transfer for a statically-unknown access (in place): the
+    guaranteed contents of *every* set age by one position."""
+    np.add(rows, rows < associativity, out=rows)
+
+
+def may_unknown(rows: np.ndarray) -> None:
+    """May transfer for an unknown access: the identity (aging a lower
+    bound could wrongly prove an always-miss)."""
+
+
+def persistence_update(rows: np.ndarray, col: int, num_sets: int,
+                       top: int) -> None:
+    """Persistence update (in place): LRU aging with sticky ⊤.
+
+    ⊥ (-1) blocks never age — absence means "never loaded", which an
+    access to another block cannot endanger — and an absent accessed
+    block behaves like the oldest (ages everything below ⊤).
+    """
+    sub = rows[..., col % num_sets::num_sets]
+    h = rows[..., col:col + 1]
+    h_eff = np.where(h < 0, np.int8(top), h)
+    np.add(sub, (sub >= 0) & (sub < h_eff), out=sub)
+    rows[..., col] = 0
+
+
+def persistence_join(a: np.ndarray, b: np.ndarray,
+                     out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Persistence join: pointwise maximal age bound, ⊥ (-1) losing
+    against any real bound."""
+    return np.maximum(a, b, out=out)
+
+
+def persistence_unknown(rows: np.ndarray, top: int) -> None:
+    """Persistence transfer for an unknown access (in place): every
+    tracked block's bound grows by one, saturating at the sticky ⊤."""
+    np.add(rows, (rows >= 0) & (rows < top), out=rows)
+
+
+class DenseDomain:
+    """One abstract domain's dense encoding: initial value, join,
+    update and unknown-access transfer over int8 rows."""
+
+    __slots__ = ("name", "config", "initial_value", "join")
+
+    def __init__(self, name: str, config: CacheConfig):
+        if name not in DOMAINS:
+            raise AnalysisError(f"unknown abstract domain {name!r}")
+        self.name = name
+        self.config = config
+        assoc = config.associativity
+        if name == "persistence":
+            self.initial_value = -1
+            self.join = persistence_join
+        else:
+            self.initial_value = assoc
+            self.join = must_join if name == "must" else may_join
+
+    def initial_row(self, width: int) -> np.ndarray:
+        """The all-⊥ (must/may: all-absent) state as a dense row."""
+        return np.full(width, self.initial_value, dtype=np.int8)
+
+    def update(self, rows: np.ndarray, col: int) -> None:
+        """Apply one access (in place, batched)."""
+        if self.name == "persistence":
+            persistence_update(rows, col, self.config.num_sets,
+                               self.config.associativity)
+        else:
+            lru_update(rows, col, self.config.num_sets)
+
+    def unknown(self, rows: np.ndarray) -> None:
+        """Apply one statically-unknown access (in place, batched)."""
+        if self.name == "must":
+            must_unknown(rows, self.config.associativity)
+        elif self.name == "persistence":
+            persistence_unknown(rows, self.config.associativity)
+        # may: identity
+
+
+# ----------------------------------------------------------------------
+# state conversion (dense row <-> oracle state objects)
+# ----------------------------------------------------------------------
+def state_to_row(state, universe: BlockUniverse) -> np.ndarray:
+    """Encode an oracle state as a dense row of this universe."""
+    config = universe.config
+    if isinstance(state, PersistenceState):
+        row = np.full(universe.width, -1, dtype=np.int8)
+        for set_index in range(config.num_sets):
+            for block, age in state.ages(set_index).items():
+                row[universe.column(block)] = age
+        return row
+    if not isinstance(state, (MustState, MayState)):
+        raise AnalysisError(
+            f"cannot encode {type(state).__name__} as a dense row"
+        )
+    row = np.full(universe.width, config.associativity, dtype=np.int8)
+    for set_index in state.touched_sets():
+        for age, entry in enumerate(state.lines(set_index)):
+            for block in entry:
+                row[universe.column(block)] = age
+    return row
+
+
+def row_to_state(domain: str, row: np.ndarray, universe: BlockUniverse):
+    """Decode a dense row into the equivalent oracle state object.
+
+    The result is a plain :class:`MustState`/:class:`MayState`/
+    :class:`PersistenceState` in canonical form, so it compares equal
+    to — and interns with — states the python kernel produces.
+    """
+    config = universe.config
+    num_sets = config.num_sets
+    if domain == "persistence":
+        present = np.nonzero(row >= 0)[0]
+        pairs: Dict[int, List[Tuple[int, int]]] = {}
+        for col in present.tolist():
+            # Columns ascend, so per-set pair lists come out sorted by
+            # block — already the canonical tuple order.
+            block = universe.block(col)
+            pairs.setdefault(block % num_sets, []).append(
+                (block, int(row[col]))
+            )
+        return PersistenceState._make(
+            config, {index: tuple(items) for index, items in pairs.items()}
+        )
+    assoc = config.associativity
+    present = np.nonzero(row < assoc)[0]
+    lines: Dict[int, List[set]] = {}
+    for col in present.tolist():
+        block = universe.block(col)
+        per_set = lines.get(block % num_sets)
+        if per_set is None:
+            per_set = [set() for _ in range(assoc)]
+            lines[block % num_sets] = per_set
+        per_set[int(row[col])].add(block)
+    sets_frozen = {
+        index: tuple(frozenset(entry) for entry in per_set)
+        for index, per_set in lines.items()
+    }
+    cls = MustState if domain == "must" else MayState
+    return cls._make(config, sets_frozen)
+
+
+# ----------------------------------------------------------------------
+# schedule compilation
+# ----------------------------------------------------------------------
+#: Access op marker for a statically-unknown address (mirrors
+#: :data:`repro.cache.classify.UNKNOWN_ACCESS` at the column level).
+UNKNOWN_COL = -1
+
+
+#: Interning table for segment access sequences: identical op tuples —
+#: from any schedule, ever — map to the same small integer, so memo keys
+#: hash in O(1) instead of re-hashing a nested tuple per probe, while
+#: distinct sequences can never collide (the id *is* the content).
+_OPS_INTERN: Dict[tuple, int] = {}
+
+
+class SegmentStep:
+    """One schedule step: a single-entry chain of vertices.
+
+    Attributes:
+        start/end: Contiguous rid range ``[start, end)`` of the chain.
+        preds: Forward predecessors of the first vertex.
+        back_srcs: Back-edge source rids targeting the first vertex.
+        ops: Per-vertex access column tuples (``()`` = no access).
+        ops_key: Interned id of the access sequence — segment-memo
+            entries are shared between schedules (e.g. across candidate
+            ACFGs) whenever the replayed work is identical.
+    """
+
+    __slots__ = ("index", "start", "end", "preds", "back_srcs", "ops",
+                 "ops_key")
+
+    def __init__(self, index: int, start: int, end: int,
+                 preds: Tuple[int, ...], back_srcs: Tuple[int, ...],
+                 ops: List[Tuple[int, ...]]):
+        self.index = index
+        self.start = start
+        self.end = end
+        self.preds = preds
+        self.back_srcs = back_srcs
+        self.ops = ops
+        key = tuple(ops)
+        self.ops_key = _OPS_INTERN.setdefault(key, len(_OPS_INTERN))
+
+
+#: Chain-length cap.  Chunking long straight-line chains makes the
+#: segment memo fine-grained enough to catch cross-candidate recurrence:
+#: when the optimizer re-evaluates a site on a slightly mutated program,
+#: the far-away chunks see the same ``(ops, in-state)`` pairs as the
+#: previous iteration and replay from the memo instead of access by
+#: access — the dense analogue of the python kernel's per-state
+#: transfer cache.
+MAX_SEGMENT_LEN = 32
+
+
+class KernelSchedule:
+    """An ACFG compiled for the dense fixpoint engine.
+
+    Chains extend while a vertex is the unique successor of its unique
+    predecessor and no back edge targets it, capped at
+    :data:`MAX_SEGMENT_LEN` vertices.  JOIN vertices and branch/merge
+    points start new segments.  The per-vertex plan matches
+    :func:`repro.cache.classify.propagate`'s default instruction-fetch
+    plan (own block, then a prefetch's target, locked blocks skipped).
+    """
+
+    __slots__ = ("acfg", "universe", "steps", "step_of", "source",
+                 "locked_blocks", "ref_rids", "ref_cols", "ref_locked")
+
+    def __init__(self, acfg: ACFG, universe: BlockUniverse,
+                 locked_blocks: frozenset):
+        self.acfg = acfg
+        self.universe = universe
+        self.source = acfg.source
+        self.locked_blocks = locked_blocks
+        n = len(acfg.vertices)
+
+        # Compiled once per candidate program, so this reads the ACFG's
+        # per-rid arrays directly instead of going through accessors and
+        # only visits REF vertices.  The range check doubles as the
+        # universe-coverage probe: callers compile optimistically
+        # against their live universe and rebuild it when this raises.
+        base = universe.base_block
+        width = universe.width
+        ref_block = acfg._ref_block
+        target_block = acfg._target_block
+        plan: List[Tuple[int, ...]] = [()] * n
+        ref_rids: List[int] = []
+        ref_cols: List[int] = []
+        ref_locked: List[bool] = []
+        for vertex in acfg.ref_vertices():
+            rid = vertex.rid
+            own = ref_block[rid]
+            col = own - base
+            if not 0 <= col < width:
+                raise AnalysisError(
+                    f"block {own} outside universe [{base}, {base + width})"
+                )
+            ref_rids.append(rid)
+            ref_cols.append(col)
+            if locked_blocks:
+                locked = own in locked_blocks
+                ref_locked.append(locked)
+                ops = () if locked else (col,)
+            else:
+                ops = (col,)
+            target = target_block[rid]
+            if target is not None and target not in locked_blocks:
+                tcol = target - base
+                if not 0 <= tcol < width:
+                    raise AnalysisError(
+                        f"block {target} outside universe "
+                        f"[{base}, {base + width})"
+                    )
+                ops = ops + (tcol,)
+            plan[rid] = ops
+        # Classification gather arrays: every reference's rid and
+        # own-block column, precomputed once per structure so
+        # classify_references_dense is pure numpy gathers.
+        self.ref_rids = np.asarray(ref_rids, dtype=np.int64)
+        self.ref_cols = np.asarray(ref_cols, dtype=np.int64)
+        self.ref_locked = (
+            np.asarray(ref_locked, dtype=bool) if locked_blocks else None
+        )
+
+        back_targets = set()
+        back_by_target: Dict[int, List[int]] = {}
+        for src, dst in acfg.back_edges:
+            back_targets.add(dst)
+            back_by_target.setdefault(dst, []).append(src)
+
+        pred = acfg._pred
+        succ = acfg._succ
+        steps: List[SegmentStep] = []
+        step_of: List[int] = [0] * n
+        rid = 0
+        while rid < n:
+            start = rid
+            prev = rid
+            rid += 1
+            while (
+                rid < n
+                and rid - start < MAX_SEGMENT_LEN
+                and rid not in back_targets
+            ):
+                p = pred[rid]
+                if len(p) != 1 or p[0] != prev or len(succ[prev]) != 1:
+                    break
+                prev = rid
+                rid += 1
+            index = len(steps)
+            steps.append(SegmentStep(
+                index=index,
+                start=start,
+                end=rid,
+                preds=tuple(pred[start]),
+                back_srcs=tuple(back_by_target.get(start, ())),
+                ops=plan[start:rid],
+            ))
+            step_of[start:rid] = [index] * (rid - start)
+        self.steps = steps
+        self.step_of = step_of
+
+
+class SegmentMemo:
+    """Content-keyed memo of replayed segments.
+
+    Key: ``(domain batch, ops id, in-row bytes)``; value: the chain's
+    dense *out* matrix only — within a chain, vertex ``k``'s in-state is
+    vertex ``k-1``'s out-state, so the in side is reconstructed from the
+    key's in-row plus the stored outs.  Entries transfer between
+    schedules because the key carries the access sequence itself, not
+    the segment identity.  A row-count cap bounds memory; overflow
+    clears the table (correctness never depends on residency).
+
+    ``stats`` may be any object with integer ``kernel_segment_hits`` /
+    ``kernel_segment_misses`` / ``invalidations`` attributes (the
+    pipeline's :class:`~repro.analysis.pipeline.PipelineStats`); counts
+    are mirrored into it.
+    """
+
+    __slots__ = ("max_rows", "rows", "hits", "misses", "clears", "stats",
+                 "_table")
+
+    def __init__(self, max_rows: int = 400_000, stats=None):
+        self.max_rows = max_rows
+        self.rows = 0
+        self.hits = 0
+        self.misses = 0
+        self.clears = 0
+        self.stats = stats
+        self._table: Dict[Tuple[tuple, int, bytes], np.ndarray] = {}
+
+    def get(self, key: Tuple[tuple, int, bytes]):
+        found = self._table.get(key)
+        if found is not None:
+            self.hits += 1
+            if self.stats is not None:
+                self.stats.kernel_segment_hits += 1
+        return found
+
+    def put(self, key: Tuple[tuple, int, bytes],
+            seg_out: np.ndarray) -> None:
+        self.misses += 1
+        if self.stats is not None:
+            self.stats.kernel_segment_misses += 1
+        self._table[key] = seg_out
+        # Count dense rows (vertices × domains), not entries, so the cap
+        # tracks actual memory.
+        self.rows += seg_out.size // (seg_out.shape[-1] or 1)
+        if self.rows > self.max_rows:
+            self.clear()
+            if self.stats is not None:
+                self.stats.invalidations += 1
+
+    def clear(self) -> None:
+        if self._table:
+            self.clears += 1
+        self._table.clear()
+        self.rows = 0
+
+
+# ----------------------------------------------------------------------
+# dense dataflow result
+# ----------------------------------------------------------------------
+class _LazyStates(Sequence):
+    """Per-rid oracle states materialized on demand from dense rows."""
+
+    __slots__ = ("_dense", "_reachable", "_domain", "_universe", "_cache")
+
+    def __init__(self, dense: np.ndarray, reachable: np.ndarray,
+                 domain: str, universe: BlockUniverse):
+        self._dense = dense
+        self._reachable = reachable
+        self._domain = domain
+        self._universe = universe
+        self._cache: Dict[int, object] = {}
+
+    def __len__(self) -> int:
+        return len(self._dense)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self)))]
+        if index < 0:
+            index += len(self)
+        if not self._reachable[index]:
+            return None
+        found = self._cache.get(index)
+        if found is None:
+            found = row_to_state(
+                self._domain, self._dense[index], self._universe
+            )
+            self._cache[index] = found
+        return found
+
+
+class DenseDataflowResult(DataflowResult):
+    """A :class:`DataflowResult` carrying its dense matrices.
+
+    ``in_states``/``out_states`` are lazy: indexing materializes the
+    oracle state for that vertex (and ``None`` for vertices the
+    analysis never reached, like the python kernel).  The matrices
+    themselves feed warm-started re-analysis and the vectorized
+    classifier without ever materializing a state object.
+    """
+
+    is_dense = True
+
+    def __init__(self, universe: BlockUniverse, domain: str,
+                 dense_in: np.ndarray, dense_out: np.ndarray,
+                 reachable: np.ndarray, passes: int):
+        self.universe = universe
+        self.domain = domain
+        self.dense_in = dense_in
+        self.dense_out = dense_out
+        self.reachable = reachable
+        super().__init__(
+            in_states=_LazyStates(dense_in, reachable, domain, universe),
+            out_states=_LazyStates(dense_out, reachable, domain, universe),
+            passes=passes,
+        )
+
+
+# ----------------------------------------------------------------------
+# the dense fixpoint
+# ----------------------------------------------------------------------
+#: Hard cap on fixpoint sweeps, matching the python kernel's bound.
+MAX_SWEEPS = 64
+
+#: Canonical stacking order of a batched run.  Max-join domains (must,
+#: persistence) come first so joins and unknown-access transfers apply
+#: to contiguous row slices; may (min-join, identity unknown) is last.
+BATCH_ORDER = ("must", "persistence", "may")
+
+
+def propagate_kernel_batch(
+    schedule: KernelSchedule,
+    domains: Sequence[str],
+    memo: Optional[SegmentMemo] = None,
+    warm: Optional[Tuple[int, Dict[str, "DenseDataflowResult"]]] = None,
+) -> Dict[str, "DenseDataflowResult"]:
+    """Run several abstract domains over a compiled schedule at once.
+
+    The dense counterpart of :func:`repro.cache.classify.propagate`,
+    batched: one topological walk carries a stacked ``(domains ×
+    width)`` state, so every join, access and memo probe is paid once
+    for the whole batch instead of once per domain.  The batching is
+    exact because the three domains share one transfer shape:
+
+    * the LRU access update is the *same formula* for all of them —
+      on the uint8 reinterpretation of the age matrix,
+      ``sub += (sub < h) & (sub < top)`` with ``h`` the accessed block's
+      stored age.  Persistence ⊥ (-1) reads as 255: as ``h`` it bounds
+      nothing beyond the ``< top`` conjunct (⊥ behaves as the oldest
+      line), as an aged entry it fails ``< top`` and stays ⊥.  Must/may
+      rows are never negative and an absent block already carries the
+      aging bound ``assoc``, so the formula degrades to the plain LRU
+      update there;
+    * must and persistence both join by ``np.maximum``; may joins by
+      ``np.minimum`` on its own row slice.
+
+    Transfer equations and initial states match the python kernel's, so
+    the converged least fixpoint is identical state for state (the
+    sweep *count* may differ; no consumer reads it as a semantic
+    value).
+
+    Args:
+        schedule: Compiled ACFG (see :class:`KernelSchedule`).
+        domains: Subset of ``("must", "may", "persistence")``.
+        memo: Optional shared :class:`SegmentMemo`.
+        warm: Optional ``(boundary, bases)`` warm start with one base
+            :class:`DenseDataflowResult` per requested domain: rows
+            below ``boundary`` are copied from the bases and segments
+            entirely below it are never replayed.  Sound under the
+            pipeline's divergence-boundary closure, exactly like the
+            python kernel's ``warm`` parameter.  Ignored unless every
+            domain has a base on the same universe.
+    """
+    universe = schedule.universe
+    config = universe.config
+    order = tuple(name for name in BATCH_ORDER if name in domains)
+    if len(order) != len(set(domains)) or not order:
+        raise AnalysisError(f"unknown or empty domain batch {domains!r}")
+    depth = len(order)
+    num_max = depth - (1 if "may" in order else 0)
+    assoc = config.associativity
+    # The update runs on a uint8 view: persistence ⊥ (-1) reads as 255,
+    # which loses every `< h` comparison exactly as ⊥ should, and the
+    # `< top` conjunct reproduces the ⊥-as-oldest aging bound (see
+    # docstring above).
+    topu = np.uint8(assoc)
+    num_sets = config.num_sets
+    n = len(schedule.acfg.vertices)
+    width = universe.width
+
+    dense_in = np.empty((n, depth, width), dtype=np.int8)
+    dense_out = np.empty((n, depth, width), dtype=np.int8)
+    reachable = np.zeros(n, dtype=bool)
+
+    initial = np.empty((depth, width), dtype=np.int8)
+    for i, name in enumerate(order):
+        initial[i] = -1 if name == "persistence" else assoc
+
+    boundary = 0
+    if warm is not None:
+        warm_boundary, bases = warm
+        usable = 0 < warm_boundary <= n
+        if usable:
+            for name in order:
+                found = bases.get(name)
+                if (
+                    found is None
+                    or found.universe is not universe
+                    or len(found.dense_in) < warm_boundary
+                ):
+                    usable = False
+                    break
+        if usable:
+            boundary = warm_boundary
+            for i, name in enumerate(order):
+                found = bases[name]
+                dense_in[:boundary, i, :] = found.dense_in[:boundary]
+                dense_out[:boundary, i, :] = found.dense_out[:boundary]
+            reachable[:boundary] = bases[order[0]].reachable[:boundary]
+
+    steps = schedule.steps
+    step_of = schedule.step_of
+    num_steps = len(steps)
+    changed = [True] * num_steps
+    last_in: List[Optional[bytes]] = [None] * num_steps
+    # Segments fully below the warm boundary can never re-enter the
+    # sweep: the pipeline's closure guarantees their inputs are below
+    # the boundary too, and those never change.
+    first_step = step_of[boundary] if boundary < n else num_steps
+    for index in range(first_step):
+        changed[index] = False
+
+    source = schedule.source
+    has_may = num_max < depth
+
+    for sweep in range(1, MAX_SWEEPS + 1):
+        any_changed = False
+        first_sweep = sweep == 1
+        for step in steps[first_step:]:
+            index = step.index
+            if not first_sweep:
+                need = any(changed[step_of[p]] for p in step.preds) or any(
+                    changed[step_of[src]] for src in step.back_srcs
+                )
+                if not need:
+                    continue
+            start = step.start
+            preds = step.preds
+            if start == source:
+                cur = initial.copy()
+            elif len(preds) == 1 and not step.back_srcs:
+                # Fast path: chain continuation / single forward pred.
+                p = preds[0]
+                if not reachable[p]:
+                    continue  # unreachable this sweep
+                cur = dense_out[p].copy()
+            else:
+                contributions = [p for p in preds if reachable[p]]
+                for src in step.back_srcs:
+                    if reachable[src]:
+                        contributions.append(src)
+                if not contributions:
+                    continue  # unreachable this sweep (back edge pending)
+                cur = dense_out[contributions[0]].copy()
+                for extra in contributions[1:]:
+                    other = dense_out[extra]
+                    np.maximum(
+                        cur[:num_max], other[:num_max], out=cur[:num_max]
+                    )
+                    if has_may:
+                        np.minimum(
+                            cur[num_max:], other[num_max:], out=cur[num_max:]
+                        )
+            in_bytes = cur.tobytes()
+            if last_in[index] == in_bytes:
+                changed[index] = False
+                continue
+            last_in[index] = in_bytes
+            end = step.end
+            key = (order, step.ops_key, in_bytes)
+            hit = memo.get(key) if memo is not None else None
+            if hit is not None:
+                dense_in[start] = cur
+                dense_out[start:end] = hit
+                if end - start > 1:
+                    dense_in[start + 1:end] = hit[:-1]
+            else:
+                dense_in[start] = cur
+                seg_out = dense_out[start:end]
+                curu = cur.view(np.uint8)
+                for k, ops in enumerate(step.ops):
+                    for col in ops:
+                        if col == UNKNOWN_COL:
+                            # may rows keep the identity transfer
+                            sub = curu[:num_max]
+                            np.add(sub, sub < topu, out=sub)
+                        else:
+                            sub = curu[:, col % num_sets::num_sets]
+                            h = curu[:, col:col + 1]
+                            np.add(sub, (sub < h) & (sub < topu), out=sub)
+                            curu[:, col] = 0
+                    seg_out[k] = cur
+                if end - start > 1:
+                    dense_in[start + 1:end] = seg_out[:-1]
+                if memo is not None:
+                    memo.put(key, seg_out.copy())
+            reachable[start:end] = True
+            changed[index] = True
+            any_changed = True
+        if not any_changed:
+            return {
+                name: DenseDataflowResult(
+                    universe,
+                    name,
+                    dense_in[:, i, :],
+                    dense_out[:, i, :],
+                    reachable,
+                    sweep,
+                )
+                for i, name in enumerate(order)
+            }
+    raise AnalysisError(
+        f"dense abstract interpretation did not converge within "
+        f"{MAX_SWEEPS} sweeps"
+    )
+
+
+def propagate_kernel(
+    schedule: KernelSchedule,
+    domain_name: str,
+    memo: Optional[SegmentMemo] = None,
+    warm: Optional[Tuple[int, "DenseDataflowResult"]] = None,
+) -> "DenseDataflowResult":
+    """Single-domain convenience wrapper of
+    :func:`propagate_kernel_batch` (``warm`` takes the one domain's base
+    result directly)."""
+    batch_warm = None
+    if warm is not None:
+        batch_warm = (warm[0], {domain_name: warm[1]})
+    return propagate_kernel_batch(
+        schedule, (domain_name,), memo=memo, warm=batch_warm
+    )[domain_name]
+
+
+# ----------------------------------------------------------------------
+# vectorized classification
+# ----------------------------------------------------------------------
+def classify_references_dense(
+    acfg: ACFG,
+    must: DenseDataflowResult,
+    may: Optional[DenseDataflowResult],
+    persistence: Optional[DenseDataflowResult],
+    locked_blocks: Optional[frozenset] = None,
+    schedule: Optional[KernelSchedule] = None,
+) -> list:
+    """Vectorized :func:`repro.cache.classify.classify_references`.
+
+    Gathers every reference's own-block age from the dense in-state
+    matrices in one shot and applies the same precedence:
+    ``ALWAYS_HIT`` > ``PERSISTENT`` > ``ALWAYS_MISS`` >
+    ``NOT_CLASSIFIED``.  Passing the ``schedule`` the results came from
+    reuses its precompiled reference gather arrays; otherwise they are
+    rebuilt from the ACFG.
+    """
+    universe = must.universe
+    assoc = universe.config.associativity
+    base = universe.base_block
+    locked = locked_blocks or frozenset()
+    if (
+        schedule is not None
+        and schedule.acfg is acfg
+        and schedule.universe is universe
+        and schedule.locked_blocks == locked
+    ):
+        rids = schedule.ref_rids
+        cols = schedule.ref_cols
+        locked_arr = schedule.ref_locked
+    else:
+        # Probe columns come from the ACFG directly; every own block is
+        # covered by the universe by construction.
+        ref_block = acfg._ref_block
+        ref_rids = [
+            rid for rid, block in enumerate(ref_block) if block is not None
+        ]
+        rids = np.asarray(ref_rids, dtype=np.int64)
+        cols = np.asarray(
+            [ref_block[rid] - base for rid in ref_rids], dtype=np.int64
+        )
+        locked_arr = (
+            np.asarray(
+                [ref_block[rid] in locked for rid in ref_rids], dtype=bool
+            )
+            if locked
+            else None
+        )
+
+    must_hit = must.reachable[rids] & (must.dense_in[rids, cols] < assoc)
+    if locked_arr is not None:
+        must_hit |= locked_arr
+
+    # Layered precedence via a small code table: start at NC, overwrite
+    # with AM, then PS, then AH — later layers win, matching the python
+    # classifier's ALWAYS_HIT > PERSISTENT > ALWAYS_MISS > NC order.
+    codes = np.zeros(len(rids), dtype=np.int8)
+    if may is not None:
+        may_reached = may.reachable[rids]
+        codes[~may_reached | (may.dense_in[rids, cols] >= assoc)] = 1
+    if persistence is not None:
+        codes[
+            persistence.reachable[rids]
+            & (persistence.dense_in[rids, cols] < assoc)
+        ] = 2
+    codes[must_hit] = 3
+
+    table = (
+        Classification.NOT_CLASSIFIED,
+        Classification.ALWAYS_MISS,
+        Classification.PERSISTENT,
+        Classification.ALWAYS_HIT,
+    )
+    classifications: list = [None] * len(acfg.vertices)
+    for rid, code in zip(rids.tolist(), codes.tolist()):
+        classifications[rid] = table[code]
+    return classifications

@@ -41,6 +41,10 @@ class PersistenceState:
 
     __slots__ = ("config", "_sets", "_hash")
 
+    #: Domain identity, mirroring
+    #: :attr:`repro.cache.abstract.AbstractCacheState.domain_tag`.
+    domain_tag = "persistence"
+
     def __init__(
         self,
         config: CacheConfig,
@@ -101,6 +105,20 @@ class PersistenceState:
             inner = ",".join(f"{b}:{a}" for b, a in self._sets[index])
             parts.append(f"s{index}{{{inner}}}")
         return f"<PersistenceState {' '.join(parts) or 'empty'}>"
+
+    @classmethod
+    def _make(
+        cls,
+        config: CacheConfig,
+        sets: Dict[int, Tuple[Tuple[int, int], ...]],
+    ) -> "PersistenceState":
+        """Fast construction for internal use: ``sets`` must already be
+        canonical (sorted pairs, valid ages, no empty entries)."""
+        fresh = cls.__new__(cls)
+        fresh.config = config
+        fresh._sets = sets
+        fresh._hash = None
+        return fresh
 
     # ------------------------------------------------------------------
     # domain operations

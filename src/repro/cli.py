@@ -71,6 +71,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     opt.add_argument("--budget", type=int, default=None, metavar="N",
                      help="optimization budget (candidate evaluations)")
+    opt.add_argument(
+        "--kernel",
+        choices=("python", "vectorized"),
+        default=None,
+        help="abstract-domain kernel: the pure-python oracle or the "
+             "dense numpy kernel (default: $REPRO_CACHE_KERNEL or python)",
+    )
     opt.add_argument("--json", action="store_true",
                      help="machine-readable result on stdout "
                           "(human text moves to stderr)")
@@ -187,6 +194,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     options = OptimizerOptions(
         with_persistence=args.baseline == "persistence",
         max_evaluations=args.budget,
+        kernel=args.kernel,
     )
     optimized, report = optimize(cfg, config, timing, options=options)
     check = verify_wcet_guarantee(

@@ -111,11 +111,23 @@ class OptimizerOptions:
     #: then be the reduced-way residual configuration (see
     #: :func:`repro.sim.locking.optimize_with_locking`).
     locked_blocks: frozenset = frozenset()
+    #: Abstract-domain implementation for the preliminary analysis:
+    #: ``"python"`` (the verified oracle), ``"vectorized"`` (the dense
+    #: numpy kernel of :mod:`repro.cache.kernel`, proven bit-identical
+    #: by the differential suite), or ``None`` to follow the
+    #: ``REPRO_CACHE_KERNEL`` environment variable.
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.placement not in ("earliest-survivable", "block-begin"):
             raise OptimizationError(
                 f"unknown placement strategy {self.placement!r}"
+            )
+        if self.kernel is not None and self.kernel not in (
+            "python", "vectorized"
+        ):
+            raise OptimizationError(
+                f"unknown cache kernel {self.kernel!r}"
             )
 
 

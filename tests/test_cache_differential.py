@@ -239,3 +239,204 @@ class TestProgramLevelPropertyBased:
         _assert_classification_never_optimistic(
             program_seed, config, run_seeds=(0, 1, 2)
         )
+
+
+# ----------------------------------------------------------------------
+# kernel vs oracle: the dense numpy kernel against the python domains
+# ----------------------------------------------------------------------
+# The vectorized kernel (repro.cache.kernel) re-implements the three
+# abstract domains as in-place int8 age-vector transforms.  Its contract
+# is *bit-identity*, not mere soundness: every update/join must land on
+# exactly the state the python oracle produces, so the rest of this
+# section drives both implementations in lockstep and converts the dense
+# rows back through row_to_state after every step.
+
+import numpy as np
+
+from repro.cache.config import TABLE2
+from repro.cache.kernel import (
+    BlockUniverse,
+    DenseDomain,
+    row_to_state,
+    state_to_row,
+)
+from repro.cache.persistence import PersistenceState
+
+DOMAIN_ORACLES = {
+    "must": MustState,
+    "may": MayState,
+    "persistence": PersistenceState,
+}
+DOMAINS = tuple(DOMAIN_ORACLES)
+
+#: Every Table 2 grid point (36 configurations) — the slow sweep runs
+#: the full grid, tier-1 a capacity/associativity-spanning slice.
+FULL_GRID = tuple(TABLE2.values())
+TIER1_GRID = tuple(TABLE2[k] for k in ("k1", "k8", "k15", "k22", "k30", "k36"))
+
+#: Accessed block ids; wider than any grid config's num_blocks so every
+#: configuration sees evictions.  ``None`` marks a statically-unknown
+#: access.
+BLOCK_SPAN = 48
+
+
+def _dual_universe(config):
+    return BlockUniverse(config, 0, BLOCK_SPAN)
+
+
+def _apply_oracle(state, block):
+    return state.unknown_access() if block is None else state.update(block)
+
+
+def _apply_dense(dom, universe, row, block):
+    if block is None:
+        dom.unknown(row)
+    else:
+        dom.update(row, universe.column(block))
+
+
+def _run_dual_sequence(config, domain, sequence):
+    """Drive oracle and dense kernel in lockstep; assert bit-identity
+    after every access (both decode and encode directions)."""
+    universe = _dual_universe(config)
+    state = DOMAIN_ORACLES[domain](config)
+    dom = DenseDomain(domain, config)
+    row = dom.initial_row(universe.width)
+    assert state_to_row(state, universe).tobytes() == row.tobytes()
+    for step, block in enumerate(sequence):
+        state = _apply_oracle(state, block)
+        _apply_dense(dom, universe, row, block)
+        assert row_to_state(domain, row, universe) == state, (
+            f"{domain} diverged at step {step} (access {block!r}) on "
+            f"{config.label()}"
+        )
+        assert state_to_row(state, universe).tobytes() == row.tobytes()
+    return state, row, universe
+
+
+def _dual_states(config, domain, sequence):
+    universe = _dual_universe(config)
+    state = DOMAIN_ORACLES[domain](config)
+    dom = DenseDomain(domain, config)
+    row = dom.initial_row(universe.width)
+    for block in sequence:
+        state = _apply_oracle(state, block)
+        _apply_dense(dom, universe, row, block)
+    return state, row, universe, dom
+
+
+def _assert_joins_agree(config, domain, seq_a, seq_b):
+    """Joins agree across kernels, commute, and are extensive upper
+    bounds in the domain order (monotonicity of the lattice join)."""
+    state_a, row_a, universe, dom = _dual_states(config, domain, seq_a)
+    state_b, row_b, _, _ = _dual_states(config, domain, seq_b)
+
+    joined = state_a.join(state_b)
+    joined_row = dom.join(row_a.copy(), row_b)
+
+    # cross-kernel bit-identity of the join itself
+    assert row_to_state(domain, joined_row, universe) == joined
+    assert state_to_row(joined, universe).tobytes() == joined_row.tobytes()
+
+    # commutativity, in both kernels
+    assert state_b.join(state_a) == joined
+    assert dom.join(row_b.copy(), row_a).tobytes() == joined_row.tobytes()
+
+    # idempotence, in both kernels
+    assert state_a.join(state_a) == state_a
+    assert dom.join(row_a.copy(), row_a).tobytes() == row_a.tobytes()
+
+    # the join is an upper bound of both operands (ages only grow for
+    # the max-join domains, only shrink for may) — dense rows make the
+    # lattice order directly comparable
+    if domain == "may":
+        assert (joined_row <= row_a).all() and (joined_row <= row_b).all()
+    else:
+        assert (joined_row >= row_a).all() and (joined_row >= row_b).all()
+
+    # joining again with either operand changes nothing (absorption)
+    assert joined.join(state_a) == joined
+    assert dom.join(joined_row.copy(), row_a).tobytes() == joined_row.tobytes()
+
+
+def _deterministic_sequences(config):
+    thrash = [b % BLOCK_SPAN for b in range(3 * config.num_blocks)] * 2
+    working = list(range(config.associativity + 1)) * 5
+    mixed = [(7 * i) % BLOCK_SPAN for i in range(40)]
+    mixed[9] = None   # exercise the unknown-access transfer
+    mixed[23] = None
+    return (thrash, working, mixed)
+
+
+class TestKernelVsOracleDeterministic:
+    """Tier-1 slice: lockstep bit-identity on structured sequences."""
+
+    @pytest.mark.parametrize("config", TIER1_GRID, ids=lambda c: c.label())
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_update_sequences_bit_identical(self, config, domain):
+        for sequence in _deterministic_sequences(config):
+            _run_dual_sequence(config, domain, sequence)
+
+    @pytest.mark.parametrize("config", TIER1_GRID, ids=lambda c: c.label())
+    @pytest.mark.parametrize("domain", DOMAINS)
+    def test_joins_agree_and_commute(self, config, domain):
+        seq_a = [(5 * i) % BLOCK_SPAN for i in range(25)]
+        seq_b = [(11 * i + 3) % BLOCK_SPAN for i in range(18)]
+        _assert_joins_agree(config, domain, seq_a, seq_b)
+
+
+@pytest.mark.slow
+class TestKernelVsOraclePropertyBased:
+    """Full Table 2 grid under hypothesis-generated access sequences."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        config=st.sampled_from(FULL_GRID),
+        domain=st.sampled_from(DOMAINS),
+        sequence=st.lists(
+            st.one_of(
+                st.integers(min_value=0, max_value=BLOCK_SPAN - 1),
+                st.none(),
+            ),
+            max_size=50,
+        ),
+    )
+    def test_random_sequences_bit_identical(self, config, domain, sequence):
+        _run_dual_sequence(config, domain, sequence)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        config=st.sampled_from(FULL_GRID),
+        domain=st.sampled_from(DOMAINS),
+        seq_a=st.lists(st.integers(0, BLOCK_SPAN - 1), max_size=30),
+        seq_b=st.lists(st.integers(0, BLOCK_SPAN - 1), max_size=30),
+    )
+    def test_joins_agree_on_random_states(self, config, domain, seq_a, seq_b):
+        _assert_joins_agree(config, domain, seq_a, seq_b)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        config=st.sampled_from(FULL_GRID),
+        domain=st.sampled_from(DOMAINS),
+        prefix=st.lists(st.integers(0, BLOCK_SPAN - 1), max_size=20),
+        seq_a=st.lists(st.integers(0, BLOCK_SPAN - 1), max_size=15),
+        seq_b=st.lists(st.integers(0, BLOCK_SPAN - 1), max_size=15),
+        suffix=st.lists(st.integers(0, BLOCK_SPAN - 1), max_size=15),
+    )
+    def test_join_then_update_bit_identical(
+        self, config, domain, prefix, seq_a, seq_b, suffix
+    ):
+        """Branch-shaped flows: updating a joined state stays lockstep —
+        the composition the fixpoint engine exercises constantly."""
+        state_a, row_a, universe, dom = _dual_states(
+            config, domain, prefix + seq_a
+        )
+        state_b, row_b, _, _ = _dual_states(config, domain, prefix + seq_b)
+        state = state_a.join(state_b)
+        row = dom.join(row_a.copy(), row_b)
+        assert row_to_state(domain, row, universe) == state
+        for block in suffix:
+            state = _apply_oracle(state, block)
+            _apply_dense(dom, universe, row, block)
+            assert row_to_state(domain, row, universe) == state
+            assert state_to_row(state, universe).tobytes() == row.tobytes()
