@@ -141,6 +141,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="tolerate up to N permanently failed use "
                             "cases before exiting nonzero (default: 0; "
                             "partial results are always reported)")
+    sweep.add_argument("--kernel", choices=("python", "vectorized"),
+                       default=None,
+                       help="abstract-domain kernel (default: python "
+                            "locally, vectorized on the fabric)")
+    sweep.add_argument("--coordinator", default=None, metavar="URL",
+                       help="run the sweep on a fabric coordinator "
+                            "(e.g. http://127.0.0.1:8080) instead of "
+                            "locally; results stream back live")
+    sweep.add_argument("--tenant", default="default", metavar="NAME",
+                       help="fabric tenant for fair scheduling "
+                            "(--coordinator only)")
 
     serve = sub.add_parser(
         "serve",
@@ -166,6 +177,28 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--self-check", action="store_true",
                        help="boot on an ephemeral port, hit /healthz, "
                             "report, and exit")
+    serve.add_argument("--coordinator", action="store_true",
+                       help="run as a fabric coordinator: accept "
+                            "/v1/fabric/ sweeps and shard them across "
+                            "registered workers")
+    serve.add_argument("--worker-url", action="append", default=[],
+                       metavar="URL", dest="worker_urls",
+                       help="pre-register a worker node with the "
+                            "coordinator (repeatable)")
+    serve.add_argument("--coordinator-url", default=None, metavar="URL",
+                       help="register this node as a worker with a "
+                            "running coordinator once it is listening")
+    serve.add_argument("--lease-timeout", type=float, default=120.0,
+                       metavar="SECONDS",
+                       help="coordinator: shard lease before it is "
+                            "requeued elsewhere")
+    serve.add_argument("--steal-after", type=float, default=5.0,
+                       metavar="SECONDS",
+                       help="coordinator: idle workers speculatively "
+                            "re-run shards leased longer than this")
+    serve.add_argument("--shard-size", type=int, default=None, metavar="N",
+                       help="coordinator: cases per shard (default: "
+                            "sized from the fleet capacity)")
     return parser
 
 
@@ -287,6 +320,10 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.full:
         spec = full_grid(seed=args.seed, max_evaluations=args.budget)
+        if args.kernel:
+            import dataclasses
+
+            spec = dataclasses.replace(spec, kernel=args.kernel)
         if args.programs or args.configs:
             print("note: --full overrides --programs/--configs", file=sys.stderr)
     else:
@@ -303,7 +340,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             seed=args.seed,
             max_evaluations=args.budget,
             baseline=args.baseline,
+            kernel=args.kernel,
         )
+    if args.coordinator:
+        return _cmd_sweep_fabric(args, spec)
     metrics = SweepMetrics()
     # In --json mode every human-readable line (progress + summary)
     # moves to stderr; stdout carries only the JSON document.
@@ -354,6 +394,79 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_fabric(args: argparse.Namespace, spec: SweepSpec) -> int:
+    """Run ``repro sweep`` on a fabric coordinator, streaming results.
+
+    Submits the resolved grid to ``--coordinator``, renders each
+    streamed ``case``/``failure`` event as the usual progress line, and
+    prints the final merged document (which is byte-compatible with the
+    local ``--json`` output, plus a ``fabric`` section).
+    """
+    from repro.errors import ServiceError
+    from repro.fabric.transport import split_base_url
+    from repro.service.client import ServiceClient
+
+    host, port = split_base_url(args.coordinator)
+    client = ServiceClient(host, port)
+    out = sys.stderr if args.json else sys.stdout
+    record = client.submit_fabric_sweep(
+        tenant=args.tenant,
+        programs=list(spec.programs),
+        configs=list(spec.config_ids),
+        techs=list(spec.techs),
+        budget=spec.max_evaluations,
+        baseline=spec.baseline,
+        seed=spec.seed,
+        **({"kernel": spec.kernel} if spec.kernel else {}),
+    )
+    sweep_id = record["id"]
+    total = record["cases"]
+    width = len(str(total))
+    print(f"fabric sweep {sweep_id} on {args.coordinator} "
+          f"({total} cases, tenant {args.tenant})", file=out)
+    done = 0
+    try:
+        for event, data in client.stream_sweep(sweep_id):
+            if event == "case":
+                done += 1
+                if not args.quiet:
+                    print(f"[{done:>{width}}/{total}] "
+                          f"{data['program']:<14s} {data['config']:<4s} "
+                          f"{data['tech']:<5s} "
+                          f"wcet {data['wcet_ratio']:.3f} "
+                          f"acet {data['acet_ratio']:.3f} "
+                          f"energy {data['energy_ratio']:.3f} "
+                          f"[{data['worker']}]", file=out)
+            elif event == "failure" and not args.quiet:
+                print(f"FAILED {data['program']} {data['config']} "
+                      f"{data['tech']}: {data['error_type']}: "
+                      f"{data['message']}", file=out)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    document = client.fabric_result(sweep_id)
+    summary = document["summary"]
+    fabric = document["fabric"]
+    print(file=out)
+    print(f"{summary['cases']} cases, {summary['failed']} failed | "
+          f"{fabric['shards']} shards "
+          f"({fabric['shards_requeued']} requeued, "
+          f"{fabric['steals']} stolen)", file=out)
+    improvement = summary["average_improvement"]
+    print(f"average improvement: "
+          f"wcet {100 * improvement['wcet']:.1f}%, "
+          f"acet {100 * improvement['acet']:.1f}%, "
+          f"energy {100 * improvement['energy']:.1f}%", file=out)
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    failed = summary["failed"]
+    if failed > max(args.max_failures, 0):
+        print(f"error: {failed} use case(s) failed permanently "
+              f"(--max-failures {args.max_failures})", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
 
@@ -365,6 +478,11 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         cache_dir=cache_dir,
         max_queue=args.queue_size,
         job_timeout_s=args.job_timeout,
+        coordinator=args.coordinator,
+        worker_urls=tuple(args.worker_urls),
+        lease_timeout_s=args.lease_timeout,
+        steal_after_s=args.steal_after,
+        shard_size=args.shard_size,
     )
 
     if args.self_check:
@@ -386,9 +504,26 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         app = build_service(**build_kwargs)
 
         def ready(port: int) -> None:
-            print(f"repro service listening on http://{args.host}:{port} "
+            role = "coordinator" if args.coordinator else "service"
+            print(f"repro {role} listening on http://{args.host}:{port} "
                   f"(workers {app.executor.workers}, "
                   f"queue {args.queue_size})", flush=True)
+            if args.coordinator_url:
+                # Self-registration happens off the event loop: the
+                # coordinator may not be up yet, and the retry loop
+                # must not block this node from serving shards.
+                import threading
+
+                from repro.fabric.worker import register_with_coordinator
+
+                worker_url = f"http://{args.host}:{port}"
+                threading.Thread(
+                    target=register_with_coordinator,
+                    args=(args.coordinator_url, worker_url),
+                    kwargs={"capacity": app.executor.workers},
+                    name="repro-fabric-register",
+                    daemon=True,
+                ).start()
 
         await run_server(app, host=args.host, port=args.port, ready=ready)
 

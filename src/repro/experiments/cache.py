@@ -287,11 +287,23 @@ class SweepDiskCache:
     :meth:`prune`, so a long sweep cannot blow far past the budget
     before its final end-of-run prune.
 
+    Multiple *nodes* may share one cache directory (the fabric's
+    result store points every worker at the same root): the atomic
+    rename makes concurrent same-key writers safe (last replace wins,
+    and deterministic results make the copies identical), and
+    :meth:`prune` tolerates records deleted underneath it by a peer's
+    concurrent prune — counted in ``prune_races``, never a crash.
+
     Attributes:
         root: The cache directory (created on first use).
         hits: Records served from disk so far.
         misses: Lookups that found no (valid) record.
         discarded: Corrupted/stale records deleted by :meth:`get`.
+        pruned: Records evicted by :meth:`prune` over this instance's
+            lifetime.
+        prune_races: Records that vanished mid-prune because a peer
+            (another node pruning the shared directory) got there
+            first.
     """
 
     def __init__(
@@ -306,6 +318,8 @@ class SweepDiskCache:
         self.hits = 0
         self.misses = 0
         self.discarded = 0
+        self.pruned = 0
+        self.prune_races = 0
         self._puts_since_prune = 0
 
     def path_for(self, key: str) -> Path:
@@ -352,9 +366,17 @@ class SweepDiskCache:
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": _FORMAT, "key": key, "result": result_to_dict(result)}
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(path.parent), prefix=".tmp-", suffix=".json"
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
+        except FileNotFoundError:
+            # A peer node removed the (empty) shard directory between
+            # our mkdir and mkstemp; recreate and try once more.
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(path.parent), prefix=".tmp-", suffix=".json"
+            )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as handle:
                 json.dump(payload, handle)
@@ -409,10 +431,14 @@ class SweepDiskCache:
         Long-lived sweeps and the analysis service would otherwise grow
         the cache without bound; eviction by modification time keeps the
         most recently written (and rewritten) records.  Concurrent
-        writers are safe: a record vanishing mid-scan is just skipped.
+        writers — including *other nodes* pruning the same shared
+        directory — are safe: a record vanishing between the scan and
+        the unlink is treated as already evicted (its size still comes
+        off the running total, since it is gone either way) and counted
+        in ``prune_races``.
 
         Returns:
-            How many records were removed.
+            How many records this call removed itself.
         """
         if not self.root.exists():
             return 0
@@ -421,6 +447,9 @@ class SweepDiskCache:
         for record in self.root.glob("*/*.json"):
             try:
                 stat = record.stat()
+            except FileNotFoundError:
+                self.prune_races += 1
+                continue
             except OSError:
                 continue
             records.append((stat.st_mtime, stat.st_size, record))
@@ -432,10 +461,16 @@ class SweepDiskCache:
                 break
             try:
                 record.unlink()
+            except FileNotFoundError:
+                # A peer evicted (or rewrote then evicted) it first.
+                self.prune_races += 1
+                total -= size
+                continue
             except OSError:
                 continue
             total -= size
             removed += 1
+        self.pruned += removed
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

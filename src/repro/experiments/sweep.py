@@ -97,6 +97,11 @@ class SweepSpec:
             improvement magnitudes) or ``"persistence"`` (adds the
             first-miss domain; the tighter baseline leaves less for
             prefetching to win — see EXPERIMENTS.md).
+        kernel: Abstract-domain kernel (``"python"``/``"vectorized"``);
+            ``None`` keeps the optimizer's default.  Part of the
+            result fingerprint, so cached records of the two kernels
+            never alias (the differential CI job keeps them
+            bit-identical anyway).
     """
 
     programs: Tuple[str, ...]
@@ -105,12 +110,18 @@ class SweepSpec:
     seed: int = 1
     max_evaluations: Optional[int] = None
     baseline: str = "classic"
+    kernel: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.baseline not in ("classic", "persistence"):
             raise ExperimentError(
                 f"baseline must be 'classic' or 'persistence', got "
                 f"{self.baseline!r}"
+            )
+        if self.kernel not in (None, "python", "vectorized"):
+            raise ExperimentError(
+                f"kernel must be 'python', 'vectorized' or None, got "
+                f"{self.kernel!r}"
             )
 
     def optimizer_options(self):
@@ -120,6 +131,7 @@ class SweepSpec:
         return OptimizerOptions(
             max_evaluations=self.max_evaluations,
             with_persistence=self.baseline == "persistence",
+            kernel=self.kernel,
         )
 
     def usecases(self) -> List[UseCase]:

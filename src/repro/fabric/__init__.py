@@ -1,0 +1,44 @@
+"""Distributed sweep fabric: coordinator/worker sharding over HTTP.
+
+The single-node sweep engine (:mod:`repro.experiments.sweep`) already
+decomposes a grid into content-hashed, independently cacheable use
+cases with structured failure records — exactly the unit a distributed
+queue needs.  This package is that queue:
+
+* :mod:`repro.fabric.shards` — grid partitioning into content-hash-
+  keyed shards, plus the split operation work-stealing relies on;
+* :mod:`repro.fabric.store` — the fleet-shared content-addressed
+  result store (an in-memory overlay over
+  :class:`~repro.experiments.cache.SweepDiskCache`'s machine-
+  independent keys, so workers dedupe across the fleet);
+* :mod:`repro.fabric.coordinator` — lease-based shard scheduling with
+  work-stealing for stragglers, per-tenant deficit-round-robin
+  fairness, and fleet-merged metrics;
+* :mod:`repro.fabric.worker` — shard execution inside a worker node's
+  pool (the ``shard`` job kind) and coordinator registration;
+* :mod:`repro.fabric.stream` — SSE event + chunked transfer framing
+  shared by the server's live result feed and the client's parser;
+* :mod:`repro.fabric.transport` — the one-shot asyncio HTTP client the
+  coordinator drives worker nodes with.
+
+Topology: ``repro serve --coordinator`` owns the grid; each worker is a
+plain ``repro serve`` node that either self-registers
+(``--coordinator-url``) or is named up front (``--worker-url``).  The
+coordinator dispatches shards over the existing job protocol, so a
+worker needs no fabric-specific state at all — worker death is just a
+lease that expired.
+"""
+
+from repro.fabric.coordinator import Coordinator, FabricSweep, WorkerNode
+from repro.fabric.shards import Shard, partition, split
+from repro.fabric.store import ResultStore
+
+__all__ = [
+    "Coordinator",
+    "FabricSweep",
+    "ResultStore",
+    "Shard",
+    "WorkerNode",
+    "partition",
+    "split",
+]

@@ -1,0 +1,127 @@
+"""Fleet-shared content-addressed result store.
+
+The coordinator and every worker key results by
+:func:`repro.experiments.cache.usecase_key` — a machine-independent
+content hash over (use case, seed, optimizer options, code version) —
+so one store serves the whole fleet: a worker that computes a case any
+other node already finished is deduplicated by key, not by luck.
+
+The store is an in-memory overlay over an optional
+:class:`~repro.experiments.cache.SweepDiskCache`.  The overlay makes
+the coordinator's hot path (merging shard results, replaying the
+stream to late subscribers) free of disk reads and JSON parses; the
+disk layer is what actually crosses node boundaries when workers share
+a filesystem, and what makes a coordinator restart cheap.
+
+Duplicate puts are the *normal* outcome of work-stealing — a stolen
+shard races its straggling origin, and whichever finishes second hits
+an already-present key.  Results are deterministic, so the duplicate
+is simply dropped and counted (``duplicates``); nothing ever
+overwrites a result with a different one.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.experiments.cache import SweepDiskCache, resolve_cache_max_bytes
+from repro.experiments.usecase import UseCaseResult
+
+
+class ResultStore:
+    """Keyed result map with an optional shared disk layer.
+
+    Thread-safe: the coordinator's asyncio loop and the service's
+    worker threads may touch it concurrently.
+
+    Attributes:
+        puts: Results accepted into the overlay.
+        duplicates: Puts dropped because the key was already present
+            (speculative clones finishing after their origin).
+        disk_hits: Lookups served from the shared disk cache.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Union[None, str, Path] = None,
+        max_bytes: Optional[int] = None,
+    ):
+        self._memory: Dict[str, UseCaseResult] = {}
+        self._lock = threading.Lock()
+        self.disk: Optional[SweepDiskCache] = None
+        if cache_dir is not None:
+            cap = (
+                max_bytes
+                if max_bytes is not None
+                else resolve_cache_max_bytes()
+            )
+            self.disk = SweepDiskCache(Path(cache_dir), max_bytes=cap)
+        self.puts = 0
+        self.duplicates = 0
+        self.disk_hits = 0
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._memory
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._memory)
+
+    def get(self, key: str) -> Optional[UseCaseResult]:
+        """The result under a key: overlay first, then shared disk.
+
+        A disk hit is promoted into the overlay so the parse happens
+        once per coordinator lifetime, not once per reader.
+        """
+        with self._lock:
+            hit = self._memory.get(key)
+        if hit is not None:
+            return hit
+        if self.disk is None:
+            return None
+        result = self.disk.get(key)
+        if result is None:
+            return None
+        with self._lock:
+            if key not in self._memory:
+                self._memory[key] = result
+                self.disk_hits += 1
+            return self._memory[key]
+
+    def put(self, key: str, result: UseCaseResult) -> bool:
+        """Accept a result; returns ``False`` for a duplicate key.
+
+        First writer wins — results are deterministic, so the losing
+        duplicate (a steal racing its origin, a worker double-report)
+        carries the same payload and is dropped, not compared.
+        """
+        with self._lock:
+            if key in self._memory:
+                self.duplicates += 1
+                return False
+            self._memory[key] = result
+            self.puts += 1
+        if self.disk is not None:
+            self.disk.put(key, result)
+        return True
+
+    def missing(self, keys: Iterable[str]) -> List[str]:
+        """The subset of ``keys`` not yet resolvable (overlay or disk)."""
+        return [key for key in keys if self.get(key) is None]
+
+    def stats(self) -> Dict[str, int]:
+        """Counters for telemetry and ``/healthz``."""
+        with self._lock:
+            size = len(self._memory)
+        data = {
+            "results": size,
+            "puts": self.puts,
+            "duplicates": self.duplicates,
+            "disk_hits": self.disk_hits,
+        }
+        if self.disk is not None:
+            data["disk_discarded"] = self.disk.discarded
+        return data

@@ -1,0 +1,155 @@
+"""SSE event + chunked transfer framing for the live result feed.
+
+The coordinator turns a sweep from a batch job into a stream: every
+merged case becomes a Server-Sent Event the moment its shard lands,
+carried over HTTP/1.1 chunked transfer encoding (the response has no
+known length while the sweep runs).  This module owns both framings —
+the server side (:func:`sse_event`, :func:`chunk`) and the client side
+(:func:`iter_chunks`, :func:`iter_sse`) — so the encoder and parser
+can never drift apart.
+
+Event vocabulary (``event:`` field):
+
+``case``
+    One merged use-case result (``sweep_case_to_json`` payload plus
+    grid ``index`` / cache ``key`` / originating ``worker``).
+``failure``
+    One permanently failed case (``failure_to_json`` payload) — a
+    worker dying mid-sweep surfaces here as structured data, never as
+    a truncated read.
+``progress``
+    Periodic counters (completed / failed / total / inflight shards).
+``done``
+    Terminal summary; the stream closes after it.
+
+A stream that ends without a ``done`` event means the *coordinator*
+died; :meth:`ServiceClient.stream_sweep` raises in that case rather
+than silently yielding a partial grid.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, Iterator, Optional, Tuple
+
+#: Terminal chunk of a chunked transfer body.
+CHUNK_END = b"0\r\n\r\n"
+
+#: Headers of the SSE response (sent before the first chunk).
+SSE_HEADERS = (
+    ("Content-Type", "text/event-stream; charset=utf-8"),
+    ("Cache-Control", "no-store"),
+    ("Transfer-Encoding", "chunked"),
+)
+
+
+def sse_event(event: str, data: Dict[str, Any]) -> bytes:
+    """One Server-Sent Event: ``event:`` + single-line ``data:`` JSON."""
+    blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+    return f"event: {event}\ndata: {blob}\n\n".encode("utf-8")
+
+
+def chunk(payload: bytes) -> bytes:
+    """Wrap a payload as one HTTP/1.1 chunk (hex length framing)."""
+    return f"{len(payload):x}\r\n".encode("ascii") + payload + b"\r\n"
+
+
+# ----------------------------------------------------------------------
+# client-side parsing
+# ----------------------------------------------------------------------
+def iter_chunks(recv: Iterable[bytes]) -> Iterator[bytes]:
+    """De-chunk a transfer-encoded body from an iterable of raw reads.
+
+    ``recv`` yields whatever the socket produced — chunk boundaries do
+    not align with read boundaries, so this buffers across reads.
+    Stops cleanly at the terminal ``0``-length chunk; a source that
+    ends before it raises ``ConnectionError`` (truncated stream) so a
+    dead server is never mistaken for a complete one.
+    """
+    buffer = b""
+    source = iter(recv)
+
+    def fill() -> bool:
+        nonlocal buffer
+        try:
+            data = next(source)
+        except StopIteration:
+            return False
+        if not data:
+            return False
+        buffer += data
+        return True
+
+    while True:
+        # Read the chunk-size line.
+        while b"\r\n" not in buffer:
+            if not fill():
+                raise ConnectionError(
+                    "chunked stream truncated in chunk-size line"
+                )
+        line, buffer = buffer.split(b"\r\n", 1)
+        # Chunk extensions (";...") are allowed by the RFC; ignore them.
+        size_token = line.split(b";", 1)[0].strip()
+        try:
+            size = int(size_token, 16)
+        except ValueError:
+            raise ConnectionError(
+                f"malformed chunk size {size_token!r}"
+            )
+        if size == 0:
+            return
+        while len(buffer) < size + 2:  # payload + trailing CRLF
+            if not fill():
+                raise ConnectionError(
+                    "chunked stream truncated mid-chunk"
+                )
+        payload, buffer = buffer[:size], buffer[size + 2:]
+        yield payload
+
+
+def iter_sse(
+    payloads: Iterable[bytes],
+) -> Iterator[Tuple[str, Any]]:
+    """Parse SSE events out of de-chunked payload bytes.
+
+    Yields ``(event, decoded-data)`` tuples.  Event boundaries are the
+    blank line of the SSE framing and need not align with chunk
+    boundaries.  Data lines that are not JSON surface as raw strings
+    (forward compatibility with non-JSON events).
+    """
+    buffer = b""
+    for payload in payloads:
+        buffer += payload
+        while b"\n\n" in buffer:
+            block, buffer = buffer.split(b"\n\n", 1)
+            parsed = parse_sse_block(block.decode("utf-8"))
+            if parsed is not None:
+                yield parsed
+    if buffer.strip():
+        parsed = parse_sse_block(buffer.decode("utf-8"))
+        if parsed is not None:
+            yield parsed
+
+
+def parse_sse_block(block: str) -> Optional[Tuple[str, Any]]:
+    """One SSE block -> ``(event, data)``, or ``None`` for noise.
+
+    Comment lines (``:`` prefix, used as keep-alives) and blocks
+    without a ``data:`` field are dropped.
+    """
+    event = "message"
+    data_lines = []
+    for line in block.splitlines():
+        if not line or line.startswith(":"):
+            continue
+        if line.startswith("event:"):
+            event = line[len("event:"):].strip()
+        elif line.startswith("data:"):
+            data_lines.append(line[len("data:"):].strip())
+    if not data_lines:
+        return None
+    joined = "\n".join(data_lines)
+    try:
+        return event, json.loads(joined)
+    except ValueError:
+        return event, joined

@@ -1,0 +1,120 @@
+"""One-shot asyncio HTTP client the coordinator drives workers with.
+
+The blocking :class:`~repro.service.client.ServiceClient` would stall
+the coordinator's event loop, and ``http.client`` cannot share a loop
+at all — so dispatching shards needs a minimal async HTTP/1.1 client.
+One request per connection (``Connection: close``), JSON in, JSON out,
+mirroring exactly what the service's own :class:`_Response` emits.
+
+Failures surface as :class:`WorkerUnreachable` — the caller (the
+lease scheduler) treats an unreachable worker like an expired lease:
+requeue the shard, mark the worker suspect.  No retries happen here;
+retry policy lives in the scheduler where it can count against the
+shard's attempt budget.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ServiceError
+
+#: Response body ceiling — a sweep-result document for a large shard
+#: is a few MiB; anything past this is a protocol violation.
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+
+class WorkerUnreachable(ServiceError):
+    """A worker node could not be reached or answered garbage."""
+
+    def __init__(self, url: str, detail: str):
+        super().__init__(f"worker {url} unreachable: {detail}", status=503)
+        self.url = url
+        self.detail = detail
+
+
+def split_base_url(base_url: str) -> Tuple[str, int]:
+    """``http://host:port`` -> ``(host, port)``; validates the scheme."""
+    parts = urlsplit(base_url)
+    if parts.scheme != "http" or not parts.hostname:
+        raise ServiceError(
+            f"worker url must be http://host:port, got {base_url!r}",
+            status=400,
+        )
+    return parts.hostname, parts.port or 80
+
+
+async def http_json(
+    base_url: str,
+    method: str,
+    path: str,
+    body: Optional[Dict[str, Any]] = None,
+    timeout_s: float = 10.0,
+) -> Tuple[int, Any]:
+    """One JSON request against a node; returns ``(status, decoded)``.
+
+    Network errors, timeouts and undecodable bodies all raise
+    :class:`WorkerUnreachable`; HTTP error *statuses* do not — the
+    scheduler distinguishes "node said no" (e.g. 429 backpressure)
+    from "node is gone".
+    """
+    host, port = split_base_url(base_url)
+    payload = b""
+    headers = [
+        f"{method} {path} HTTP/1.1",
+        f"Host: {host}:{port}",
+        "Connection: close",
+        "Accept: application/json",
+    ]
+    if body is not None:
+        payload = json.dumps(body).encode("utf-8")
+        headers.append("Content-Type: application/json")
+    headers.append(f"Content-Length: {len(payload)}")
+    request = "\r\n".join(headers).encode("ascii") + b"\r\n\r\n" + payload
+
+    writer = None
+    try:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(host, port), timeout=timeout_s
+        )
+        writer.write(request)
+        await asyncio.wait_for(writer.drain(), timeout=timeout_s)
+        raw = await asyncio.wait_for(
+            reader.read(MAX_BODY_BYTES), timeout=timeout_s
+        )
+    except asyncio.TimeoutError:
+        raise WorkerUnreachable(base_url, f"timeout after {timeout_s:g}s")
+    except OSError as exc:
+        raise WorkerUnreachable(base_url, str(exc))
+    finally:
+        if writer is not None:
+            try:
+                writer.close()
+            except Exception:
+                pass
+    return parse_response(base_url, raw)
+
+
+def parse_response(base_url: str, raw: bytes) -> Tuple[int, Any]:
+    """Split a full HTTP/1.1 response into ``(status, decoded body)``."""
+    head, sep, body = raw.partition(b"\r\n\r\n")
+    if not sep:
+        raise WorkerUnreachable(base_url, "truncated response")
+    try:
+        status_line = head.split(b"\r\n", 1)[0].decode("ascii")
+        status = int(status_line.split(" ", 2)[1])
+    except (IndexError, ValueError, UnicodeDecodeError):
+        raise WorkerUnreachable(base_url, "malformed status line")
+    if not body.strip():
+        return status, None
+    try:
+        return status, json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        # Text bodies (e.g. /metrics expositions) pass through raw.
+        try:
+            return status, body.decode("utf-8")
+        except UnicodeDecodeError:
+            raise WorkerUnreachable(base_url, "undecodable response body")

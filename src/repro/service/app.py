@@ -18,6 +18,26 @@ Routes:
 ``GET /healthz``      liveness + queue/executor facts
 ``GET /metrics``      Prometheus text exposition
 ====================  ====================================================
+
+With ``coordinator=True`` (``repro serve --coordinator``) the fabric
+routes join in:
+
+============================  ========================================
+``POST /v1/fabric/workers``   register a worker node
+``GET /v1/fabric/workers``    the fleet roster
+``POST /v1/fabric/sweeps``    submit a distributed sweep (202)
+``GET /v1/fabric/sweeps/<id>``          sweep record / progress
+``GET /v1/fabric/sweeps/<id>/result``   merged document (409 running)
+``GET /v1/fabric/sweeps/<id>/stream``   live SSE feed (chunked)
+============================  ========================================
+
+and ``GET /metrics`` becomes the fleet-merged exposition (local
+registry + every reachable worker's ``/metrics``, samples summed).
+
+Handlers may be coroutines (the fabric ones are — they await worker
+round-trips), and may return a :class:`_StreamResponse` whose body is
+an async byte generator driven with chunked transfer framing — that is
+how a sweep's result feed streams while it runs.
 """
 
 from __future__ import annotations
@@ -25,7 +45,7 @@ from __future__ import annotations
 import asyncio
 import json
 import threading
-from typing import Any, Dict, Optional, Tuple, Union
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError, QueueFullError, ServiceError
 from repro.service.jobs import (
@@ -106,6 +126,32 @@ class _Response:
         return ("\r\n".join(head) + "\r\n\r\n").encode("ascii") + body
 
 
+class _StreamResponse:
+    """A chunked-transfer response whose body is an async generator.
+
+    ``body`` yields *payload* bytes; the connection handler applies the
+    chunk framing and the terminal chunk.  Used by the fabric's SSE
+    feed — the response has no known length while the sweep runs.
+    """
+
+    def __init__(self, status: int, body,
+                 headers: Optional[Dict[str, str]] = None):
+        self.status = status
+        self.body = body
+        self.headers = headers or {}
+
+    def encode_head(self) -> bytes:
+        reason = _REASONS.get(self.status, "Status")
+        head = [
+            f"HTTP/1.1 {self.status} {reason}",
+            "Transfer-Encoding: chunked",
+            "Connection: close",
+        ]
+        for name, value in self.headers.items():
+            head.append(f"{name}: {value}")
+        return ("\r\n".join(head) + "\r\n\r\n").encode("ascii")
+
+
 async def _read_request(reader: "asyncio.StreamReader") -> Optional[_Request]:
     """Parse one request; ``None`` when the client hung up early.
 
@@ -161,22 +207,32 @@ async def _read_request(reader: "asyncio.StreamReader") -> Optional[_Request]:
 
 
 class ServiceApp:
-    """Routing over a :class:`JobManager` + telemetry + executor."""
+    """Routing over a :class:`JobManager` + telemetry + executor.
 
-    def __init__(self, manager: JobManager, telemetry: ServiceTelemetry):
+    With a ``coordinator`` attached the app also serves the fabric
+    routes and the fleet-merged metrics view.
+    """
+
+    def __init__(self, manager: JobManager, telemetry: ServiceTelemetry,
+                 coordinator=None):
         self.manager = manager
         self.telemetry = telemetry
         self.executor = manager.executor
+        self.coordinator = coordinator
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> None:
-        """Start the manager's dispatcher tasks."""
+        """Start the manager's dispatcher tasks (and the scheduler)."""
         await self.manager.start()
+        if self.coordinator is not None:
+            await self.coordinator.start()
 
     async def close(self) -> None:
-        """Stop dispatchers and the compute pool."""
+        """Stop dispatchers, the scheduler, and the compute pool."""
+        if self.coordinator is not None:
+            await self.coordinator.close()
         await self.manager.close()
         self.executor.shutdown()
 
@@ -187,7 +243,9 @@ class ServiceApp:
         """``asyncio.start_server`` callback: one request, one response."""
         try:
             response = await self._safe_respond(reader)
-            if response is not None:
+            if isinstance(response, _StreamResponse):
+                await self._drive_stream(response, writer)
+            elif response is not None:
                 writer.write(response.encode())
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
@@ -198,7 +256,26 @@ class ServiceApp:
             except Exception:
                 pass
 
-    async def _safe_respond(self, reader) -> Optional[_Response]:
+    async def _drive_stream(self, response: _StreamResponse,
+                            writer) -> None:
+        """Write a streamed body with chunked transfer framing.
+
+        A failure mid-stream (the generator raised, the client went
+        away) simply closes the connection *without* the terminal
+        chunk — the client's de-chunker turns that into a structured
+        truncation error instead of a silently short document.
+        """
+        from repro.fabric.stream import CHUNK_END, chunk
+
+        writer.write(response.encode_head())
+        await writer.drain()
+        async for payload in response.body:
+            writer.write(chunk(payload))
+            await writer.drain()
+        writer.write(CHUNK_END)
+        await writer.drain()
+
+    async def _safe_respond(self, reader):
         try:
             request = await _read_request(reader)
         except ServiceError as exc:
@@ -210,6 +287,8 @@ class ServiceApp:
         self.telemetry.http_requests.inc()
         try:
             response = self.route(request)
+            if asyncio.iscoroutine(response):
+                response = await response
         except ProtocolError as exc:
             response = _Response(400, {"error": str(exc)})
         except QueueFullError as exc:
@@ -224,20 +303,31 @@ class ServiceApp:
             response = _Response(
                 500, {"error": f"{type(exc).__name__}: {exc}"}
             )
-        if response.status >= 400:
+        if not isinstance(response, _StreamResponse) and response.status >= 400:
             self.telemetry.http_errors.inc()
         return response
 
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
-    def route(self, request: _Request) -> _Response:
-        """Dispatch one parsed request to its handler."""
+    def route(self, request: _Request):
+        """Dispatch one parsed request to its handler.
+
+        May return an :class:`_Response`, a coroutine resolving to one
+        (awaited by :meth:`_safe_respond`), or a
+        :class:`_StreamResponse`.
+        """
         method, path = request.method, request.path.rstrip("/") or "/"
         if path == "/healthz":
             return self._require(method, "GET", self._healthz)(request)
         if path == "/metrics":
+            if self.coordinator is not None:
+                return self._require(
+                    method, "GET", self._fleet_metrics
+                )(request)
             return self._require(method, "GET", self._metrics)(request)
+        if path.startswith("/v1/fabric/"):
+            return self._route_fabric(method, path, request)
         if path == "/v1/jobs":
             return self._require(method, "POST", self._submit)(request)
         if path.startswith("/v1/jobs/"):
@@ -262,6 +352,115 @@ class ServiceApp:
                 f"{method} not allowed here (use {expected})", status=405
             )
         return handler
+
+    # ------------------------------------------------------------------
+    # fabric routing + handlers
+    # ------------------------------------------------------------------
+    def _route_fabric(self, method: str, path: str, request: _Request):
+        if self.coordinator is None:
+            raise ServiceError(
+                "this node is not a coordinator "
+                "(start it with repro serve --coordinator)",
+                status=404,
+            )
+        if path == "/v1/fabric/workers":
+            if method == "POST":
+                return self._fabric_register(request)
+            if method == "GET":
+                return _Response(200, {
+                    "workers": [
+                        w.to_json()
+                        for w in self.coordinator.workers.values()
+                    ],
+                })
+            raise ServiceError(f"{method} not allowed here", status=405)
+        if path == "/v1/fabric/sweeps":
+            return self._require(
+                method, "POST", self._fabric_submit)(request)
+        if path.startswith("/v1/fabric/sweeps/"):
+            rest = path[len("/v1/fabric/sweeps/"):]
+            sweep_id, _, tail = rest.partition("/")
+            sweep = self.coordinator.get_sweep(sweep_id)
+            if sweep is None:
+                raise ServiceError(
+                    f"unknown sweep {sweep_id!r}", status=404)
+            if tail == "":
+                return self._require(
+                    method, "GET",
+                    lambda _req: _Response(200, {"sweep": sweep.to_json()})
+                )(request)
+            if tail == "result":
+                return self._require(
+                    method, "GET",
+                    lambda _req: self._fabric_result(sweep)
+                )(request)
+            if tail == "stream":
+                return self._require(
+                    method, "GET",
+                    lambda _req: self._fabric_stream(sweep)
+                )(request)
+        raise ServiceError(f"no route for {method} {path}", status=404)
+
+    def _fabric_register(self, request: _Request) -> _Response:
+        from repro.service.protocol import parse_worker_registration
+
+        url, capacity = parse_worker_registration(request.json())
+        node = self.coordinator.register_worker(url, capacity=capacity)
+        return _Response(200, {"worker": node.to_json()})
+
+    def _fabric_submit(self, request: _Request) -> _Response:
+        from repro.service.protocol import parse_fabric_sweep
+
+        tenant, params = parse_fabric_sweep(request.json())
+        sweep = self.coordinator.submit_sweep(tenant, params)
+        return _Response(202, {"sweep": sweep.to_json()})
+
+    def _fabric_result(self, sweep) -> _Response:
+        if not sweep.done:
+            return _Response(
+                409,
+                {"id": sweep.id, "state": sweep.state,
+                 "error": "sweep still running"},
+                headers={"Retry-After": "1"},
+            )
+        return _Response(
+            200,
+            {"id": sweep.id, "state": sweep.state,
+             "result": sweep.result_document()},
+        )
+
+    def _fabric_stream(self, sweep) -> _StreamResponse:
+        from repro.fabric.stream import SSE_HEADERS, sse_event
+
+        async def feed():
+            replay, queue = sweep.subscribe()
+            try:
+                saw_done = False
+                for event, data in replay:
+                    yield sse_event(event, data)
+                    saw_done = saw_done or event == "done"
+                while not saw_done:
+                    event, data = await queue.get()
+                    yield sse_event(event, data)
+                    saw_done = event == "done"
+            finally:
+                sweep.unsubscribe(queue)
+
+        headers = {
+            name: value for name, value in SSE_HEADERS
+            if name != "Transfer-Encoding"  # the framing layer adds it
+        }
+        return _StreamResponse(200, feed(), headers=headers)
+
+    async def _fleet_metrics(self, _request: _Request) -> _Response:
+        from repro.service.telemetry import merge_expositions
+
+        texts = [self.telemetry.render()]
+        texts.extend(await self.coordinator.fleet_expositions())
+        return _Response(
+            200, merge_expositions(texts),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
 
     # ------------------------------------------------------------------
     # handlers
@@ -314,12 +513,15 @@ class ServiceApp:
     def _healthz(self, _request: _Request) -> _Response:
         import repro
 
-        return _Response(200, {
+        payload = {
             "status": "ok",
             "version": repro.__version__,
             "jobs": self.manager.stats(),
             "executor": self.executor.describe(),
-        })
+        }
+        if self.coordinator is not None:
+            payload["fabric"] = self.coordinator.stats()
+        return _Response(200, payload)
 
     def _metrics(self, _request: _Request) -> _Response:
         return _Response(
@@ -338,12 +540,24 @@ def build_service(
     max_queue: int = 64,
     job_timeout_s: Optional[float] = 600.0,
     dispatchers: Optional[int] = None,
+    coordinator: bool = False,
+    worker_urls: Sequence[str] = (),
+    lease_timeout_s: float = 120.0,
+    steal_after_s: float = 5.0,
+    shard_size: Optional[int] = None,
 ) -> ServiceApp:
     """Wire executor + telemetry + job manager into a routable app.
 
     Call from inside the event loop that will run the server (the job
     queue binds to it).  ``executor`` is injectable so tests can drive
     the queue with a hand-controlled backend.
+
+    With ``coordinator=True`` a fabric :class:`~repro.fabric.
+    coordinator.Coordinator` is attached, sharing the node's cache
+    directory as the fleet result store.  ``worker_urls`` pre-registers
+    workers named up front (``--worker-url``) with capacity 1 each;
+    self-registering workers (``--coordinator-url``) report their real
+    pool size instead.
     """
     from repro.service.executor import AnalysisExecutor
 
@@ -362,7 +576,22 @@ def build_service(
         job_timeout_s=job_timeout_s,
         dispatchers=dispatchers,
     )
-    return ServiceApp(manager, telemetry)
+    coord = None
+    if coordinator:
+        from repro.experiments.cache import resolve_cache_dir
+        from repro.fabric.coordinator import Coordinator
+        from repro.fabric.store import ResultStore
+
+        coord = Coordinator(
+            store=ResultStore(cache_dir=resolve_cache_dir(cache_dir)),
+            telemetry=telemetry,
+            lease_timeout_s=lease_timeout_s,
+            steal_after_s=steal_after_s,
+            shard_size=shard_size,
+        )
+        for url in worker_urls:
+            coord.register_worker(url)
+    return ServiceApp(manager, telemetry, coordinator=coord)
 
 
 async def run_server(

@@ -1,26 +1,38 @@
 """Blocking Python client for the analysis service.
 
 :class:`ServiceClient` wraps the job protocol in synchronous calls —
-submit, poll, fetch, cancel — with retry + exponential backoff on the
-two transient statuses the server emits under load (429 queue-full,
-503) and on connection errors during server startup.  A server-sent
-``Retry-After`` always wins over the computed backoff.
+submit, poll, fetch, cancel — with retry + *full-jitter* exponential
+backoff on the two transient statuses the server emits under load
+(429 queue-full, 503) and on connection errors during server startup.
+
+Jitter matters at fleet scale: when a coordinator restarts, every
+worker and client sees the same connection error at the same instant —
+deterministic exponential backoff would march them all back in
+lockstep, a thundering herd at exactly the moment the service is
+weakest.  Full jitter (delay drawn uniformly from ``[0, cap]``) spreads
+the retries across the whole window instead.  A server-sent
+``Retry-After`` is honoured with *equal* jitter (at least half the
+hint, never more than the hint), so an explicit hint still bounds the
+wait from both sides.
 
     client = ServiceClient("127.0.0.1", 8080)
     job = client.submit("optimize", program="fdct", config="k1")
     result = client.result(job["id"], timeout=120.0)
     print(result["tau_original"], "->", result["tau_final"])
 
-The ``sleep`` hook is injectable so tests exercise the backoff schedule
-without real waiting.
+The ``sleep`` and ``rng`` hooks are injectable so tests exercise the
+backoff schedule without real waiting or real randomness
+(``rng=lambda: 1.0`` reproduces the old deterministic schedule).
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
+import socket
 import time
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
 
 from repro.errors import ServiceError
 
@@ -28,9 +40,36 @@ from repro.errors import ServiceError
 RETRYABLE_STATUSES = (429, 503)
 
 
-def backoff_delay(attempt: int, base: float = 0.1, cap: float = 2.0) -> float:
-    """Exponential backoff: ``base * 2**attempt``, capped at ``cap``."""
-    return min(cap, base * (2 ** attempt))
+def backoff_delay(
+    attempt: int,
+    base: float = 0.1,
+    cap: float = 2.0,
+    rng: Optional[Callable[[], float]] = None,
+) -> float:
+    """Full-jitter exponential backoff (AWS style).
+
+    The delay is ``rng() * min(cap, base * 2**attempt)`` with ``rng``
+    uniform on ``[0, 1)`` — the exponential term bounds the window,
+    the jitter decorrelates a fleet retrying in unison.  Pass
+    ``rng=lambda: 1.0`` for the deterministic upper envelope.
+    """
+    if rng is None:
+        rng = random.random
+    return rng() * min(cap, base * (2 ** attempt))
+
+
+def retry_after_delay(
+    hint: float, rng: Optional[Callable[[], float]] = None
+) -> float:
+    """Equal-jitter delay for a server-sent ``Retry-After`` hint.
+
+    Uniform on ``[hint/2, hint]``: never sooner than half the hint
+    (the server asked for breathing room), never later than the hint
+    itself (``rng=lambda: 1.0`` gives exactly the hint).
+    """
+    if rng is None:
+        rng = random.random
+    return hint * 0.5 + rng() * hint * 0.5
 
 
 class ServiceClient:
@@ -44,6 +83,8 @@ class ServiceClient:
         backoff_base / backoff_cap: The exponential schedule
             (:func:`backoff_delay`).
         sleep: Injectable ``time.sleep`` replacement for tests.
+        rng: Injectable uniform-[0,1) source for the jitter
+            (``lambda: 1.0`` makes every delay deterministic).
     """
 
     def __init__(
@@ -55,6 +96,7 @@ class ServiceClient:
         backoff_base: float = 0.1,
         backoff_cap: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
     ):
         self.host = host
         self.port = port
@@ -63,6 +105,7 @@ class ServiceClient:
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
         self._sleep = sleep
+        self._rng = rng
 
     # ------------------------------------------------------------------
     # transport
@@ -114,16 +157,17 @@ class ServiceClient:
                         f"{self.host}:{self.port}: {exc}"
                     ) from exc
                 self._sleep(backoff_delay(attempt, self.backoff_base,
-                                          self.backoff_cap))
+                                          self.backoff_cap, rng=self._rng))
                 attempt += 1
                 continue
             if status < 400:
                 return decoded
             retry_after = _parse_retry_after(headers.get("retry-after"))
             if status in RETRYABLE_STATUSES and attempt < retries:
-                delay = (retry_after if retry_after is not None
+                delay = (retry_after_delay(retry_after, rng=self._rng)
+                         if retry_after is not None
                          else backoff_delay(attempt, self.backoff_base,
-                                            self.backoff_cap))
+                                            self.backoff_cap, rng=self._rng))
                 self._sleep(delay)
                 attempt += 1
                 continue
@@ -184,6 +228,121 @@ class ServiceClient:
         return self.result(job["id"], timeout=timeout)
 
     # ------------------------------------------------------------------
+    # the fabric protocol (coordinator nodes only)
+    # ------------------------------------------------------------------
+    def register_worker(self, url: str, capacity: int = 1) -> Dict[str, Any]:
+        """Register a worker node with a coordinator; returns its record."""
+        body = {"url": url, "capacity": capacity}
+        return self._request("POST", "/v1/fabric/workers", body=body)["worker"]
+
+    def submit_fabric_sweep(self, tenant: str = "default",
+                            **params: Any) -> Dict[str, Any]:
+        """Submit a distributed sweep; returns its record (with ``id``)."""
+        body = {"tenant": tenant, "params": params}
+        return self._request("POST", "/v1/fabric/sweeps", body=body)["sweep"]
+
+    def fabric_sweep(self, sweep_id: str) -> Dict[str, Any]:
+        """The current record of a distributed sweep."""
+        return self._request("GET", f"/v1/fabric/sweeps/{sweep_id}")["sweep"]
+
+    def fabric_result(self, sweep_id: str, timeout: float = 300.0,
+                      poll_interval: float = 0.1) -> Dict[str, Any]:
+        """Block until a distributed sweep finishes; returns its document.
+
+        The result endpoint answers 409 + ``Retry-After`` while shards
+        are still in flight, so this polls rather than leaning on the
+        retry loop (a long sweep would exhaust ``max_retries``).
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self._request(
+                    "GET", f"/v1/fabric/sweeps/{sweep_id}/result",
+                    max_retries=0,
+                )["result"]
+            except ServiceError as exc:
+                if exc.status != 409:
+                    raise
+            if time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"fabric sweep {sweep_id} still running after "
+                    f"{timeout:g}s"
+                )
+            self._sleep(poll_interval)
+
+    def stream_sweep(self, sweep_id: str
+                     ) -> Iterator[Tuple[str, Any]]:
+        """Live results of a distributed sweep as ``(event, data)`` pairs.
+
+        Connects to ``/v1/fabric/sweeps/<id>/stream`` and yields each
+        server-sent event as it lands: ``case`` / ``failure`` /
+        ``progress`` and finally ``done``.  Uses a raw socket because
+        ``http.client`` buffers and de-chunks — we need each chunk the
+        moment it arrives, and we need to *see* the chunked framing to
+        tell a clean end from a coordinator dying mid-stream.
+
+        Raises :class:`ServiceError` if the connection fails, the
+        server rejects the stream, the chunked framing is truncated, or
+        the stream ends without a terminal ``done`` event (all three of
+        which mean the results are incomplete).
+        """
+        from repro.fabric.stream import iter_chunks, iter_sse
+
+        path = f"/v1/fabric/sweeps/{sweep_id}/stream"
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot reach service at {self.host}:{self.port}: {exc}"
+            ) from exc
+        try:
+            request = (
+                f"GET {path} HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                f"Accept: text/event-stream\r\n"
+                f"Connection: close\r\n\r\n"
+            )
+            sock.sendall(request.encode("ascii"))
+            status, leftover = _read_stream_head(sock)
+            if status != 200:
+                raise ServiceError(
+                    f"GET {path} -> {status}", status=status
+                )
+
+            def reads() -> Iterator[bytes]:
+                nonlocal leftover
+                if leftover:
+                    data, leftover = leftover, b""
+                    yield data
+                while True:
+                    data = sock.recv(65536)
+                    if not data:
+                        return
+                    yield data
+
+            saw_done = False
+            try:
+                for event, data in iter_sse(iter_chunks(reads())):
+                    yield event, data
+                    if event == "done":
+                        saw_done = True
+                        break
+            except (ConnectionError, OSError) as exc:
+                raise ServiceError(
+                    f"fabric stream for {sweep_id} broke mid-sweep: "
+                    f"{exc}"
+                ) from exc
+            if not saw_done:
+                raise ServiceError(
+                    f"fabric stream for {sweep_id} ended without a "
+                    f"'done' event; results are incomplete"
+                )
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------
     # operational endpoints
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -193,6 +352,33 @@ class ServiceClient:
     def metrics(self) -> str:
         """The raw ``/metrics`` text exposition."""
         return self._request("GET", "/metrics")
+
+
+def _read_stream_head(sock: "socket.socket") -> Tuple[int, bytes]:
+    """Read the HTTP response head off a raw socket.
+
+    Returns ``(status, leftover)`` where ``leftover`` is any body bytes
+    that arrived in the same reads as the head — they belong to the
+    chunked stream and must be replayed before the next ``recv``.
+    """
+    buffer = b""
+    while b"\r\n\r\n" not in buffer:
+        data = sock.recv(65536)
+        if not data:
+            raise ServiceError(
+                "connection closed before the response head arrived"
+            )
+        buffer += data
+        if len(buffer) > 65536:
+            raise ServiceError("response head exceeds 64KiB")
+    head, leftover = buffer.split(b"\r\n\r\n", 1)
+    status_line = head.split(b"\r\n", 1)[0].decode("ascii", errors="replace")
+    parts = status_line.split(" ", 2)
+    try:
+        status = int(parts[1])
+    except (IndexError, ValueError):
+        raise ServiceError(f"malformed status line: {status_line!r}")
+    return status, leftover
 
 
 def _parse_retry_after(value: Optional[str]) -> Optional[float]:

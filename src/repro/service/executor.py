@@ -87,6 +87,14 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
     params = payload["params"]
     cache_dir = payload.get("cache_dir")
 
+    if kind == "shard":
+        # Fabric shard: an explicit case list from a coordinator.  The
+        # per-case retry/fault semantics and the result documents live
+        # with the rest of the fabric code.
+        from repro.fabric.worker import execute_shard
+
+        return execute_shard(params, cache_dir)
+
     if kind == "sweep":
         from repro.experiments.metrics import SweepMetrics
         from repro.experiments.sweep import SweepSpec, run_sweep
@@ -98,6 +106,7 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
             seed=params["seed"],
             max_evaluations=params["budget"],
             baseline=params["baseline"],
+            kernel=params.get("kernel"),
         )
         metrics = SweepMetrics()
         # Never raise on per-case failures: the job's response document
@@ -165,10 +174,10 @@ class AnalysisExecutor:
     def probe_cache(self, request: JobRequest) -> Optional[Dict[str, Any]]:
         """The response document if the disk cache already holds it.
 
-        Only the point kinds have whole-job records; sweep jobs reuse
-        the cache per use case inside the worker instead.
+        Only the point kinds have whole-job records; sweep and shard
+        jobs reuse the cache per use case inside the worker instead.
         """
-        if self.disk is None or request.kind == "sweep":
+        if self.disk is None or request.kind in ("sweep", "shard"):
             return None
         params = request.params_dict()
         result = self.disk.get(_point_key(params))
@@ -262,7 +271,7 @@ class AnalysisExecutor:
 
     def describe(self) -> Dict[str, Any]:
         """Backend facts for ``/healthz``."""
-        return {
+        data = {
             "workers": self.workers,
             "pool": (
                 "none" if self._pool is None
@@ -273,6 +282,15 @@ class AnalysisExecutor:
             "max_cache_bytes": self.max_cache_bytes,
             "pool_rebuilds": self.pool_rebuilds,
         }
+        if self.disk is not None:
+            data["cache"] = {
+                "hits": self.disk.hits,
+                "misses": self.disk.misses,
+                "discarded": self.disk.discarded,
+                "pruned": self.disk.pruned,
+                "prune_races": self.disk.prune_races,
+            }
+        return data
 
 
 def _pool_failure_types():

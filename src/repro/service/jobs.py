@@ -137,6 +137,7 @@ class Job:
             "id": self.id,
             "kind": self.request.kind,
             "params": self.request.params_dict(),
+            "fingerprint": self.request.fingerprint(),
             "state": self.state,
             "coalesced": self.coalesced,
             "cached": self.cached,

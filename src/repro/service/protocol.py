@@ -1,14 +1,21 @@
 """Job request/response schemas of the analysis service.
 
-A job is ``{"kind": ..., "params": {...}}``.  Three kinds exist,
-mirroring the CLI subcommands they serve:
+A job is ``{"kind": ..., "params": {...}}``.  Four kinds exist:
 
 * ``optimize`` — optimize one program for one cache/technology and
   report the optimizer's outcome plus the WCET guarantee;
 * ``usecase`` — the paper's paired original/optimized measurement of
   one use case (full serialized result + ratios);
 * ``sweep`` — a grid of use cases, returning per-case rows and the
-  aggregate summary (the same document as ``repro sweep --json``).
+  aggregate summary (the same document as ``repro sweep --json``);
+* ``shard`` — an explicit case list (not a product grid) dispatched by
+  a fabric coordinator; returns per-case serialized results keyed by
+  the fleet content hash (:mod:`repro.fabric`).
+
+The fabric coordinator adds two request families of its own —
+:func:`parse_fabric_sweep` (``POST /v1/fabric/sweeps``) and
+:func:`parse_worker_registration` (``POST /v1/fabric/workers``) —
+validated here with the same field-naming error discipline.
 
 :func:`parse_job` normalises a raw JSON payload into a
 :class:`JobRequest`: defaults are filled in, every field is validated
@@ -37,10 +44,22 @@ from repro.errors import ProtocolError
 from repro.experiments.cache import CODE_VERSION
 
 #: The job kinds the service accepts.
-JOB_KINDS = ("optimize", "usecase", "sweep")
+JOB_KINDS = ("optimize", "usecase", "sweep", "shard")
 
 #: Hard cap on the optimization budget a single job may request.
 MAX_BUDGET = 100_000
+
+#: Hard cap on the explicit case list of one shard job.
+MAX_SHARD_CASES = 256
+
+#: Optimizer kernels a request may select (``None`` = the optimizer's
+#: own default).
+KERNELS = ("python", "vectorized")
+
+#: The kernel the fabric submission path defaults to: the vectorized
+#: abstract-domain kernel is the soak-tested default at fleet scale
+#: (the differential CI job keeps it bit-identical to ``python``).
+FABRIC_DEFAULT_KERNEL = "vectorized"
 
 _BASELINES = ("classic", "persistence")
 
@@ -133,6 +152,15 @@ def _resolve_baseline(field: str, value: Any) -> str:
     return value
 
 
+def _resolve_kernel(field: str, value: Any) -> Optional[str]:
+    if value is None:
+        return None
+    if value not in KERNELS:
+        raise _fail(field,
+                    f"expected one of {KERNELS} or null, got {value!r}")
+    return value
+
+
 def _resolve_int(field: str, value: Any, minimum: int,
                  maximum: Optional[int] = None) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
@@ -203,13 +231,52 @@ def _parse_sweep_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...
                                    params.get("budget", 120))),
         ("seed", _resolve_int("params.seed", params.get("seed", 1),
                               minimum=0)),
+        ("kernel", _resolve_kernel("params.kernel",
+                                   params.get("kernel"))),
+    )
+
+
+def _resolve_case_list(field: str, value: Any) -> Tuple[Tuple[str, ...], ...]:
+    """An explicit ``[[program, config, tech], ...]`` shard case list."""
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _fail(field, f"expected a non-empty list of "
+                           f"[program, config, tech] triples, got {value!r}")
+    if len(value) > MAX_SHARD_CASES:
+        raise _fail(field, f"at most {MAX_SHARD_CASES} cases per shard, "
+                           f"got {len(value)}")
+    cases = []
+    for i, triple in enumerate(value):
+        if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+            raise _fail(f"{field}[{i}]",
+                        f"expected [program, config, tech], got {triple!r}")
+        cases.append((
+            _resolve_program(f"{field}[{i}].program", triple[0]),
+            _resolve_config(f"{field}[{i}].config", triple[1]),
+            _resolve_tech(f"{field}[{i}].tech", triple[2]),
+        ))
+    return tuple(cases)
+
+
+def _parse_shard_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return (
+        ("cases", _resolve_case_list("params.cases", params.get("cases"))),
+        ("baseline", _resolve_baseline("params.baseline",
+                                       params.get("baseline", "classic"))),
+        ("budget", _resolve_budget("params.budget",
+                                   params.get("budget", 120))),
+        ("seed", _resolve_int("params.seed", params.get("seed", 1),
+                              minimum=0)),
+        ("kernel", _resolve_kernel("params.kernel",
+                                   params.get("kernel"))),
     )
 
 
 _KNOWN_POINT_PARAMS = frozenset(
     ("program", "config", "tech", "baseline", "budget", "seed"))
 _KNOWN_SWEEP_PARAMS = frozenset(
-    ("programs", "configs", "techs", "baseline", "budget", "seed"))
+    ("programs", "configs", "techs", "baseline", "budget", "seed", "kernel"))
+_KNOWN_SHARD_PARAMS = frozenset(
+    ("cases", "baseline", "budget", "seed", "kernel"))
 
 
 def parse_job(payload: Any) -> JobRequest:
@@ -230,15 +297,96 @@ def parse_job(payload: Any) -> JobRequest:
     if not isinstance(params, Mapping):
         raise ProtocolError(
             f"params: expected a JSON object, got {type(params).__name__}")
-    known = _KNOWN_SWEEP_PARAMS if kind == "sweep" else _KNOWN_POINT_PARAMS
+    known = {
+        "sweep": _KNOWN_SWEEP_PARAMS,
+        "shard": _KNOWN_SHARD_PARAMS,
+    }.get(kind, _KNOWN_POINT_PARAMS)
     unknown = sorted(set(params) - known)
     if unknown:
         raise ProtocolError(
             f"params: unknown field(s) {unknown} for kind {kind!r}")
     if kind == "sweep":
         canonical = _parse_sweep_params(params)
+    elif kind == "shard":
+        canonical = _parse_shard_params(params)
     else:
         # Both point kinds default to the persistence baseline, like the
         # `repro optimize`/`repro usecase` CLI paths they serve.
         canonical = _parse_point_params(params, "persistence")
     return JobRequest(kind=kind, params=canonical)
+
+
+# ----------------------------------------------------------------------
+# fabric request families (coordinator endpoints)
+# ----------------------------------------------------------------------
+_TENANT_CHARS = frozenset(
+    "abcdefghijklmnopqrstuvwxyz0123456789-_")
+
+
+def _resolve_tenant(field: str, value: Any) -> str:
+    if value is None:
+        return "default"
+    if (not isinstance(value, str) or not value or len(value) > 64
+            or set(value) - _TENANT_CHARS):
+        raise _fail(field, "expected 1-64 chars of [a-z0-9_-], "
+                           f"got {value!r}")
+    return value
+
+
+def parse_fabric_sweep(payload: Any) -> Tuple[str, Dict[str, Any]]:
+    """Validate one ``POST /v1/fabric/sweeps`` body.
+
+    Returns ``(tenant, canonical sweep params dict)``.  The fabric
+    path defaults the optimizer kernel to
+    :data:`FABRIC_DEFAULT_KERNEL` (the single-node paths keep the
+    optimizer's own default) — ``"kernel": "python"`` stays
+    selectable per sweep.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"sweep must be a JSON object, got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"tenant", "params"})
+    if unknown:
+        raise ProtocolError(f"unknown field(s) {unknown} for a fabric sweep")
+    tenant = _resolve_tenant("tenant", payload.get("tenant"))
+    params = payload.get("params", {})
+    if not isinstance(params, Mapping):
+        raise ProtocolError(
+            f"params: expected a JSON object, got {type(params).__name__}")
+    unknown = sorted(set(params) - _KNOWN_SWEEP_PARAMS)
+    if unknown:
+        raise ProtocolError(
+            f"params: unknown field(s) {unknown} for a fabric sweep")
+    if "kernel" not in params:
+        params = dict(params)
+        params["kernel"] = FABRIC_DEFAULT_KERNEL
+    canonical = _parse_sweep_params(params)
+    return tenant, {
+        key: list(value) if isinstance(value, tuple) else value
+        for key, value in canonical
+    }
+
+
+def parse_worker_registration(payload: Any) -> Tuple[str, int]:
+    """Validate one ``POST /v1/fabric/workers`` body.
+
+    Returns ``(worker base url, capacity)``.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError(
+            f"registration must be a JSON object, "
+            f"got {type(payload).__name__}")
+    unknown = sorted(set(payload) - {"url", "capacity"})
+    if unknown:
+        raise ProtocolError(
+            f"unknown field(s) {unknown} for a worker registration")
+    url = payload.get("url")
+    if not isinstance(url, str) or not url.startswith("http://"):
+        raise ProtocolError(
+            f"url: expected an http://host:port base url, got {url!r}")
+    from repro.fabric.transport import split_base_url
+
+    split_base_url(url)  # raises ServiceError on malformed urls
+    capacity = payload.get("capacity", 1)
+    return url.rstrip("/"), _resolve_int("capacity", capacity,
+                                         minimum=1, maximum=1024)

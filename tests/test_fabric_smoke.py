@@ -1,0 +1,93 @@
+"""Fabric smoke test: a real fleet losing a worker mid-sweep.
+
+The distributed contract in one scenario: a coordinator with two
+workers sharing one disk cache runs a multi-shard grid while one
+worker is killed partway through; the merged document must come back
+complete, with zero failures, and bit-identical to a single-node
+``run_sweep`` over the same grid with the same kernel.
+
+Every case carries an injected ``hang`` pad so shards stay in flight
+long enough for the kill to land mid-sweep on a 1-CPU machine (the pad
+sleeps, then computes normally — results are unchanged).
+
+Slow tier (CI ``fabric-smoke`` job): real compute on both workers plus
+the recovery round-trips.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments.report import sweep_to_json
+from repro.experiments.sweep import SweepSpec, run_sweep
+from repro.service.app import BackgroundServer
+from repro.service.client import ServiceClient
+
+GRID = dict(programs=["bs", "prime"], configs=["k1", "k2"],
+            techs=["45nm"], budget=10)
+
+SPEC = SweepSpec(
+    programs=("bs", "prime"),
+    config_ids=("k1", "k2"),
+    techs=("45nm",),
+    max_evaluations=10,
+    kernel="vectorized",  # the fabric's default kernel
+)
+
+#: Identical latency pad on every attempt of every case: the sweep
+#: takes long enough to kill a worker mid-flight, results unchanged.
+HANG_ALL = json.dumps(
+    {"*": {"kind": "hang", "attempts": [1, 2, 3], "seconds": 0.3}}
+)
+
+
+@pytest.mark.slow
+class TestFabricSmoke:
+    def test_fleet_survives_a_worker_death_mid_sweep(
+            self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_SWEEP_CACHE_MAX_BYTES", raising=False)
+        monkeypatch.setenv("REPRO_FAULT_PLAN", HANG_ALL)
+        cache = tmp_path / "fleet-cache"
+
+        worker_a = BackgroundServer(cache_dir=cache, workers=1).start()
+        worker_b = BackgroundServer(cache_dir=cache, workers=1).start()
+        coord = BackgroundServer(
+            coordinator=True,
+            worker_urls=[worker_a.url, worker_b.url],
+            shard_size=1,  # 4 shards: both workers hold leases
+            cache_dir="off",  # merge only through the workers
+        ).start()
+        try:
+            client = ServiceClient(coord.host, coord.port)
+            record = client.submit_fabric_sweep(**GRID)
+            assert record["cases"] == 4
+
+            killed = False
+            kinds = []
+            for event, data in client.stream_sweep(record["id"]):
+                kinds.append(event)
+                if event == "case" and not killed:
+                    # First result is in: worker B dies mid-sweep.
+                    worker_b.stop()
+                    killed = True
+            assert killed, f"no case event before the stream ended: {kinds}"
+            assert kinds[-1] == "done"
+
+            document = client.fabric_result(record["id"])
+        finally:
+            coord.stop()
+            worker_a.stop()
+            if not killed:
+                worker_b.stop()
+
+        assert document["summary"]["cases"] == 4
+        assert document["summary"]["failed"] == 0
+        assert document["fabric"]["shards"] == 4
+
+        # Bit-identity: the fleet's merged cases are exactly what one
+        # node computes serially with the same kernel (the pad in
+        # REPRO_FAULT_PLAN only sleeps, so it cancels out here).
+        serial = run_sweep(SPEC, use_cache=False, workers=1)
+        assert document["cases"] == sweep_to_json(serial)["cases"]

@@ -195,15 +195,38 @@ class TestTelemetry:
 # client-side backoff
 # ----------------------------------------------------------------------
 class TestClientBackoff:
-    def test_backoff_schedule_is_exponential_and_capped(self):
-        delays = [backoff_delay(i, base=0.1, cap=2.0) for i in range(8)]
+    def test_backoff_envelope_is_exponential_and_capped(self):
+        # rng=1.0 pins the jitter to its upper envelope: the old
+        # deterministic schedule.
+        one = lambda: 1.0
+        delays = [backoff_delay(i, base=0.1, cap=2.0, rng=one)
+                  for i in range(8)]
         assert delays[:5] == [0.1, 0.2, 0.4, 0.8, 1.6]
         assert delays[5:] == [2.0, 2.0, 2.0]
+
+    def test_backoff_is_jittered_within_the_envelope(self):
+        # Default rng: every delay lands in [0, envelope); a fleet
+        # retrying in unison must not produce identical schedules.
+        for attempt in range(8):
+            envelope = backoff_delay(attempt, base=0.1, cap=2.0,
+                                     rng=lambda: 1.0)
+            samples = [backoff_delay(attempt, base=0.1, cap=2.0)
+                       for _ in range(50)]
+            assert all(0.0 <= s <= envelope for s in samples)
+            assert len(set(samples)) > 1  # actually random
+
+    def test_retry_after_equal_jitter_stays_within_the_hint(self):
+        from repro.service.client import retry_after_delay
+
+        assert retry_after_delay(3.0, rng=lambda: 1.0) == 3.0
+        assert retry_after_delay(3.0, rng=lambda: 0.0) == 1.5
+        samples = [retry_after_delay(3.0) for _ in range(50)]
+        assert all(1.5 <= s <= 3.0 for s in samples)
 
     def test_retries_on_429_then_succeeds(self, monkeypatch):
         slept = []
         client = ServiceClient("127.0.0.1", 1, max_retries=5,
-                               sleep=slept.append)
+                               sleep=slept.append, rng=lambda: 1.0)
         responses = iter([
             (429, {"retry-after": "3"}, {"error": "full"}),
             (429, {}, {"error": "full"}),
@@ -213,9 +236,10 @@ class TestClientBackoff:
                             lambda method, path, body=None: next(responses))
         job = client.submit("optimize", program="bs", config="k1")
         assert job["id"] == "j1"
-        # first delay honoured the server's Retry-After, second fell
-        # back to the exponential schedule
-        assert slept == [3.0, backoff_delay(1, 0.1, 2.0)]
+        # first delay honoured the server's Retry-After (equal jitter,
+        # rng=1.0 -> exactly the hint), second fell back to the
+        # exponential schedule
+        assert slept == [3.0, backoff_delay(1, 0.1, 2.0, rng=lambda: 1.0)]
 
     def test_exhausted_retries_surface_the_status(self, monkeypatch):
         client = ServiceClient("127.0.0.1", 1, max_retries=1,
