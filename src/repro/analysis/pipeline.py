@@ -44,7 +44,6 @@ serialized reports (see ``repro optimize --profile``).
 
 from __future__ import annotations
 
-import time
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -79,6 +78,7 @@ from repro.cache.kernel import (
 )
 from repro.cache.persistence import PersistenceState
 from repro.errors import AnalysisError
+from repro.obs.trace import active_tracer
 from repro.program.acfg import ACFG, build_acfg
 from repro.program.cfg import ControlFlowGraph
 from repro.program.structure import (
@@ -144,6 +144,37 @@ class PipelineStats:
     def profile(self) -> Dict[str, float]:
         """Per-stage wall-clock snapshot (never serialized into reports)."""
         return dict(self.stage_seconds)
+
+
+class _StageTimer:
+    """Span-backed stage clock: the one timing source for the pipeline.
+
+    Wraps a ``pipeline.<stage>`` span (``timed=True``, so a real clock
+    exists even with tracing off; ``aggregate=True``, so sinks fold the
+    hundreds of per-candidate occurrences into one statistical span per
+    parent) and folds its duration into ``stats.stage_seconds`` on exit
+    — ``--profile`` and exported traces therefore always agree.
+    """
+
+    __slots__ = ("stats", "stage", "span")
+
+    def __init__(self, stats: PipelineStats, stage: str):
+        self.stats = stats
+        self.stage = stage
+        self.span = active_tracer().start_span(
+            "pipeline." + stage, timed=True, aggregate=True
+        )
+
+    def __enter__(self):
+        return self.span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        span = self.span
+        if exc_type is not None:
+            span.set_status("error", f"{exc_type.__name__}: {exc}")
+        span.end()
+        self.stats.add_time(self.stage, span.duration_s)
+        return False
 
 
 class TransferCache:
@@ -616,78 +647,85 @@ class AnalysisPipeline:
             domains.append("may")
         if self.with_persistence:
             domains.append("persistence")
-        started = time.perf_counter()
-        if self.kernel == "vectorized":
-            dataflows = self._dense_dataflow_stage(
-                artifacts, domains, base if use_delta else None, boundary
-            )
-        else:
-            dataflows = {
-                domain: self._dataflow_stage(
-                    artifacts, domain, base if use_delta else None, boundary
+        with self._stage("fixpoint") as fixpoint_span:
+            seg_hits = self.stats.kernel_segment_hits
+            seg_misses = self.stats.kernel_segment_misses
+            if self.kernel == "vectorized":
+                dataflows = self._dense_dataflow_stage(
+                    artifacts, domains, base if use_delta else None, boundary
                 )
-                for domain in domains
-            }
-        self.stats.add_time("fixpoint", time.perf_counter() - started)
+            else:
+                dataflows = {
+                    domain: self._dataflow_stage(
+                        artifacts, domain, base if use_delta else None, boundary
+                    )
+                    for domain in domains
+                }
+            if fixpoint_span.recording and self.kernel == "vectorized":
+                fixpoint_span.set_attributes(
+                    {
+                        "kernel_segment_hits": self.stats.kernel_segment_hits
+                        - seg_hits,
+                        "kernel_segment_misses": self.stats.kernel_segment_misses
+                        - seg_misses,
+                    }
+                )
 
-        started = time.perf_counter()
-        locked = self.locked_blocks or None
-        if all(
-            isinstance(df, DenseDataflowResult) for df in dataflows.values()
-        ):
-            classifications = classify_references_dense(
-                acfg,
+        with self._stage("classify"):
+            locked = self.locked_blocks or None
+            if all(
+                isinstance(df, DenseDataflowResult) for df in dataflows.values()
+            ):
+                classifications = classify_references_dense(
+                    acfg,
+                    dataflows["must"],
+                    dataflows.get("may"),
+                    dataflows.get("persistence"),
+                    locked,
+                    schedule=artifacts.schedule,
+                )
+            else:
+                classifications = classify_references(
+                    acfg,
+                    dataflows["must"],
+                    dataflows.get("may"),
+                    dataflows.get("persistence"),
+                    locked,
+                )
+            cache_analysis = CacheAnalysis(
+                self.config,
+                classifications,
                 dataflows["must"],
                 dataflows.get("may"),
                 dataflows.get("persistence"),
-                locked,
-                schedule=artifacts.schedule,
             )
-        else:
-            classifications = classify_references(
+
+        with self._stage("guard"):
+            t_w = compute_ref_times(acfg, cache_analysis, self.timing)
+            guarded = _latency_guard(
                 acfg,
-                dataflows["must"],
-                dataflows.get("may"),
-                dataflows.get("persistence"),
-                locked,
+                cache_analysis,
+                self.timing,
+                t_w,
+                boundary=boundary,
+                base_guarded=base.wcet.latency_guarded if use_delta else frozenset(),
             )
-        cache_analysis = CacheAnalysis(
-            self.config,
-            classifications,
-            dataflows["must"],
-            dataflows.get("may"),
-            dataflows.get("persistence"),
-        )
-        self.stats.add_time("classify", time.perf_counter() - started)
+            for rid in guarded:
+                t_w[rid] = float(self.timing.miss_cycles)
 
-        started = time.perf_counter()
-        t_w = compute_ref_times(acfg, cache_analysis, self.timing)
-        guarded = _latency_guard(
-            acfg,
-            cache_analysis,
-            self.timing,
-            t_w,
-            boundary=boundary,
-            base_guarded=base.wcet.latency_guarded if use_delta else frozenset(),
-        )
-        for rid in guarded:
-            t_w[rid] = float(self.timing.miss_cycles)
-        self.stats.add_time("guard", time.perf_counter() - started)
-
-        started = time.perf_counter()
-        warm = (boundary, base.best, base.best_pred) if use_delta else None
-        solution, best, best_pred = solve_wcet_path_tables(acfg, t_w, warm=warm)
-        charged = _charged_persistent_blocks(acfg, cache_analysis, solution)
-        wcet = WCETResult(
-            acfg=acfg,
-            cache=cache_analysis,
-            timing=self.timing,
-            t_w=t_w,
-            solution=solution,
-            persistent_charged_blocks=charged,
-            latency_guarded=guarded,
-        )
-        self.stats.add_time("ipet", time.perf_counter() - started)
+        with self._stage("ipet"):
+            warm = (boundary, base.best, base.best_pred) if use_delta else None
+            solution, best, best_pred = solve_wcet_path_tables(acfg, t_w, warm=warm)
+            charged = _charged_persistent_blocks(acfg, cache_analysis, solution)
+            wcet = WCETResult(
+                acfg=acfg,
+                cache=cache_analysis,
+                timing=self.timing,
+                t_w=t_w,
+                solution=solution,
+                persistent_charged_blocks=charged,
+                latency_guarded=guarded,
+            )
 
         if use_delta and self.differential:
             self._differential_check(acfg, wcet, with_may)
@@ -715,6 +753,9 @@ class AnalysisPipeline:
     # ------------------------------------------------------------------
     # stages
     # ------------------------------------------------------------------
+    def _stage(self, name: str) -> _StageTimer:
+        return _StageTimer(self.stats, name)
+
     def _content_key_of(self, cfg: ControlFlowGraph):
         cached = self._content_keys.get(id(cfg))
         if cached is not None:
@@ -738,16 +779,15 @@ class AnalysisPipeline:
             self.stats.structural_hits += 1
             return hit
         self.stats.structural_misses += 1
-        started = time.perf_counter()
-        acfg = build_acfg(cfg, self.config.block_size, self.base_address)
-        artifacts = StructuralArtifacts(
-            key=key, acfg=acfg, loop_spans=rest_instance_spans(acfg)
-        )
-        if self.kernel == "vectorized":
-            # Schedule compilation is structural work (per program
-            # content, domain-independent), so it rides the acfg stage.
-            self._schedule_for(artifacts)
-        self.stats.add_time("acfg", time.perf_counter() - started)
+        with self._stage("acfg"):
+            acfg = build_acfg(cfg, self.config.block_size, self.base_address)
+            artifacts = StructuralArtifacts(
+                key=key, acfg=acfg, loop_spans=rest_instance_spans(acfg)
+            )
+            if self.kernel == "vectorized":
+                # Schedule compilation is structural work (per program
+                # content, domain-independent), so it rides the acfg stage.
+                self._schedule_for(artifacts)
         self._structural_cache[key] = artifacts
         while len(self._structural_cache) > self.MAX_STRUCTURAL:
             self._structural_cache.popitem(last=False)

@@ -10,6 +10,7 @@ Exposes the library's main entry points without writing Python::
     python -m repro sweep --workers 4 --cache-dir ~/.cache/repro-sweep
     python -m repro table 1
     python -m repro serve --port 8080 --workers 4
+    python -m repro trace 4bf92f3577b34da6a3ce929d0e0e4736 --export t.json
 
 ``optimize`` and ``sweep`` take ``--json``: the machine-readable
 document goes to stdout and the human-readable text moves to stderr, so
@@ -20,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
 import sys
 from typing import List, Optional, Sequence
 
@@ -152,6 +154,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--tenant", default="default", metavar="NAME",
                        help="fabric tenant for fair scheduling "
                             "(--coordinator only)")
+    sweep.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="probability of tracing this fabric sweep "
+                            "end to end (--coordinator only; 0 = off, "
+                            "default 1.0)")
 
     serve = sub.add_parser(
         "serve",
@@ -199,6 +206,29 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shard-size", type=int, default=None, metavar="N",
                        help="coordinator: cases per shard (default: "
                             "sized from the fleet capacity)")
+    serve.add_argument("--trace-sample", type=float, default=1.0,
+                       metavar="RATE",
+                       help="head-sampling rate for new traces rooted "
+                            "at this node (0 disables tracing; sampled "
+                            "incoming traceparents are always honored)")
+
+    trace = sub.add_parser(
+        "trace",
+        help="render one distributed trace as a span tree",
+    )
+    trace.add_argument("trace_id", help="32-hex trace id (printed by a "
+                                        "traced sweep, or echoed in the "
+                                        "traceparent response header)")
+    trace.add_argument("--service", default="http://127.0.0.1:8080",
+                       metavar="URL",
+                       help="node to fetch the trace from (a "
+                            "coordinator merges its workers' spans)")
+    trace.add_argument("--export", default=None, metavar="FILE",
+                       help="also write Chrome-trace JSON (load in "
+                            "chrome://tracing or ui.perfetto.dev)")
+    trace.add_argument("--json", action="store_true",
+                       help="raw span documents on stdout instead of "
+                            "the rendered tree")
     return parser
 
 
@@ -409,8 +439,28 @@ def _cmd_sweep_fabric(args: argparse.Namespace, spec: SweepSpec) -> int:
     host, port = split_base_url(args.coordinator)
     client = ServiceClient(host, port)
     out = sys.stderr if args.json else sys.stdout
+
+    # Head-based sampling at the client: a sampled traceparent on the
+    # submit makes the coordinator join our trace id, so the whole
+    # distributed sweep is retrievable under one id we know up front.
+    traceparent = None
+    trace_id = None
+    if random.random() < max(0.0, min(1.0, args.trace_sample)):
+        from repro.obs.trace import (
+            SpanContext,
+            format_traceparent,
+            new_span_id,
+            new_trace_id,
+        )
+
+        trace_id = new_trace_id()
+        traceparent = format_traceparent(
+            SpanContext(trace_id, new_span_id(), True)
+        )
+
     record = client.submit_fabric_sweep(
         tenant=args.tenant,
+        traceparent=traceparent,
         programs=list(spec.programs),
         configs=list(spec.config_ids),
         techs=list(spec.techs),
@@ -424,6 +474,9 @@ def _cmd_sweep_fabric(args: argparse.Namespace, spec: SweepSpec) -> int:
     width = len(str(total))
     print(f"fabric sweep {sweep_id} on {args.coordinator} "
           f"({total} cases, tenant {args.tenant})", file=out)
+    if trace_id is not None:
+        print(f"trace {trace_id} (repro trace {trace_id} "
+              f"--service {args.coordinator})", file=out)
     done = 0
     try:
         for event, data in client.stream_sweep(sweep_id):
@@ -483,6 +536,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         lease_timeout_s=args.lease_timeout,
         steal_after_s=args.steal_after,
         shard_size=args.shard_size,
+        trace_sample=args.trace_sample,
+        service_name=(
+            "coordinator" if args.coordinator
+            else "worker" if args.coordinator_url
+            else None
+        ),
     )
 
     if args.self_check:
@@ -534,6 +593,34 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Fetch one trace and render it as a span tree (or export it)."""
+    from repro.errors import ServiceError
+    from repro.fabric.transport import split_base_url
+    from repro.obs.export import render_span_tree, to_chrome_trace
+    from repro.service.client import ServiceClient
+
+    host, port = split_base_url(args.service)
+    client = ServiceClient(host, port)
+    try:
+        document = client.trace(args.trace_id)
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    spans = document.get("spans", [])
+    if args.json:
+        print(json.dumps(document, sort_keys=True))
+    else:
+        print(f"trace {args.trace_id} ({len(spans)} spans)")
+        print(render_span_tree(spans))
+    if args.export:
+        with open(args.export, "w", encoding="utf-8") as handle:
+            json.dump(to_chrome_trace(spans), handle)
+        print(f"exported Chrome-trace JSON to {args.export}",
+              file=sys.stderr)
+    return 0
+
+
 def _cmd_table(args: argparse.Namespace) -> int:
     if args.number == 1:
         for row in table1():
@@ -557,6 +644,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sweep": lambda: _cmd_sweep(args),
         "serve": lambda: _cmd_serve(args),
         "table": lambda: _cmd_table(args),
+        "trace": lambda: _cmd_trace(args),
     }
     try:
         return dispatch[args.command]()

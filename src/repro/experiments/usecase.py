@@ -29,6 +29,7 @@ from repro.energy.dram import DRAMModel
 from repro.energy.metrics import EnergyBreakdown, account_energy
 from repro.energy.technology import technology
 from repro.errors import ExperimentError
+from repro.obs.trace import active_tracer
 from repro.program.acfg import build_acfg
 from repro.program.cfg import ControlFlowGraph
 from repro.sim.machine import simulate
@@ -238,16 +239,36 @@ def run_usecase(
     timing = model.timing_model()
     if pipeline is None:
         pipeline = pipeline_for_usecase(usecase, options)
-    original_cfg = load(usecase.program)
-    original = measure_program(
-        original_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
-    )
-    optimized_cfg, report = optimize(
-        original_cfg, config, timing, options=options, pipeline=pipeline
-    )
-    optimized = measure_program(
-        optimized_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
-    )
+    tracer = active_tracer()
+    with tracer.start_span(
+        "usecase",
+        attributes={
+            "program": usecase.program,
+            "config": usecase.config_id,
+            "tech": usecase.tech,
+        },
+    ):
+        original_cfg = load(usecase.program)
+        with tracer.start_span("usecase.measure_original"):
+            original = measure_program(
+                original_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
+            )
+        with tracer.start_span("usecase.optimize") as opt_span:
+            optimized_cfg, report = optimize(
+                original_cfg, config, timing, options=options, pipeline=pipeline
+            )
+            if opt_span.recording:
+                opt_span.set_attributes(
+                    {
+                        "passes": report.passes,
+                        "inserted": len(report.inserted),
+                        "evaluations": report.candidates_evaluated,
+                    }
+                )
+        with tracer.start_span("usecase.measure_optimized"):
+            optimized = measure_program(
+                optimized_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
+            )
     return UseCaseResult(
         usecase=usecase, original=original, optimized=optimized, report=report
     )

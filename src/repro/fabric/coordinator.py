@@ -59,6 +59,10 @@ from repro.fabric.shards import (
 )
 from repro.fabric.store import ResultStore
 from repro.fabric.transport import WorkerUnreachable, http_json
+from repro.obs.log import get_logger
+from repro.obs.trace import NOOP_SPAN, Tracer, format_traceparent
+
+_log = get_logger("repro.fabric.coordinator")
 
 #: Dispatch attempts per shard before its cases fail permanently —
 #: mirrors the sweep layer's per-case transient budget.
@@ -125,6 +129,7 @@ class _Lease:
     task: "asyncio.Task"
     job_id: Optional[str] = None
     stolen: bool = False  # a speculative clone was already launched
+    span: Any = NOOP_SPAN  # the fabric.dispatch span of this round-trip
 
 
 class FabricSweep:
@@ -167,6 +172,9 @@ class FabricSweep:
         self.events: List[Tuple[str, Dict[str, Any]]] = []
         self.subscribers: List["asyncio.Queue"] = []
         self.done_event = asyncio.Event()
+        #: The fabric.sweep span — open from submit to :meth:`_finish`;
+        #: dispatch spans parent on it so one trace covers the sweep.
+        self.span = NOOP_SPAN
 
     # ------------------------------------------------------------------
     # event feed
@@ -295,9 +303,13 @@ class Coordinator:
         poll_interval_s: float = 0.1,
         shard_max_attempts: int = SHARD_MAX_ATTEMPTS,
         drr_quantum: int = DRR_QUANTUM,
+        tracer: Optional[Tracer] = None,
     ):
         self.store = store if store is not None else ResultStore()
         self.telemetry = telemetry
+        self.tracer = (
+            tracer if tracer is not None else Tracer(service="coordinator")
+        )
         self.lease_timeout_s = lease_timeout_s
         self.steal_after_s = steal_after_s
         self.shard_size = shard_size
@@ -406,6 +418,14 @@ class Coordinator:
             cases=cases,
             keys=keys,
         )
+        # Parented on the ambient request span (when the submit was
+        # traced); held open until _finish so dispatch/steal/requeue
+        # decisions land under one sweep span.
+        sweep.span = self.tracer.start_span("fabric.sweep", attributes={
+            "sweep_id": sweep.id,
+            "tenant": tenant,
+            "cases": len(cases),
+        })
 
         # Pre-resolve: anything the fleet (or an earlier sweep) already
         # computed settles immediately and appears in the replay buffer.
@@ -416,6 +436,10 @@ class Coordinator:
                 sweep.settle_result(idx, hit, worker="store")
             else:
                 pending.append(idx)
+        if len(pending) < len(cases):
+            sweep.span.add_event(
+                "store_hits", resolved=len(cases) - len(pending)
+            )
 
         if pending:
             size = (
@@ -425,6 +449,8 @@ class Coordinator:
             )
             shards = partition(sweep.id, tenant, pending, keys, size)
             if self._queued + len(shards) > self.max_queued_shards:
+                sweep.span.set_status("error", "fabric backlog full")
+                sweep.span.end()
                 raise QueueFullError(
                     f"fabric backlog is full ({self._queued} shards "
                     f"queued, cap {self.max_queued_shards})",
@@ -440,6 +466,11 @@ class Coordinator:
 
         if self.telemetry is not None:
             self.telemetry.fabric_sweeps.inc()
+        _log.info(
+            "sweep accepted", sweep_id=sweep.id, tenant=tenant,
+            cases=len(cases), shards=sweep.shards_total,
+            store_hits=len(cases) - len(pending),
+        )
         sweep.emit("progress", self._progress_of(sweep))
         if sweep.done:
             self._finish(sweep)
@@ -553,8 +584,20 @@ class Coordinator:
     def _lease(self, shard: Shard, worker: WorkerNode) -> None:
         shard.attempts += 1
         now = time.monotonic()
+        sweep = self.sweeps.get(shard.sweep_id)
+        span = self.tracer.start_span(
+            "fabric.dispatch",
+            parent=sweep.span.context if sweep is not None else None,
+            attributes={
+                "shard": shard.id,
+                "worker": worker.url,
+                "attempt": shard.attempts,
+                "cases": shard.size,
+                "speculative": shard.speculative,
+            },
+        )
         task = asyncio.get_running_loop().create_task(
-            self._run_on_worker(shard, worker),
+            self._run_on_worker(shard, worker, span),
             name=f"repro-fabric-shard-{shard.id}",
         )
         self._leases[shard.id] = _Lease(
@@ -563,11 +606,17 @@ class Coordinator:
             started_at=now,
             deadline=now + self.lease_timeout_s,
             task=task,
+            span=span,
         )
         worker.inflight.add(shard.id)
         worker.dispatched += 1
         if self.telemetry is not None:
             self.telemetry.fabric_shards_dispatched.inc()
+        _log.debug(
+            "shard dispatched", shard=shard.id, worker=worker.url,
+            attempt=shard.attempts, cases=shard.size,
+            speculative=shard.speculative,
+        )
 
     def _expire_leases(self) -> None:
         now = time.monotonic()
@@ -576,6 +625,11 @@ class Coordinator:
         ]:
             self._release(lease)
             lease.task.cancel()
+            lease.span.add_event("lease_expired", worker=lease.worker.url)
+            lease.span.set_status(
+                "error", f"lease expired after {self.lease_timeout_s:g}s"
+            )
+            lease.span.end()
             if lease.job_id is not None:
                 # Best-effort cancel on the worker; its fate no longer
                 # matters — a late result deduplicates in the store.
@@ -584,6 +638,11 @@ class Coordinator:
                 )
             if self.telemetry is not None:
                 self.telemetry.fabric_lease_expiries.inc()
+            _log.warning(
+                "lease expired", shard=lease.shard.id,
+                worker=lease.worker.url,
+                timeout_s=self.lease_timeout_s,
+            )
             self._requeue(
                 lease.shard,
                 f"lease expired after {self.lease_timeout_s:g}s "
@@ -620,8 +679,16 @@ class Coordinator:
             lease.stolen = True
             clone = clone_for_steal(lease.shard, remaining, sweep.keys)
             sweep.steals += 1
+            sweep.span.add_event(
+                "steal", shard=lease.shard.id,
+                straggler=lease.worker.url, cases=len(remaining),
+            )
             if self.telemetry is not None:
                 self.telemetry.fabric_steals.inc()
+            _log.info(
+                "shard stolen", shard=lease.shard.id,
+                straggler=lease.worker.url, cases=len(remaining),
+            )
             self._enqueue(clone, front=True)
             worker = self._pick_worker()
             if worker is None:
@@ -643,18 +710,24 @@ class Coordinator:
             "kernel": sweep.params.get("kernel"),
         }
 
-    async def _run_on_worker(self, shard: Shard,
-                             worker: WorkerNode) -> None:
+    async def _run_on_worker(self, shard: Shard, worker: WorkerNode,
+                             span: Any = NOOP_SPAN) -> None:
         lease = None
         try:
             status, body = await http_json(
                 worker.url, "POST", "/v1/jobs",
                 {"kind": "shard", "params": self._shard_params(shard)},
                 timeout_s=self.rpc_timeout_s,
+                traceparent=(
+                    format_traceparent(span.context)
+                    if span.recording else None
+                ),
             )
             if status == 429:
                 # The worker's own queue is full — not a death; back
                 # off by requeueing without burning the retry budget.
+                span.add_event("backpressure", worker=worker.url)
+                span.end()
                 shard.attempts -= 1
                 self._release(self._leases.get(shard.id))
                 self._enqueue(shard)
@@ -699,6 +772,7 @@ class Coordinator:
                     worker.url, f"result fetch returned {status}"
                 )
             self._release(self._leases.get(shard.id))
+            span.end()
             worker.completed += 1
             if not worker.healthy:
                 # The node answered a full round-trip: it is back.
@@ -716,6 +790,8 @@ class Coordinator:
             # KeyError/TypeError: the node answered something that is
             # not the job protocol — treat like a dead node.
             self._release(self._leases.get(shard.id))
+            span.set_status("error", str(exc))
+            span.end()
             worker.failed += 1
             worker.healthy = False
             worker.last_error = str(exc)
@@ -745,6 +821,14 @@ class Coordinator:
             # speculative copy costs nothing.
             return
         if shard.attempts >= self.shard_max_attempts:
+            sweep.span.add_event(
+                "shard_failed", shard=shard.id,
+                attempts=shard.attempts, reason=reason,
+            )
+            _log.warning(
+                "shard failed permanently", shard=shard.id,
+                attempts=shard.attempts, reason=reason,
+            )
             for idx in remaining:
                 sweep.settle_failure(FailureRecord(
                     usecase=sweep.cases[idx],
@@ -759,8 +843,16 @@ class Coordinator:
             self._check_done(sweep)
             return
         sweep.shards_requeued += 1
+        sweep.span.add_event(
+            "shard_requeued", shard=shard.id,
+            attempt=shard.attempts, reason=reason,
+        )
         if self.telemetry is not None:
             self.telemetry.fabric_shards_requeued.inc()
+        _log.warning(
+            "shard requeued", shard=shard.id,
+            attempt=shard.attempts, reason=reason,
+        )
         rebuilt = Shard(
             id=shard.id,
             sweep_id=shard.sweep_id,
@@ -840,6 +932,23 @@ class Coordinator:
     def _finish(self, sweep: FabricSweep) -> None:
         sweep.state = _SWEEP_DONE
         sweep.finished_at = time.time()
+        sweep.span.set_attributes({
+            "shards": sweep.shards_total,
+            "shards_requeued": sweep.shards_requeued,
+            "steals": sweep.steals,
+            "duplicates": sweep.duplicates,
+            "failed": len(sweep.failures),
+        })
+        if sweep.failures:
+            sweep.span.set_status(
+                "error", f"{len(sweep.failures)} case(s) failed"
+            )
+        sweep.span.end()
+        _log.info(
+            "sweep done", sweep_id=sweep.id,
+            shards=sweep.shards_total, steals=sweep.steals,
+            requeued=sweep.shards_requeued, failed=len(sweep.failures),
+        )
         summary = sweep.result_document()["summary"]
         sweep.emit("done", {
             "sweep_id": sweep.id,
@@ -856,9 +965,13 @@ class Coordinator:
     # ------------------------------------------------------------------
     # fleet metrics + introspection
     # ------------------------------------------------------------------
-    async def fleet_expositions(self) -> List[str]:
-        """Every reachable worker's raw ``/metrics`` text."""
-        async def fetch(node: WorkerNode) -> Optional[str]:
+    async def fleet_expositions(self) -> List[Tuple[str, str]]:
+        """``(worker_url, raw /metrics text)`` per reachable worker.
+
+        The URL lets the merge layer label each worker's series, so a
+        straggling node is identifiable from the fleet ``/metrics``.
+        """
+        async def fetch(node: WorkerNode) -> Optional[Tuple[str, str]]:
             try:
                 status, body = await http_json(
                     node.url, "GET", "/metrics",
@@ -866,12 +979,40 @@ class Coordinator:
                 )
             except WorkerUnreachable:
                 return None
-            return body if status == 200 and isinstance(body, str) else None
+            if status == 200 and isinstance(body, str):
+                return node.url, body
+            return None
 
-        texts = await asyncio.gather(
+        pairs = await asyncio.gather(
             *(fetch(node) for node in self.workers.values())
         )
-        return [text for text in texts if text]
+        return [pair for pair in pairs if pair]
+
+    async def fleet_traces(self, trace_id: str) -> List[List[Dict[str, Any]]]:
+        """Every worker's span documents for one trace id.
+
+        Unreachable nodes and nodes that never saw the trace (404)
+        contribute nothing — trace retrieval is best-effort and must
+        not fail because one worker is down.
+        """
+        async def fetch(node: WorkerNode) -> List[Dict[str, Any]]:
+            try:
+                status, body = await http_json(
+                    node.url, "GET", f"/v1/traces/{trace_id}",
+                    timeout_s=self.rpc_timeout_s,
+                )
+            except WorkerUnreachable:
+                return []
+            if status == 200 and isinstance(body, dict):
+                spans = body.get("spans")
+                if isinstance(spans, list):
+                    return spans
+            return []
+
+        lists = await asyncio.gather(
+            *(fetch(node) for node in self.workers.values())
+        )
+        return [spans for spans in lists if spans]
 
     def stats(self) -> Dict[str, Any]:
         """Coordinator facts for ``/healthz``."""

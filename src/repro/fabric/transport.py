@@ -53,13 +53,15 @@ async def http_json(
     path: str,
     body: Optional[Dict[str, Any]] = None,
     timeout_s: float = 10.0,
+    traceparent: Optional[str] = None,
 ) -> Tuple[int, Any]:
     """One JSON request against a node; returns ``(status, decoded)``.
 
     Network errors, timeouts and undecodable bodies all raise
     :class:`WorkerUnreachable`; HTTP error *statuses* do not — the
     scheduler distinguishes "node said no" (e.g. 429 backpressure)
-    from "node is gone".
+    from "node is gone".  ``traceparent`` propagates a trace context to
+    the node (the coordinator sets it on shard dispatch only).
     """
     host, port = split_base_url(base_url)
     payload = b""
@@ -69,6 +71,8 @@ async def http_json(
         "Connection: close",
         "Accept: application/json",
     ]
+    if traceparent:
+        headers.append(f"traceparent: {traceparent}")
     if body is not None:
         payload = json.dumps(body).encode("utf-8")
         headers.append("Content-Type: application/json")

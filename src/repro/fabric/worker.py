@@ -32,6 +32,7 @@ from repro.experiments.sweep import (
     _run_serial,
 )
 from repro.experiments.usecase import UseCase
+from repro.obs.trace import active_tracer
 
 
 def options_from_params(params: Dict[str, Any]):
@@ -67,6 +68,13 @@ def execute_shard(
     failures: List[Dict[str, Any]] = []
     counters = {"computed": 0, "disk_hits": 0, "retries": 0}
 
+    # The ambient tracer is the pool-side one execute_job activated
+    # when the dispatch carried a sampled traceparent; otherwise every
+    # span call here is a no-op.
+    span = active_tracer().start_span(
+        "shard.execute", attributes={"cases": len(cases)}
+    )
+
     pending: List[int] = []
     for idx, key in enumerate(keys):
         hit = disk.get(key) if disk is not None else None
@@ -76,13 +84,25 @@ def execute_shard(
         else:
             pending.append(idx)
 
-    class _RetryCount:
+    class _RetryTally:
         # _run_serial only needs a ``retries`` attribute of its
         # metrics hook; a full SweepMetrics would drag in per-case
-        # recording this document doesn't carry.
-        retries = 0
+        # recording this document doesn't carry.  The property setter
+        # observes the driver's ``metrics.retries += 1`` so transient
+        # faults surface as span events without touching the driver.
+        _retries = 0
 
-    tally = _RetryCount()
+        @property
+        def retries(self):
+            return self._retries
+
+        @retries.setter
+        def retries(self, value):
+            if value > self._retries:
+                span.add_event("retry", total=value)
+            self._retries = value
+
+    tally = _RetryTally()
 
     def deliver(idx, result, elapsed, pid):
         if disk is not None:
@@ -92,20 +112,33 @@ def execute_shard(
 
     def fail(record):
         failures.append(failure_to_json(record))
-
-    if pending:
-        _run_serial(
-            cases,
-            pending,
-            seed,
-            options,
-            deliver,
-            fail,
-            metrics=tally,
-            max_attempts=DEFAULT_MAX_ATTEMPTS,
-            backoff_base_s=DEFAULT_BACKOFF_BASE_S,
+        span.add_event(
+            "case_failed",
+            program=record.usecase.program,
+            error=record.error_type,
         )
-    counters["retries"] = tally.retries
+
+    with span:
+        if pending:
+            _run_serial(
+                cases,
+                pending,
+                seed,
+                options,
+                deliver,
+                fail,
+                metrics=tally,
+                max_attempts=DEFAULT_MAX_ATTEMPTS,
+                backoff_base_s=DEFAULT_BACKOFF_BASE_S,
+            )
+        counters["retries"] = tally.retries
+        span.set_attributes({
+            "computed": counters["computed"],
+            "disk_hits": counters["disk_hits"],
+            "retries": counters["retries"],
+        })
+        if failures:
+            span.set_status("error", f"{len(failures)} case(s) failed")
 
     return {
         "shard": {"cases": len(cases), **counters},

@@ -1,0 +1,104 @@
+"""Structured JSON logging correlated with the active trace.
+
+One JSON object per line on stderr: ``ts`` (unix seconds), ``level``,
+``logger``, ``msg``, any keyword fields, and — when a recording span is
+active — ``trace_id``/``span_id`` so log lines join against
+``repro trace`` output.
+
+The level comes from ``REPRO_LOG_LEVEL`` (``debug``/``info``/``warn``/
+``error``/``off``; default ``info``).  Loggers are cheap, cached by
+name, and stdlib-only (no ``logging`` handler configuration to clash
+with embedding applications).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+from typing import Any, Dict, Optional, TextIO
+
+from repro.obs.trace import current_span
+
+__all__ = ["StructuredLogger", "get_logger", "set_level", "LOG_LEVEL_ENV"]
+
+LOG_LEVEL_ENV = "REPRO_LOG_LEVEL"
+
+_LEVELS = {"debug": 10, "info": 20, "warn": 30, "warning": 30, "error": 40, "off": 99}
+
+_lock = threading.Lock()
+_loggers: Dict[str, "StructuredLogger"] = {}
+_level: Optional[int] = None
+
+
+def _threshold() -> int:
+    global _level
+    if _level is None:
+        name = os.environ.get(LOG_LEVEL_ENV, "info").strip().lower()
+        _level = _LEVELS.get(name, 20)
+    return _level
+
+
+def set_level(name: str) -> None:
+    """Override the process log level (e.g. from a CLI flag)."""
+    global _level
+    _level = _LEVELS.get(name.strip().lower(), 20)
+
+
+class StructuredLogger:
+    """Named emitter of one-line JSON records."""
+
+    __slots__ = ("name", "stream")
+
+    def __init__(self, name: str, stream: Optional[TextIO] = None):
+        self.name = name
+        self.stream = stream
+
+    def _emit(self, level: str, msg: str, fields: Dict[str, Any]) -> None:
+        if _LEVELS[level] < _threshold():
+            return
+        record: Dict[str, Any] = {
+            "ts": round(time.time(), 6),
+            "level": level,
+            "logger": self.name,
+            "msg": msg,
+        }
+        span = current_span()
+        if span is not None and span.context is not None:
+            record["trace_id"] = span.context.trace_id
+            record["span_id"] = span.context.span_id
+        for key, value in fields.items():
+            if key not in record:
+                record[key] = value
+        try:
+            line = json.dumps(record, default=str)
+        except (TypeError, ValueError):  # pragma: no cover - defensive
+            line = json.dumps({"level": level, "logger": self.name, "msg": msg})
+        stream = self.stream or sys.stderr
+        try:
+            stream.write(line + "\n")
+        except (OSError, ValueError):  # pragma: no cover - closed stream
+            pass
+
+    def debug(self, msg: str, **fields: Any) -> None:
+        self._emit("debug", msg, fields)
+
+    def info(self, msg: str, **fields: Any) -> None:
+        self._emit("info", msg, fields)
+
+    def warning(self, msg: str, **fields: Any) -> None:
+        self._emit("warn", msg, fields)
+
+    def error(self, msg: str, **fields: Any) -> None:
+        self._emit("error", msg, fields)
+
+
+def get_logger(name: str) -> StructuredLogger:
+    with _lock:
+        logger = _loggers.get(name)
+        if logger is None:
+            logger = StructuredLogger(name)
+            _loggers[name] = logger
+        return logger

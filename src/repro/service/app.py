@@ -17,6 +17,8 @@ Routes:
 ``DELETE /v1/jobs/<id>``  cancel (409 already terminal)
 ``GET /healthz``      liveness + queue/executor facts
 ``GET /metrics``      Prometheus text exposition
+``GET /v1/traces/<id>``  collected trace (404 unknown; coordinators
+                      merge their workers' spans into the view)
 ====================  ====================================================
 
 With ``coordinator=True`` (``repro serve --coordinator``) the fabric
@@ -48,6 +50,14 @@ import threading
 from typing import Any, Dict, Optional, Sequence, Tuple, Union
 
 from repro.errors import ProtocolError, QueueFullError, ServiceError
+from repro.obs.log import get_logger
+from repro.obs.trace import (
+    NOOP_SPAN,
+    Tracer,
+    activate_tracer,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.service.jobs import (
     STATE_CANCELLED,
     STATE_DONE,
@@ -56,6 +66,8 @@ from repro.service.jobs import (
 )
 from repro.service.protocol import parse_job
 from repro.service.telemetry import ServiceTelemetry
+
+_log = get_logger("repro.service.app")
 
 _MAX_HEADER_BYTES = 32 * 1024
 _MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -214,11 +226,18 @@ class ServiceApp:
     """
 
     def __init__(self, manager: JobManager, telemetry: ServiceTelemetry,
-                 coordinator=None):
+                 coordinator=None, tracer: Optional[Tracer] = None,
+                 traces=None):
         self.manager = manager
         self.telemetry = telemetry
         self.executor = manager.executor
         self.coordinator = coordinator
+        # Tracer and trace store are *per app* (not process globals):
+        # tests boot a coordinator and several workers in one process,
+        # and each node must keep its own spans for the cross-node
+        # merge at GET /v1/traces/<id> to mean anything.
+        self.tracer = tracer if tracer is not None else manager.tracer
+        self.traces = traces if traces is not None else manager.trace_store
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -285,27 +304,61 @@ class ServiceApp:
         if request is None:  # client went away before a full request
             return None
         self.telemetry.http_requests.inc()
-        try:
-            response = self.route(request)
-            if asyncio.iscoroutine(response):
-                response = await response
-        except ProtocolError as exc:
-            response = _Response(400, {"error": str(exc)})
-        except QueueFullError as exc:
-            response = _Response(
-                429,
-                {"error": str(exc), "retry_after": exc.retry_after},
-                headers={"Retry-After": str(int(exc.retry_after or 1))},
-            )
-        except ServiceError as exc:
-            response = _Response(exc.status or 500, {"error": str(exc)})
-        except Exception as exc:  # defensive: never kill the connection task
-            response = _Response(
-                500, {"error": f"{type(exc).__name__}: {exc}"}
-            )
+        span = self._request_span(request)
+        with activate_tracer(self.tracer):
+            with span:
+                try:
+                    response = self.route(request)
+                    if asyncio.iscoroutine(response):
+                        response = await response
+                except ProtocolError as exc:
+                    response = _Response(400, {"error": str(exc)})
+                except QueueFullError as exc:
+                    response = _Response(
+                        429,
+                        {"error": str(exc), "retry_after": exc.retry_after},
+                        headers={"Retry-After": str(int(exc.retry_after or 1))},
+                    )
+                except ServiceError as exc:
+                    response = _Response(exc.status or 500, {"error": str(exc)})
+                except Exception as exc:  # defensive: never kill the connection task
+                    response = _Response(
+                        500, {"error": f"{type(exc).__name__}: {exc}"}
+                    )
+                if span.recording and isinstance(response, _Response):
+                    span.set_attribute("http.status", response.status)
+                    if response.status >= 400:
+                        error = None
+                        if isinstance(response.payload, dict):
+                            error = response.payload.get("error")
+                        span.set_status("error", error or str(response.status))
+                    # Echo the trace id so callers that did not send a
+                    # traceparent learn which trace their request rooted.
+                    response.headers.setdefault(
+                        "traceparent", format_traceparent(span.context)
+                    )
         if not isinstance(response, _StreamResponse) and response.status >= 400:
             self.telemetry.http_errors.inc()
         return response
+
+    def _request_span(self, request: _Request):
+        """The span for one request, or :data:`NOOP_SPAN`.
+
+        A sampled incoming ``traceparent`` is always honoured (that is
+        how coordinator→worker and client→service hops join one
+        trace).  Without one, only POSTs may root a new trace (subject
+        to the sampling rate) — polls, result fetches and metrics
+        scrapes never start traces of their own.
+        """
+        ctx = parse_traceparent(request.headers.get("traceparent"))
+        name = f"http {request.method} {request.path}"
+        if ctx is not None:
+            if not ctx.sampled:
+                return NOOP_SPAN
+            return self.tracer.start_span(name, parent=ctx)
+        if request.method == "POST":
+            return self.tracer.start_span(name, parent=None, root=True)
+        return NOOP_SPAN
 
     # ------------------------------------------------------------------
     # routing
@@ -341,6 +394,11 @@ class ServiceApp:
             job_id = path[len("/v1/results/"):]
             return self._require(
                 method, "GET", lambda _req: self._result(job_id)
+            )(request)
+        if path.startswith("/v1/traces/"):
+            trace_id = path[len("/v1/traces/"):]
+            return self._require(
+                method, "GET", lambda _req: self._trace(trace_id)
             )(request)
         raise ServiceError(f"no route for {method} {request.path}",
                            status=404)
@@ -455,11 +513,39 @@ class ServiceApp:
     async def _fleet_metrics(self, _request: _Request) -> _Response:
         from repro.service.telemetry import merge_expositions
 
-        texts = [self.telemetry.render()]
-        texts.extend(await self.coordinator.fleet_expositions())
+        pairs = await self.coordinator.fleet_expositions()
+        texts = [self.telemetry.render()] + [text for _url, text in pairs]
+        labels = [None] + [url for url, _text in pairs]
         return _Response(
-            200, merge_expositions(texts),
+            200, merge_expositions(texts, worker_labels=labels),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _trace(self, trace_id: str) -> _Response:
+        """One collected trace, merged across the fleet on coordinators.
+
+        Workers keep their own ring-buffer stores; the coordinator
+        fetches their ``/v1/traces/<id>`` views and merges by span id,
+        so one request returns the complete cross-node span tree.
+        """
+        local = self.traces.get(trace_id) if self.traces is not None else None
+        merged = list(local or [])
+        seen = {doc.get("span_id") for doc in merged if doc.get("span_id")}
+        if self.coordinator is not None:
+            for worker_spans in await self.coordinator.fleet_traces(trace_id):
+                for doc in worker_spans:
+                    span_id = doc.get("span_id")
+                    if span_id and span_id in seen:
+                        continue
+                    if span_id:
+                        seen.add(span_id)
+                    merged.append(doc)
+        if not merged:
+            raise ServiceError(f"unknown trace {trace_id!r}", status=404)
+        from repro.obs.export import sort_spans
+
+        return _Response(
+            200, {"trace_id": trace_id, "spans": sort_spans(merged)}
         )
 
     # ------------------------------------------------------------------
@@ -545,6 +631,8 @@ def build_service(
     lease_timeout_s: float = 120.0,
     steal_after_s: float = 5.0,
     shard_size: Optional[int] = None,
+    trace_sample: float = 1.0,
+    service_name: Optional[str] = None,
 ) -> ServiceApp:
     """Wire executor + telemetry + job manager into a routable app.
 
@@ -558,7 +646,14 @@ def build_service(
     workers named up front (``--worker-url``) with capacity 1 each;
     self-registering workers (``--coordinator-url``) report their real
     pool size instead.
+
+    ``trace_sample`` is the head-based sampling rate for new traces
+    rooted at this node (``--trace-sample``; ``0`` disables tracing —
+    job latency histograms still work, they read the timing-only span
+    path).  ``service_name`` labels this node's spans in exported
+    traces; it defaults to the node's role.
     """
+    from repro.obs.store import TraceStore
     from repro.service.executor import AnalysisExecutor
 
     if telemetry is None:
@@ -569,12 +664,22 @@ def build_service(
             cache_dir=cache_dir,
             max_cache_bytes=max_cache_bytes,
         )
+    if service_name is None:
+        service_name = "coordinator" if coordinator else "service"
+    traces = TraceStore()
+    tracer = Tracer(
+        service=service_name,
+        sample=trace_sample,
+        sink=traces.sink if trace_sample > 0 else None,
+    )
     manager = JobManager(
         executor,
         telemetry,
         max_queue=max_queue,
         job_timeout_s=job_timeout_s,
         dispatchers=dispatchers,
+        tracer=tracer,
+        trace_store=traces,
     )
     coord = None
     if coordinator:
@@ -588,10 +693,13 @@ def build_service(
             lease_timeout_s=lease_timeout_s,
             steal_after_s=steal_after_s,
             shard_size=shard_size,
+            tracer=tracer,
         )
         for url in worker_urls:
             coord.register_worker(url)
-    return ServiceApp(manager, telemetry, coordinator=coord)
+    return ServiceApp(
+        manager, telemetry, coordinator=coord, tracer=tracer, traces=traces
+    )
 
 
 async def run_server(

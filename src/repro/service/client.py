@@ -97,6 +97,7 @@ class ServiceClient:
         backoff_cap: float = 2.0,
         sleep: Callable[[float], None] = time.sleep,
         rng: Callable[[], float] = random.random,
+        traceparent: Optional[str] = None,
     ):
         self.host = host
         self.port = port
@@ -106,12 +107,16 @@ class ServiceClient:
         self.backoff_cap = backoff_cap
         self._sleep = sleep
         self._rng = rng
+        #: Default W3C ``traceparent`` header sent with every request
+        #: (per-call ``traceparent=`` arguments override it).
+        self.traceparent = traceparent
 
     # ------------------------------------------------------------------
     # transport
     # ------------------------------------------------------------------
     def _once(self, method: str, path: str,
-              body: Optional[Dict[str, Any]] = None
+              body: Optional[Dict[str, Any]] = None,
+              traceparent: Optional[str] = None,
               ) -> Tuple[int, Dict[str, str], Any]:
         """One HTTP round-trip: (status, headers, decoded body)."""
         conn = http.client.HTTPConnection(
@@ -123,6 +128,9 @@ class ServiceClient:
             if body is not None:
                 payload = json.dumps(body)
                 headers["Content-Type"] = "application/json"
+            tp = traceparent if traceparent is not None else self.traceparent
+            if tp:
+                headers["traceparent"] = tp
             conn.request(method, path, body=payload, headers=headers)
             response = conn.getresponse()
             raw = response.read()
@@ -138,7 +146,8 @@ class ServiceClient:
 
     def _request(self, method: str, path: str,
                  body: Optional[Dict[str, Any]] = None,
-                 max_retries: Optional[int] = None) -> Any:
+                 max_retries: Optional[int] = None,
+                 traceparent: Optional[str] = None) -> Any:
         """A round-trip with the retry/backoff policy applied.
 
         Raises :class:`ServiceError` carrying the final status (and
@@ -146,10 +155,16 @@ class ServiceClient:
         response that outlived the retries.
         """
         retries = self.max_retries if max_retries is None else max_retries
+        # Pass traceparent positionally only when set: tests (and
+        # subclasses) stub ``_once`` with the historical three-argument
+        # signature, which untraced requests must keep satisfying.
+        extra = (traceparent,) if traceparent is not None else ()
         attempt = 0
         while True:
             try:
-                status, headers, decoded = self._once(method, path, body)
+                status, headers, decoded = self._once(
+                    method, path, body, *extra
+                )
             except (ConnectionError, OSError) as exc:
                 if attempt >= retries:
                     raise ServiceError(
@@ -183,11 +198,13 @@ class ServiceClient:
     # the job protocol
     # ------------------------------------------------------------------
     def submit(self, kind: str, max_retries: Optional[int] = None,
+               traceparent: Optional[str] = None,
                **params: Any) -> Dict[str, Any]:
         """Submit a job; returns its record (see :class:`Job`)."""
         body = {"kind": kind, "params": params}
         return self._request(
-            "POST", "/v1/jobs", body=body, max_retries=max_retries
+            "POST", "/v1/jobs", body=body, max_retries=max_retries,
+            traceparent=traceparent,
         )["job"]
 
     def status(self, job_id: str) -> Dict[str, Any]:
@@ -236,10 +253,12 @@ class ServiceClient:
         return self._request("POST", "/v1/fabric/workers", body=body)["worker"]
 
     def submit_fabric_sweep(self, tenant: str = "default",
+                            traceparent: Optional[str] = None,
                             **params: Any) -> Dict[str, Any]:
         """Submit a distributed sweep; returns its record (with ``id``)."""
         body = {"tenant": tenant, "params": params}
-        return self._request("POST", "/v1/fabric/sweeps", body=body)["sweep"]
+        return self._request("POST", "/v1/fabric/sweeps", body=body,
+                             traceparent=traceparent)["sweep"]
 
     def fabric_sweep(self, sweep_id: str) -> Dict[str, Any]:
         """The current record of a distributed sweep."""
@@ -352,6 +371,15 @@ class ServiceClient:
     def metrics(self) -> str:
         """The raw ``/metrics`` text exposition."""
         return self._request("GET", "/metrics")
+
+    def trace(self, trace_id: str) -> Dict[str, Any]:
+        """One collected trace: ``{"trace_id", "spans": [...]}``.
+
+        On a coordinator this merges the spans its workers collected
+        for the same trace id.  404 (raised as :class:`ServiceError`)
+        means the node never sampled that trace or has evicted it.
+        """
+        return self._request("GET", f"/v1/traces/{trace_id}", max_retries=0)
 
 
 def _read_stream_head(sock: "socket.socket") -> Tuple[int, bytes]:

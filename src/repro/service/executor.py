@@ -47,6 +47,14 @@ from repro.experiments.report import (
 )
 from repro.experiments.sweep import resolve_workers
 from repro.experiments.usecase import UseCase, UseCaseResult, run_usecase
+from repro.obs.trace import (
+    SpanCollector,
+    Tracer,
+    activate_tracer,
+    current_context,
+    format_traceparent,
+    parse_traceparent,
+)
 from repro.service.protocol import JobRequest
 
 
@@ -81,12 +89,36 @@ def execute_job(payload: Dict[str, Any]) -> Dict[str, Any]:
 
     Module-level so it pickles under every multiprocessing start
     method.  ``payload`` is ``{"kind", "params", "cache_dir"}`` with
-    ``params`` in canonical (:meth:`JobRequest.params_dict`) form.
+    ``params`` in canonical (:meth:`JobRequest.params_dict`) form, plus
+    an optional ``traceparent``: when that carries a sampled trace, a
+    one-shot tracer collects the pool-side spans (``pool.execute`` down
+    to the pipeline stages) and rides them back on the result document
+    under the reserved ``__spans__`` key, which the job layer strips
+    into the node's trace store before the result is served or cached.
     """
     kind = payload["kind"]
     params = payload["params"]
     cache_dir = payload.get("cache_dir")
 
+    ctx = parse_traceparent(payload.get("traceparent"))
+    if ctx is None or not ctx.sampled:
+        return _execute(kind, params, cache_dir)
+
+    collector = SpanCollector()
+    tracer = Tracer(service="pool", sample=1.0, sink=collector.add)
+    with activate_tracer(tracer):
+        with tracer.start_span(
+            "pool.execute",
+            parent=ctx,
+            attributes={"kind": kind, "pid": os.getpid()},
+        ):
+            result = _execute(kind, params, cache_dir)
+    if isinstance(result, dict):
+        result["__spans__"] = collector.drain()
+    return result
+
+
+def _execute(kind, params, cache_dir) -> Dict[str, Any]:
     if kind == "shard":
         # Fabric shard: an explicit case list from a coordinator.  The
         # per-case retry/fault semantics and the result documents live
@@ -192,6 +224,13 @@ class AnalysisExecutor:
             "params": request.params_dict(),
             "cache_dir": str(self.disk.root) if self.disk is not None else None,
         }
+        # Thread the ambient trace (the job span, activated by the job
+        # layer around this call) into the pool process.  The context
+        # rides the payload, never the request: fingerprints and cache
+        # keys stay trace-agnostic.
+        ctx = current_context()
+        if ctx is not None and ctx.sampled:
+            payload["traceparent"] = format_traceparent(ctx)
         pool = self._ensure_pool()
         try:
             future = pool.submit(execute_job, payload)

@@ -35,8 +35,12 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import QueueFullError, ServiceError
+from repro.obs.log import get_logger
+from repro.obs.trace import NOOP_SPAN, Tracer, use_span
 from repro.service.protocol import JobRequest
 from repro.service.telemetry import ServiceTelemetry
+
+_log = get_logger("repro.service.jobs")
 
 STATE_QUEUED = "queued"
 STATE_RUNNING = "running"
@@ -158,6 +162,7 @@ class _Computation:
         self.jobs: List[Job] = [job]
         self.cancelled = False
         self.future = None  # the pool future, once dispatched
+        self.span = NOOP_SPAN  # the job span (timing source), set by submit()
 
 
 class JobManager:
@@ -181,11 +186,15 @@ class JobManager:
         max_queue: int = 64,
         job_timeout_s: Optional[float] = 600.0,
         dispatchers: Optional[int] = None,
+        tracer: Optional[Tracer] = None,
+        trace_store=None,
     ):
         if max_queue < 1:
             raise ServiceError(f"max_queue must be >= 1, got {max_queue}")
         self.executor = executor
         self.telemetry = telemetry
+        self.tracer = tracer if tracer is not None else Tracer(service="service")
+        self.trace_store = trace_store
         self.max_queue = max_queue
         self.job_timeout_s = (
             job_timeout_s if job_timeout_s and job_timeout_s > 0 else None
@@ -248,6 +257,7 @@ class JobManager:
             comp.jobs.append(job)
             self.jobs[job.id] = job
             self.telemetry.jobs_coalesced.inc()
+            comp.span.add_event("coalesced", job_id=job.id)
             return job
 
         cached = self.executor.probe_cache(request)
@@ -261,9 +271,23 @@ class JobManager:
             self.jobs[job.id] = job
             self.telemetry.cache_hits.inc()
             self.telemetry.jobs_completed.inc()
+            span = self.tracer.start_span(
+                "job",
+                attributes={"kind": request.kind, "job_id": job.id,
+                            "cached": True},
+            )
+            span.end()
             return job
 
         comp = _Computation(key, request, job)
+        # The job span is the single timing source for queue-wait and
+        # execution histograms, so it exists (timed) even when tracing
+        # is off; its ids only materialise under a sampled trace.
+        comp.span = self.tracer.start_span(
+            "job",
+            timed=True,
+            attributes={"kind": request.kind, "job_id": job.id},
+        )
         try:
             self._queue.put_nowait(comp)
         except asyncio.QueueFull:
@@ -307,6 +331,8 @@ class JobManager:
             comp.jobs = [j for j in comp.jobs if j.id != job.id]
             if not comp.jobs:
                 comp.cancelled = True
+                comp.span.set_status("cancelled")
+                comp.span.end()
                 if comp.future is not None:
                     comp.future.cancel()
                 if self._inflight.get(comp.key) is comp:
@@ -334,18 +360,23 @@ class JobManager:
 
     async def _run_computation(self, comp: _Computation) -> None:
         if comp.cancelled:
+            comp.span.end()
             return
         now = time.time()
         for job in comp.jobs:
             job.state = STATE_RUNNING
             job.started_at = now
         self.telemetry.computations.inc()
-        start = time.monotonic()
+        comp.span.add_event("started")
         attempt = 0
         while True:
             attempt += 1
             try:
-                comp.future = self.executor.submit(comp.request)
+                # Activate the job span around dispatch so the real
+                # executor can thread the trace context into the pool
+                # payload (stub executors just ignore the ambient span).
+                with use_span(comp.span):
+                    comp.future = self.executor.submit(comp.request)
             except Exception as exc:  # pool is gone / cannot spawn
                 self._finish_failed(
                     comp, f"dispatch failed: {exc}",
@@ -380,6 +411,14 @@ class JobManager:
                 if (transient and attempt < JOB_MAX_ATTEMPTS
                         and not comp.cancelled):
                     self.telemetry.job_retries.inc()
+                    comp.span.add_event(
+                        "retry", attempt=attempt, error=type(exc).__name__
+                    )
+                    _log.warning(
+                        "job retry after transient pool failure",
+                        kind=comp.request.kind, attempt=attempt,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                     recover = getattr(self.executor, "recover", None)
                     if recover is not None:
                         try:
@@ -398,8 +437,7 @@ class JobManager:
                 )
                 return
             else:
-                elapsed = time.monotonic() - start
-                self.telemetry.job_latency_seconds.observe(elapsed)
+                comp.span.set_attribute("attempts", attempt)
                 self._finish_done(comp, result)
                 return
 
@@ -410,8 +448,16 @@ class JobManager:
 
     def _finish_done(self, comp: _Computation, result: Dict[str, Any]) -> None:
         self._release(comp)
+        # Spans collected inside the pool ride the result document under
+        # a reserved key; strip them before the result is stored/served.
+        if isinstance(result, dict):
+            pool_spans = result.pop("__spans__", None)
+            if pool_spans and self.trace_store is not None:
+                self.trace_store.add_many(pool_spans)
+        comp.span.end()
         if comp.cancelled:
             return  # every attached job was cancelled mid-flight
+        self.telemetry.record_job_span(comp.span)
         self.telemetry.record_pipeline(_pipeline_counters(result))
         self.telemetry.record_job_result(result)
         now = time.time()
@@ -430,8 +476,15 @@ class JobManager:
         transient: bool = False,
     ) -> None:
         self._release(comp)
+        comp.span.set_status("error", f"{error_type}: {error}")
+        comp.span.set_attribute("attempts", attempts)
+        comp.span.end()
         if comp.cancelled:
             return
+        _log.warning(
+            "job failed", error_type=error_type, message=error,
+            attempts=attempts, transient=transient,
+        )
         failure = {
             "error_type": error_type,
             "message": error,

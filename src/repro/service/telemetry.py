@@ -242,7 +242,14 @@ class ServiceTelemetry:
         computations: Payloads actually dispatched to the pool.
         http_requests: All HTTP requests served.
         http_errors: Responses with status >= 400.
-        job_latency_seconds: Wall-time histogram of pool computations.
+        job_latency_seconds: End-to-end job latency histogram
+            (queue wait + execution), derived from the job span.
+        job_queue_wait_seconds: Histogram of submit→dispatch queue
+            wait, derived from the job span's ``queued``/``started``
+            events.
+        job_execution_seconds: Histogram of dispatch→completion wall
+            time (includes transient-retry backoff), derived from the
+            job span.
         queue_depth: Current bounded-queue occupancy.
         jobs_inflight: Computations currently queued or running.
         pipeline_stage_hits: Analysis-pipeline cache hits (structural +
@@ -297,7 +304,14 @@ class ServiceTelemetry:
         self.http_errors = r.counter(
             "http_errors", "HTTP responses with status >= 400")
         self.job_latency_seconds = r.histogram(
-            "job_latency_seconds", "Wall time of pool computations")
+            "job_latency_seconds",
+            "End-to-end job latency (queue wait + execution)")
+        self.job_queue_wait_seconds = r.histogram(
+            "job_queue_wait_seconds",
+            "Time between job acceptance and dispatch to the pool")
+        self.job_execution_seconds = r.histogram(
+            "job_execution_seconds",
+            "Time between pool dispatch and job completion")
         self.queue_depth = r.gauge(
             "queue_depth", "Current job-queue occupancy")
         self.jobs_inflight = r.gauge(
@@ -397,6 +411,25 @@ class ServiceTelemetry:
         if counters.get("invalidations"):
             self.pipeline_invalidations.inc(counters["invalidations"])
 
+    def record_job_span(self, span) -> None:
+        """Derive latency histograms from a finished job span.
+
+        The job span is the single timing source: its ``started`` event
+        offset splits the total duration into queue wait (acceptance →
+        pool dispatch) and execution (dispatch → completion).  Jobs
+        that never dispatched (cached, cancelled while queued) observe
+        queue wait only.
+        """
+        total = span.duration_s
+        started = span.event_offset("started")
+        if started is None:
+            self.job_queue_wait_seconds.observe(total)
+            return
+        wait = max(0.0, min(started, total))
+        self.job_queue_wait_seconds.observe(wait)
+        self.job_execution_seconds.observe(total - wait)
+        self.job_latency_seconds.observe(total)
+
     def retry_after_hint(self) -> int:
         """Suggested ``Retry-After`` seconds when the queue is full.
 
@@ -410,7 +443,17 @@ class ServiceTelemetry:
         return self.registry.render()
 
 
-def merge_expositions(expositions: Sequence[str]) -> str:
+def _label_sample(sample: str, label_pair: str) -> str:
+    """Append one ``key="value"`` pair to a sample's label set."""
+    if sample.endswith("}") and "{" in sample:
+        return sample[:-1] + "," + label_pair + "}"
+    return sample + "{" + label_pair + "}"
+
+
+def merge_expositions(
+    expositions: Sequence[str],
+    worker_labels: Optional[Sequence[Optional[str]]] = None,
+) -> str:
     """Merge Prometheus text expositions by summing identical samples.
 
     The coordinator's fleet ``/metrics`` view: every sample line whose
@@ -421,13 +464,26 @@ def merge_expositions(expositions: Sequence[str]) -> str:
     ``# TYPE`` comments are kept from their first occurrence; metric
     and sample order follow first appearance, so merging one exposition
     with itself is shape-preserving.
+
+    ``worker_labels``, when given, runs parallel to ``expositions``: a
+    non-``None`` entry additionally emits every sample of that
+    exposition as a per-worker series labelled ``worker="<label>"``
+    next to the fleet total, so a straggler node is identifiable from
+    the merged ``/metrics`` alone.
     """
     meta: Dict[str, Dict[str, str]] = {}
     metric_order: List[str] = []
     sample_order: Dict[str, List[str]] = {}
     values: Dict[str, float] = {}
 
-    for text in expositions:
+    for index, text in enumerate(expositions):
+        label = None
+        if worker_labels is not None and index < len(worker_labels):
+            label = worker_labels[index]
+        label_pair = None
+        if label is not None:
+            escaped = str(label).replace("\\", "\\\\").replace('"', '\\"')
+            label_pair = f'worker="{escaped}"'
         for line in text.splitlines():
             line = line.rstrip()
             if not line:
@@ -461,6 +517,12 @@ def merge_expositions(expositions: Sequence[str]) -> str:
                 order.append(sample)
                 values[sample] = 0.0
             values[sample] += value
+            if label_pair is not None:
+                labelled = _label_sample(sample, label_pair)
+                if labelled not in values:
+                    order.append(labelled)
+                    values[labelled] = 0.0
+                values[labelled] += value
 
     lines: List[str] = []
     for name in metric_order:
