@@ -63,10 +63,12 @@ from repro.cache.abstract import MayState, MustState
 from repro.cache.classify import (
     CacheAnalysis,
     DataflowResult,
+    analyze_l2_must,
     classify_references,
+    l2_guaranteed_hits,
     propagate,
 )
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, HierarchyConfig, hierarchy_for
 from repro.cache.kernel import (
     BlockUniverse,
     DenseDataflowResult,
@@ -517,7 +519,14 @@ class AnalysisPipeline:
         kernel: Abstract-domain implementation: ``"python"`` (the
             verified oracle), ``"vectorized"`` (the dense numpy kernel,
             bit-identical by the differential suite), or ``None`` to
-            follow ``REPRO_CACHE_KERNEL`` (default ``python``).
+            follow ``REPRO_CACHE_KERNEL`` (default ``vectorized``).
+        hierarchy: Optional multi-level
+            :class:`~repro.cache.config.HierarchyConfig`; its L1 must
+            equal ``config``.  Adds an L2 must stage (python-kernel
+            :func:`~repro.cache.classify.analyze_l2_must` over the
+            classification-filtered stream, delta-warm-started at the
+            same divergence boundary) after classification.  ``None``
+            keeps the single-level analysis bit-identical to before.
     """
 
     #: LRU capacities.  Structural artifacts and dataflow results are
@@ -538,6 +547,7 @@ class AnalysisPipeline:
         differential: bool = False,
         stats: Optional[PipelineStats] = None,
         kernel: Optional[str] = None,
+        hierarchy: Optional[HierarchyConfig] = None,
     ):
         self.config = config
         self.timing = timing
@@ -547,10 +557,17 @@ class AnalysisPipeline:
         self.differential = differential
         self.stats = stats if stats is not None else PipelineStats()
         self.kernel = resolve_kernel(kernel)
+        if hierarchy is not None and hierarchy.l1 != config:
+            raise AnalysisError(
+                f"hierarchy L1 {hierarchy.l1.label()} does not match the "
+                f"pipeline configuration {config.label()}"
+            )
+        self.hierarchy = hierarchy
         self._transfer: Dict[str, TransferCache] = {
             "must": TransferCache(self.stats),
             "may": TransferCache(self.stats),
             "persistence": TransferCache(self.stats),
+            "l2-must": TransferCache(self.stats),
         }
         #: Vectorized-kernel state: one block universe shared by every
         #: schedule/dense matrix of this pipeline (rebuilt with headroom
@@ -573,6 +590,7 @@ class AnalysisPipeline:
     def for_options(cls, config: CacheConfig, timing: TimingModel, options,
                     **kwargs) -> "AnalysisPipeline":
         """A pipeline matching an :class:`~repro.core.optimizer.OptimizerOptions`."""
+        l2_spec = getattr(options, "l2", None)
         return cls(
             config,
             timing,
@@ -580,16 +598,20 @@ class AnalysisPipeline:
             locked_blocks=options.locked_blocks,
             base_address=options.base_address,
             kernel=getattr(options, "kernel", None),
+            hierarchy=hierarchy_for(config, l2_spec) if l2_spec else None,
             **kwargs,
         )
 
     def matches_options(self, options) -> bool:
         """Whether this pipeline's fixed context agrees with ``options``."""
+        l2_spec = getattr(options, "l2", None)
+        wanted = hierarchy_for(self.config, l2_spec) if l2_spec else None
         return (
             self.with_persistence == options.with_persistence
             and self.locked_blocks == frozenset(options.locked_blocks or ())
             and self.base_address == options.base_address
             and self.kernel == resolve_kernel(getattr(options, "kernel", None))
+            and self.hierarchy == wanted
         )
 
     # ------------------------------------------------------------------
@@ -642,8 +664,14 @@ class AnalysisPipeline:
             self.stats.cold_runs += 1
             boundary = 0
 
+        level2 = self.hierarchy.l2_level if self.hierarchy is not None else None
         domains = ["must"]
-        if with_may:
+        # A second level implies the may domain: the L2 access plan's
+        # definite accesses are the L1 always-misses (see
+        # classify.l2_access_plan), so the fixpoint must have may even
+        # in the optimizer's must-only hot loop — and the plan (hence
+        # τ_w) stays identical across the caller's with_may choices.
+        if with_may or level2 is not None:
             domains.append("may")
         if self.with_persistence:
             domains.append("persistence")
@@ -699,6 +727,22 @@ class AnalysisPipeline:
                 dataflows.get("may"),
                 dataflows.get("persistence"),
             )
+
+        if level2 is not None:
+            with self._stage("l2"):
+                l2_must = self._l2_stage(
+                    artifacts,
+                    classifications,
+                    base if use_delta else None,
+                    boundary,
+                    level2.config,
+                    dataflows.get("may"),
+                )
+                dataflows["l2-must"] = l2_must
+                cache_analysis.l2_must = l2_must
+                cache_analysis.l2_hits = l2_guaranteed_hits(
+                    acfg, classifications, l2_must
+                )
 
         with self._stage("guard"):
             t_w = compute_ref_times(acfg, cache_analysis, self.timing)
@@ -840,6 +884,55 @@ class AnalysisPipeline:
             self.stats.invalidations += 1
         return result
 
+    def _l2_stage(
+        self,
+        artifacts: StructuralArtifacts,
+        classifications,
+        base: Optional[PipelineResult],
+        boundary: int,
+        l2_config: CacheConfig,
+        may: Optional[DataflowResult],
+    ) -> DataflowResult:
+        """The L2 must fixpoint over the classification-filtered stream.
+
+        Runs the python :func:`~repro.cache.classify.analyze_l2_must`
+        under both kernels (the maybe-access op has no dense
+        counterpart; the plan is derived from the kernel-independent L1
+        classification and may states, so the result is too).
+        Warm-starting at the divergence boundary is sound because the
+        prefix classifications and may in-states — and with them the
+        L2 access plan — are unchanged there.
+        """
+        key = (artifacts.key, "l2-must")
+        hit = self._dataflow_cache.get(key)
+        if hit is not None:
+            self._dataflow_cache.move_to_end(key)
+            self.stats.dataflow_hits += 1
+            return hit
+        self.stats.dataflow_misses += 1
+        base_df = (
+            base.dataflows.get("l2-must")
+            if base is not None and boundary > 0
+            else None
+        )
+        warm = None
+        if base_df is not None:
+            warm = (boundary, base_df.in_states, base_df.out_states)
+        result = analyze_l2_must(
+            artifacts.acfg,
+            l2_config,
+            classifications,
+            locked_blocks=self.locked_blocks or None,
+            transfer=self._transfer["l2-must"],
+            warm=warm,
+            may=may,
+        )
+        self._dataflow_cache[key] = result
+        while len(self._dataflow_cache) > self.MAX_DATAFLOW:
+            self._dataflow_cache.popitem(last=False)
+            self.stats.invalidations += 1
+        return result
+
     def _dense_dataflow_stage(
         self,
         artifacts: StructuralArtifacts,
@@ -958,6 +1051,7 @@ class AnalysisPipeline:
             with_may=with_may,
             with_persistence=self.with_persistence,
             locked_blocks=self.locked_blocks or None,
+            hierarchy=self.hierarchy,
         )
         problems = []
         if wcet.tau_w != cold.tau_w:
@@ -968,6 +1062,10 @@ class AnalysisPipeline:
             problems.append("t_w differs")
         if wcet.latency_guarded != cold.latency_guarded:
             problems.append("latency_guarded differs")
+        if (wcet.cache.l2_hits or frozenset()) != (
+            cold.cache.l2_hits or frozenset()
+        ):
+            problems.append("l2_hits differ")
         if wcet.solution.n_w != cold.solution.n_w:
             problems.append("n_w differs")
         if wcet.persistent_charged_blocks != cold.persistent_charged_blocks:

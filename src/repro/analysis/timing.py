@@ -20,6 +20,7 @@ configuration and technology node.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import AnalysisError
 
@@ -31,14 +32,19 @@ class TimingModel:
     Attributes:
         hit_cycles: Cache-hit service time.
         miss_penalty_cycles: Extra cycles to fetch a block from the
-            level-two memory (DRAM).
+            backstop memory (DRAM); in a multi-level hierarchy this is
+            the *full* L1-miss-to-DRAM penalty (L2 probe included).
         prefetch_issue_cycles: Pipeline slot consumed by executing a
             prefetch instruction (its transfer is non-blocking).
+        l2_hit_penalty_cycles: Extra cycles for a fetch that misses L1
+            but is served by the second-level cache; ``None`` models
+            the single-level memory system (L1 straight to DRAM).
     """
 
     hit_cycles: int = 1
     miss_penalty_cycles: int = 30
     prefetch_issue_cycles: int = 1
+    l2_hit_penalty_cycles: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.hit_cycles < 1:
@@ -47,11 +53,25 @@ class TimingModel:
             raise AnalysisError("miss_penalty_cycles must be >= 1")
         if self.prefetch_issue_cycles < 0:
             raise AnalysisError("prefetch_issue_cycles must be >= 0")
+        if self.l2_hit_penalty_cycles is not None:
+            if self.l2_hit_penalty_cycles < 1:
+                raise AnalysisError("l2_hit_penalty_cycles must be >= 1")
+            if self.l2_hit_penalty_cycles >= self.miss_penalty_cycles:
+                raise AnalysisError(
+                    "an L2 hit must be cheaper than the full miss penalty"
+                )
 
     @property
     def miss_cycles(self) -> int:
         """Total service time of a demand miss."""
         return self.hit_cycles + self.miss_penalty_cycles
+
+    @property
+    def l2_hit_cycles(self) -> int:
+        """Total service time of a fetch served by the L2 cache."""
+        if self.l2_hit_penalty_cycles is None:
+            raise AnalysisError("timing model has no second level")
+        return self.hit_cycles + self.l2_hit_penalty_cycles
 
     @property
     def prefetch_latency(self) -> int:

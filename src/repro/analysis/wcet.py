@@ -40,15 +40,24 @@ def compute_ref_times(
 
     References classified always-hit cost the hit latency; always-miss
     and not-classified references are conservatively charged the miss
-    latency.  A software prefetch additionally occupies its issue slot
-    (its block transfer is non-blocking and not charged here).
-    Non-reference vertices cost nothing.
+    latency — unless the second-level analysis proved the block resident
+    in L2 (``analysis.l2_hits``), in which case the L2 service time
+    bounds the worst case.  A software prefetch additionally occupies
+    its issue slot (its block transfer is non-blocking and not charged
+    here).  Non-reference vertices cost nothing.
     """
     times: List[float] = [0.0] * len(acfg.vertices)
+    l2_hits = (
+        analysis.l2_hits
+        if timing.l2_hit_penalty_cycles is not None and analysis.l2_hits
+        else frozenset()
+    )
     for vertex in acfg.ref_vertices():
         rid = vertex.rid
         if analysis.classification(rid).is_hit:
             cost = float(timing.hit_cycles)
+        elif rid in l2_hits:
+            cost = float(timing.l2_hit_cycles)
         else:
             cost = float(timing.miss_cycles)
         if vertex.is_prefetch:
@@ -135,6 +144,24 @@ class WCETResult:
         return total
 
     @property
+    def wcet_path_l2_hits(self) -> int:
+        """Worst-case L1 misses served by the L2 cache (hierarchy mode).
+
+        A subset of :attr:`wcet_path_misses`: these references still
+        miss L1 in the worst case but never reach DRAM.  Zero for
+        single-level analyses.
+        """
+        l2_hits = self.cache.l2_hits
+        if not l2_hits:
+            return 0
+        n_w = self.solution.n_w
+        return sum(
+            n_w[rid]
+            for rid in l2_hits
+            if n_w[rid] and rid not in self.latency_guarded
+        )
+
+    @property
     def wcet_path_fetches(self) -> int:
         """Worst-case number of instruction fetches (prefetches included)."""
         return sum(
@@ -159,6 +186,7 @@ def analyze_wcet(
     with_may: bool = True,
     with_persistence: bool = True,
     locked_blocks: Optional[frozenset] = None,
+    hierarchy=None,
 ) -> WCETResult:
     """Run the full preliminary WCET analysis.
 
@@ -179,6 +207,11 @@ def analyze_wcet(
         locked_blocks: Hybrid locking+prefetching: blocks pinned in
             locked ways (always hit; ``config`` must then be the
             reduced-way residual configuration).
+        hierarchy: Optional multi-level
+            :class:`~repro.cache.config.HierarchyConfig` (its L1 must
+            equal ``config`` and ``timing`` must carry the matching
+            ``l2_hit_penalty_cycles``); adds the L2 must fixpoint and
+            charges proven L2 hits the L2 service time.
 
     Returns:
         The :class:`WCETResult`.
@@ -189,6 +222,7 @@ def analyze_wcet(
         with_may=with_may,
         with_persistence=with_persistence,
         locked_blocks=locked_blocks,
+        hierarchy=hierarchy,
     )
     t_w = compute_ref_times(acfg, cache, timing)
     guarded = _latency_guard(acfg, cache, timing, t_w)
@@ -217,6 +251,23 @@ def analyze_wcet(
         persistent_charged_blocks=charged,
         latency_guarded=guarded,
     )
+
+
+def prefetch_lambda(cache, timing, prefetch_rid: int, target: int) -> int:
+    """Λ of one prefetch: the worst-case cycles until its block lands.
+
+    Single-level: always the DRAM transfer time
+    (:attr:`TimingModel.prefetch_latency`).  Multi-level: when the L2
+    must state entering the prefetch guarantees the target block is
+    resident in L2, the transfer is served by L2 and Λ shrinks to the
+    L2 hit penalty — the hierarchy's main effect on placement
+    profitability (shorter Λ needs less slack to hide).
+    """
+    if timing.l2_hit_penalty_cycles is not None and cache.l2_must is not None:
+        must_in = cache.l2_must.in_states[prefetch_rid]
+        if must_in is not None and target in must_in:
+            return timing.l2_hit_penalty_cycles
+    return timing.prefetch_latency
 
 
 def _latency_guard(
@@ -272,12 +323,12 @@ def _latency_guard(
                 vertex.rid
             )
     spans = rest_instance_spans(acfg)
-    latency = float(timing.prefetch_latency)
     guarded = {use for use in base_guarded if use < boundary}
     for prefetch in prefetches:
         target = acfg.target_block_or_none(prefetch.rid)
         if target is None:
             continue  # data prefetch: no instruction-cache effect
+        latency = float(prefetch_lambda(cache, timing, prefetch.rid, target))
         uses = uses_by_block.get(target, ())
         straight = [
             use

@@ -78,6 +78,16 @@ class DataflowResult:
 #: Marker for a statically-unknown access in a custom access plan.
 UNKNOWN_ACCESS = "?"
 
+#: Marker for an access that *may or may not* occur, paired with its
+#: block id as ``(MAYBE_ACCESS, block)``.  The transfer is
+#: ``join(update(state, block), state)`` — the join of the accessed and
+#: the untouched successor states — which over-approximates both
+#: outcomes in every domain (it weakens must guarantees and widens may
+#: contents).  This is the op Hardy & Puaut's multi-level analysis
+#: needs for L2: a reference not provably hitting L1 reaches L2 on some
+#: paths/iterations but not necessarily all of them.
+MAYBE_ACCESS = "?maybe"
+
 
 def propagate(
     acfg: ACFG,
@@ -205,6 +215,8 @@ def propagate(
                 for op in access:
                     if op == UNKNOWN_ACCESS:
                         new_out = unknown_op(new_out)
+                    elif type(op) is tuple and op[0] == MAYBE_ACCESS:
+                        new_out = join_op(update_op(new_out, op[1]), new_out)
                     else:
                         new_out = update_op(new_out, op)
             if new_out != out_states[rid]:
@@ -245,6 +257,14 @@ class CacheAnalysis:
     must: DataflowResult
     may: Optional[DataflowResult]
     persistence: Optional[DataflowResult] = None
+    #: Must-domain result of the second-level cache (multi-level
+    #: hierarchies only): the L2 access stream is the L1 access stream
+    #: filtered by the L1 classification — always-hit references never
+    #: reach L2, everything else arrives as a maybe-access.
+    l2_must: Optional[DataflowResult] = None
+    #: Rids of references that miss L1 (statically) but are proven to
+    #: hit L2: WCET charges them the L2 service time, not the DRAM one.
+    l2_hits: Optional[frozenset] = None
 
     def classification(self, rid: int) -> Classification:
         """Classification of a REF vertex (raises for non-REF)."""
@@ -272,6 +292,7 @@ def analyze_cache(
     with_persistence: bool = True,
     locked_blocks: Optional[frozenset] = None,
     kernel: Optional[str] = None,
+    hierarchy=None,
 ) -> CacheAnalysis:
     """Classify every reference of ``acfg`` under ``config``.
 
@@ -301,6 +322,12 @@ def analyze_cache(
             the ``REPRO_CACHE_KERNEL`` environment variable.  Both
             produce bit-identical classifications (enforced by the
             differential test layer).
+        hierarchy: Optional
+            :class:`~repro.cache.config.HierarchyConfig`; when it has a
+            second level, the L2 must fixpoint runs over the
+            classification-filtered access stream and the result
+            carries ``l2_must``/``l2_hits``.  Its L1 must equal
+            ``config``.
     """
     if config.block_size != acfg.memory_map.block_size:
         raise AnalysisError(
@@ -316,6 +343,19 @@ def analyze_cache(
         resolve_kernel,
     )
 
+    if hierarchy is not None and hierarchy.l1 != config:
+        raise AnalysisError(
+            f"hierarchy L1 {hierarchy.l1.label()} does not match the "
+            f"analysed configuration {config.label()}"
+        )
+    level2 = hierarchy.l2_level if hierarchy is not None else None
+    # A second level implies the may analysis: only an L1 always-miss is
+    # a *definite* L2 access, and definite accesses are the only way the
+    # L2 must domain gains blocks (see l2_access_plan).  Forcing it here
+    # also keeps the L2 plan — and hence τ_w — independent of the
+    # caller's with_may choice.
+    if level2 is not None:
+        with_may = True
     if resolve_kernel(kernel) == "vectorized":
         universe = BlockUniverse.for_acfg(acfg, config)
         schedule = KernelSchedule(
@@ -333,22 +373,30 @@ def analyze_cache(
         classifications = classify_references_dense(
             acfg, must, may, persistence, locked_blocks, schedule=schedule
         )
-        return CacheAnalysis(config, classifications, must, may, persistence)
-    must = propagate(acfg, config, MustState(config), locked_blocks)
-    may = (
-        propagate(acfg, config, MayState(config), locked_blocks)
-        if with_may
-        else None
-    )
-    persistence = (
-        propagate(acfg, config, PersistenceState(config), locked_blocks)
-        if with_persistence
-        else None
-    )
-    classifications = classify_references(
-        acfg, must, may, persistence, locked_blocks
-    )
-    return CacheAnalysis(config, classifications, must, may, persistence)
+    else:
+        must = propagate(acfg, config, MustState(config), locked_blocks)
+        may = (
+            propagate(acfg, config, MayState(config), locked_blocks)
+            if with_may
+            else None
+        )
+        persistence = (
+            propagate(acfg, config, PersistenceState(config), locked_blocks)
+            if with_persistence
+            else None
+        )
+        classifications = classify_references(
+            acfg, must, may, persistence, locked_blocks
+        )
+    analysis = CacheAnalysis(config, classifications, must, may, persistence)
+    if level2 is not None:
+        analysis.l2_must = analyze_l2_must(
+            acfg, level2.config, classifications, locked_blocks, may=may
+        )
+        analysis.l2_hits = l2_guaranteed_hits(
+            acfg, classifications, analysis.l2_must
+        )
+    return analysis
 
 
 def classify_references(
@@ -389,3 +437,110 @@ def classify_references(
         else:
             classifications[rid] = Classification.NOT_CLASSIFIED
     return classifications
+
+
+# ----------------------------------------------------------------------
+# second-level (L2) analysis — Hardy & Puaut per-level filtering
+# ----------------------------------------------------------------------
+def l2_access_plan(
+    acfg: ACFG,
+    classifications: Sequence[Optional[Classification]],
+    locked_blocks: Optional[frozenset] = None,
+    may: Optional[DataflowResult] = None,
+) -> List[Optional[tuple]]:
+    """The L2 access plan induced by the L1 classification.
+
+    Hardy & Puaut's cache-access classification, per reference:
+
+    * L1 ``ALWAYS_HIT`` — *never* reaches L2: no op;
+    * definite L1 miss — reaches L2 on *every* execution: a definite
+      update.  A reference definitely misses when its block is absent
+      from the L1 may in-state (Hardy & Puaut's *Always* CAC).  This
+      is decided from the may domain directly, not from the final
+      classification label: persistence precedence can stamp a
+      first-ever (hence definitely missing) reference ``PERSISTENT``,
+      and losing its definite L2 fill would empty the must state at
+      every loop head — definite accesses are the only op that grows
+      the L2 must state (a maybe-access joins with the untouched state
+      and therefore never adds blocks).  This is also why a second
+      level implies the may analysis (see :func:`analyze_cache`);
+    * anything else — *uncertain*: a :data:`MAYBE_ACCESS`.
+
+    A prefetch's target transfer reaches L2 exactly when the target
+    missed L1, which is not statically known, so it is a maybe-access
+    too.  Locked blocks are pinned in L1 and never reach L2.
+    """
+    locked = locked_blocks or frozenset()
+    plan: List[Optional[tuple]] = [None] * len(acfg.vertices)
+    for vertex in acfg.ref_vertices():
+        rid = vertex.rid
+        ops = []
+        own = acfg.block_of(rid)
+        classification = classifications[rid]
+        if own not in locked and not (
+            classification is not None and classification.is_always_hit
+        ):
+            may_in = may.in_states[rid] if may is not None else None
+            if classification is Classification.ALWAYS_MISS or (
+                may_in is not None and own not in may_in
+            ):
+                ops.append(own)
+            else:
+                ops.append((MAYBE_ACCESS, own))
+        target = acfg.target_block_or_none(rid)
+        if target is not None and target not in locked:
+            ops.append((MAYBE_ACCESS, target))
+        if ops:
+            plan[rid] = tuple(ops)
+    return plan
+
+
+def analyze_l2_must(
+    acfg: ACFG,
+    l2_config: CacheConfig,
+    classifications: Sequence[Optional[Classification]],
+    locked_blocks: Optional[frozenset] = None,
+    transfer=None,
+    warm: Optional[tuple] = None,
+    may: Optional[DataflowResult] = None,
+) -> DataflowResult:
+    """Run the must domain of the second-level cache to fixpoint.
+
+    Always executes the pure-python :func:`propagate` (the maybe-access
+    op has no dense-kernel counterpart); the plan is derived solely
+    from the L1 classification and may result, which both kernels
+    produce bit-identically, so the L2 result is kernel-independent too.
+    """
+    plan = l2_access_plan(acfg, classifications, locked_blocks, may=may)
+    return propagate(
+        acfg,
+        l2_config,
+        MustState(l2_config),
+        locked_blocks=None,  # locked blocks are already filtered out
+        plan=plan,
+        transfer=transfer,
+        warm=warm,
+    )
+
+
+def l2_guaranteed_hits(
+    acfg: ACFG,
+    classifications: Sequence[Optional[Classification]],
+    l2_must: DataflowResult,
+) -> frozenset:
+    """Rids charged the L2 (not DRAM) service time on an L1 miss.
+
+    A reference qualifies when it is not an L1 static hit but its block
+    is in the L2 must in-state: on every path it either hits L1 or is
+    served by L2, so the L2 time bounds the worst case.
+    """
+    hits = set()
+    for vertex in acfg.ref_vertices():
+        rid = vertex.rid
+        classification = classifications[rid]
+        if classification is None or classification.is_hit:
+            continue
+        must_in = l2_must.in_states[rid]
+        if must_in is not None and acfg.block_of(rid) in must_in:
+            hits.add(rid)
+    return frozenset(hits)

@@ -12,7 +12,7 @@ these are per-task shares, not total cache sizes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CacheConfigError
 
@@ -97,6 +97,117 @@ class CacheConfig:
         """
         new_capacity = int(self.capacity * factor)
         return CacheConfig(self.associativity, self.block_size, new_capacity)
+
+
+@dataclass(frozen=True)
+class CacheLevel:
+    """One level of a memory hierarchy: a cache plus its service time.
+
+    Attributes:
+        config: The level's cache geometry.
+        latency_cycles: Extra cycles to serve a fetch from this level
+            (on top of the front-end hit time) — i.e. the penalty of
+            missing every *closer* level and hitting here.
+    """
+
+    config: CacheConfig
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles < 1:
+            raise CacheConfigError(
+                f"level latency must be >= 1 cycle, got {self.latency_cycles}"
+            )
+
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``"(8, 32, 16384)@6"``."""
+        return f"{self.config.label()}@{self.latency_cycles}"
+
+
+@dataclass(frozen=True)
+class HierarchyConfig:
+    """An ordered memory hierarchy: L1, optional deeper levels, DRAM.
+
+    The first level is the instruction cache the front end probes on
+    every fetch; deeper levels are probed only on a miss in all closer
+    levels; DRAM is the implicit backstop (its penalty lives in the
+    :class:`~repro.analysis.timing.TimingModel`).  All levels must share
+    one block size so a memory block means the same thing at every
+    level, and capacities must not shrink with depth (a smaller L2 than
+    L1 never filters anything and breaks the inclusion reasoning of the
+    per-level analysis).
+    """
+
+    levels: Tuple[CacheLevel, ...]
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise CacheConfigError("a hierarchy needs at least one level")
+        block = self.levels[0].config.block_size
+        for level in self.levels[1:]:
+            if level.config.block_size != block:
+                raise CacheConfigError(
+                    f"all hierarchy levels must share one block size "
+                    f"(L1 has {block}, found {level.config.block_size})"
+                )
+        for closer, deeper in zip(self.levels, self.levels[1:]):
+            if deeper.config.capacity < closer.config.capacity:
+                raise CacheConfigError(
+                    f"hierarchy capacities must not shrink with depth: "
+                    f"{deeper.config.label()} behind {closer.config.label()}"
+                )
+
+    @property
+    def l1(self) -> CacheConfig:
+        """The first-level cache configuration."""
+        return self.levels[0].config
+
+    @property
+    def l2_level(self) -> Optional[CacheLevel]:
+        """The second level, or ``None`` for a single-level hierarchy."""
+        return self.levels[1] if len(self.levels) > 1 else None
+
+    @property
+    def multi_level(self) -> bool:
+        """Whether any level sits between L1 and DRAM."""
+        return len(self.levels) > 1
+
+    def label(self) -> str:
+        """Human-readable form, e.g. ``"(1, 16, 256) | (8, 16, 16384)@6"``."""
+        return " | ".join(
+            [self.l1.label()] + [lvl.label() for lvl in self.levels[1:]]
+        )
+
+
+def parse_l2_spec(spec: str) -> CacheLevel:
+    """Parse an ``assoc:block:capacity:latency`` L2 specification.
+
+    The CLI / sweep-grid form of one second-level point, e.g.
+    ``"8:16:16384:6"`` — an 8-way 16-KiB L2 of 16-byte blocks serving
+    hits in 6 extra cycles.
+    """
+    parts = spec.split(":")
+    if len(parts) != 4:
+        raise CacheConfigError(
+            f"L2 spec must be assoc:block:capacity:latency, got {spec!r}"
+        )
+    try:
+        assoc, block, capacity, latency = (int(part) for part in parts)
+    except ValueError:
+        raise CacheConfigError(
+            f"L2 spec fields must be integers, got {spec!r}"
+        ) from None
+    return CacheLevel(CacheConfig(assoc, block, capacity), latency)
+
+
+def hierarchy_for(
+    l1: CacheConfig, l2_spec: Optional[str] = None
+) -> HierarchyConfig:
+    """Build a hierarchy from an L1 config and an optional L2 spec."""
+    levels: Tuple[CacheLevel, ...] = (CacheLevel(l1, 1),)
+    if l2_spec:
+        levels += (parse_l2_spec(l2_spec),)
+    return HierarchyConfig(levels)
 
 
 def _table2() -> Dict[str, CacheConfig]:

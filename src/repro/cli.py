@@ -26,10 +26,10 @@ import sys
 from typing import List, Optional, Sequence
 
 from repro.bench.registry import TABLE1, load, program_names
-from repro.cache.config import TABLE2
+from repro.cache.config import TABLE2, hierarchy_for
 from repro.core.guarantees import verify_wcet_guarantee
 from repro.core.optimizer import OptimizerOptions, optimize
-from repro.energy.cacti import cacti_model
+from repro.energy.cacti import hierarchy_model
 from repro.energy.technology import TECHNOLOGIES, technology
 from repro.experiments.figures import figure3, figure4, figure5, figure7, figure8
 from repro.experiments.report import (
@@ -78,7 +78,15 @@ def _build_parser() -> argparse.ArgumentParser:
         choices=("python", "vectorized"),
         default=None,
         help="abstract-domain kernel: the pure-python oracle or the "
-             "dense numpy kernel (default: $REPRO_CACHE_KERNEL or python)",
+             "dense numpy kernel (default: $REPRO_CACHE_KERNEL or "
+             "vectorized)",
+    )
+    opt.add_argument(
+        "--l2",
+        default=None,
+        metavar="SPEC",
+        help="second-level cache as assoc:block:capacity:latency "
+             "(e.g. 4:16:4096:6); default: single-level memory system",
     )
     opt.add_argument("--json", action="store_true",
                      help="machine-readable result on stdout "
@@ -94,6 +102,13 @@ def _build_parser() -> argparse.ArgumentParser:
     usecase.add_argument("config")
     usecase.add_argument("tech", choices=sorted(TECHNOLOGIES), nargs="?",
                          default="45nm")
+    usecase.add_argument(
+        "--l2",
+        default=None,
+        metavar="SPEC",
+        help="second-level cache as assoc:block:capacity:latency "
+             "(default: single-level memory system)",
+    )
 
     fig = sub.add_parser("figure", help="regenerate a figure of the paper")
     fig.add_argument("number", type=int, choices=(3, 4, 5, 7, 8))
@@ -145,8 +160,13 @@ def _build_parser() -> argparse.ArgumentParser:
                             "partial results are always reported)")
     sweep.add_argument("--kernel", choices=("python", "vectorized"),
                        default=None,
-                       help="abstract-domain kernel (default: python "
-                            "locally, vectorized on the fabric)")
+                       help="abstract-domain kernel (default: vectorized, "
+                            "locally and on the fabric)")
+    sweep.add_argument("--l2", nargs="*", default=None, metavar="SPEC",
+                       help="second-level cache axis: one or more "
+                            "assoc:block:capacity:latency specs, swept "
+                            "like any other grid dimension (default: "
+                            "single-level memory system)")
     sweep.add_argument("--coordinator", default=None, metavar="URL",
                        help="run the sweep on a fabric coordinator "
                             "(e.g. http://127.0.0.1:8080) instead of "
@@ -252,22 +272,25 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
     config = TABLE2[args.config]
     tech = technology(args.tech)
-    timing = cacti_model(config, tech).timing_model()
+    hierarchy = hierarchy_for(config, args.l2)
+    timing = hierarchy_model(hierarchy, tech).timing
     cfg = load(args.program)
     options = OptimizerOptions(
         with_persistence=args.baseline == "persistence",
         max_evaluations=args.budget,
         kernel=args.kernel,
+        l2=args.l2,
     )
     optimized, report = optimize(cfg, config, timing, options=options)
     check = verify_wcet_guarantee(
         cfg, optimized, config, timing,
         with_persistence=args.baseline == "persistence",
+        hierarchy=hierarchy if hierarchy.multi_level else None,
     )
     # In --json mode the human rendering moves to stderr so stdout stays
     # a clean machine-readable document.
     out = sys.stderr if args.json else sys.stdout
-    print(f"{cfg.name} on {args.config}={config.label()} @ {tech.name} "
+    print(f"{cfg.name} on {args.config}={hierarchy.label()} @ {tech.name} "
           f"[{args.baseline} baseline]", file=out)
     print(f"prefetches : {report.prefetch_count} "
           f"({report.candidates_evaluated} evaluated, "
@@ -308,8 +331,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_usecase(args: argparse.Namespace) -> int:
-    result = run_usecase(UseCase(args.program, args.config, args.tech))
-    print(f"{args.program} on {args.config} @ {args.tech}")
+    result = run_usecase(UseCase(args.program, args.config, args.tech, args.l2))
+    where = args.config if args.l2 is None else f"{args.config}+L2 {args.l2}"
+    print(f"{args.program} on {where} @ {args.tech}")
     print(f"  WCET ratio   : {result.wcet_ratio:.3f}")
     print(f"  ACET ratio   : {result.acet_ratio:.3f}")
     print(f"  energy ratio : {result.energy_ratio:.3f} "
@@ -317,6 +341,12 @@ def _cmd_usecase(args: argparse.Namespace) -> int:
     print(f"  instr ratio  : {result.instruction_ratio:.4f}")
     print(f"  miss rate    : {100 * result.original.miss_rate_acet:.2f}% -> "
           f"{100 * result.optimized.miss_rate_acet:.2f}%")
+    if args.l2 is not None:
+        def l2_rate(m):
+            return 100.0 * m.l2_hits / m.l2_accesses if m.l2_accesses else 0.0
+
+        print(f"  L2 hit rate  : {l2_rate(result.original):.2f}% -> "
+              f"{l2_rate(result.optimized):.2f}%")
     return 0
 
 
@@ -348,12 +378,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    l2_specs = tuple(args.l2) if args.l2 else (None,)
     if args.full:
         spec = full_grid(seed=args.seed, max_evaluations=args.budget)
-        if args.kernel:
+        if args.kernel or args.l2:
             import dataclasses
 
-            spec = dataclasses.replace(spec, kernel=args.kernel)
+            spec = dataclasses.replace(
+                spec,
+                kernel=args.kernel or spec.kernel,
+                l2_specs=l2_specs if args.l2 else spec.l2_specs,
+            )
         if args.programs or args.configs:
             print("note: --full overrides --programs/--configs", file=sys.stderr)
     else:
@@ -371,6 +406,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             max_evaluations=args.budget,
             baseline=args.baseline,
             kernel=args.kernel,
+            l2_specs=l2_specs,
         )
     if args.coordinator:
         return _cmd_sweep_fabric(args, spec)
@@ -468,6 +504,7 @@ def _cmd_sweep_fabric(args: argparse.Namespace, spec: SweepSpec) -> int:
         baseline=spec.baseline,
         seed=spec.seed,
         **({"kernel": spec.kernel} if spec.kernel else {}),
+        **({"l2": list(spec.l2_specs)} if spec.l2_specs != (None,) else {}),
     )
     sweep_id = record["id"]
     total = record["cases"]

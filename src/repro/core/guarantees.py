@@ -24,8 +24,8 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.analysis.timing import TimingModel
-from repro.analysis.wcet import analyze_wcet
-from repro.cache.config import CacheConfig
+from repro.analysis.wcet import analyze_wcet, prefetch_lambda
+from repro.cache.config import CacheConfig, HierarchyConfig
 from repro.core.profit import min_path_slack, wraparound_slack
 from repro.errors import GuaranteeViolation
 from repro.program.acfg import build_acfg
@@ -74,6 +74,7 @@ def verify_wcet_guarantee(
     base_address: int = 0,
     strict: bool = True,
     with_persistence: bool = True,
+    hierarchy: Optional[HierarchyConfig] = None,
 ) -> GuaranteeCheck:
     """Independently re-derive Theorem 1 for a program pair.
 
@@ -81,7 +82,8 @@ def verify_wcet_guarantee(
     a program optimized under the classic must/may baseline is
     guaranteed non-regressing under that baseline, but may look worse
     under the tighter persistence baseline (and vice versa) — verify
-    with the same ``with_persistence`` the optimizer used.
+    with the same ``with_persistence`` the optimizer used.  The same
+    applies to the memory hierarchy: pass the same ``hierarchy``.
 
     Args:
         original: The prefetch-free program.
@@ -92,6 +94,8 @@ def verify_wcet_guarantee(
         strict: Raise :class:`GuaranteeViolation` on failure instead of
             returning a failing check.
         with_persistence: Analysis fidelity (match the optimizer's).
+        hierarchy: Memory hierarchy (match the optimizer's; ``None`` is
+            the single-level system).
 
     Returns:
         The :class:`GuaranteeCheck` with all measurements.
@@ -99,14 +103,16 @@ def verify_wcet_guarantee(
     acfg_orig = build_acfg(original, config.block_size, base_address)
     acfg_opt = build_acfg(optimized, config.block_size, base_address)
     wcet_orig = analyze_wcet(
-        acfg_orig, config, timing, with_persistence=with_persistence
+        acfg_orig, config, timing, with_persistence=with_persistence,
+        hierarchy=hierarchy,
     )
     wcet_opt = analyze_wcet(
-        acfg_opt, config, timing, with_persistence=with_persistence
+        acfg_opt, config, timing, with_persistence=with_persistence,
+        hierarchy=hierarchy,
     )
     ineffective = verify_effectiveness(
         optimized, config, timing, base_address,
-        with_persistence=with_persistence,
+        with_persistence=with_persistence, hierarchy=hierarchy,
     )
     check = GuaranteeCheck(
         tau_original=wcet_orig.tau_w,
@@ -153,6 +159,7 @@ def verify_effectiveness(
     timing: TimingModel,
     base_address: int = 0,
     with_persistence: bool = True,
+    hierarchy: Optional[HierarchyConfig] = None,
 ) -> List[int]:
     """Timing soundness of every prefetch-enabled hit (Definition 10).
 
@@ -169,7 +176,10 @@ def verify_effectiveness(
         job — the expected outcome).
     """
     acfg = build_acfg(optimized, config.block_size, base_address)
-    wcet = analyze_wcet(acfg, config, timing, with_persistence=with_persistence)
+    wcet = analyze_wcet(
+        acfg, config, timing, with_persistence=with_persistence,
+        hierarchy=hierarchy,
+    )
     return find_undercharged_references(acfg, wcet, timing)
 
 
@@ -188,7 +198,6 @@ def find_undercharged_references(acfg, wcet, timing: TimingModel) -> List[int]:
 
     loop_spans = rest_instance_spans(acfg)
     miss_cycles = float(timing.miss_cycles)
-    latency = float(timing.prefetch_latency)
     violations: List[int] = []
     uses_by_block: dict = {}
     for c in acfg.ref_vertices():
@@ -203,6 +212,12 @@ def find_undercharged_references(acfg, wcet, timing: TimingModel) -> List[int]:
         target_block = acfg.target_block_or_none(vertex.rid)
         if target_block is None:
             continue  # data prefetch: no instruction-cache hit to justify
+        # Per-prefetch Λ: an L2-guaranteed transfer completes after the
+        # L2 penalty, so nearer uses are still sound (single-level this
+        # is exactly timing.prefetch_latency).
+        latency = float(
+            prefetch_lambda(wcet.cache, timing, vertex.rid, target_block)
+        )
         for use in uses_by_block.get(target_block, []):
             if use > vertex.rid:
                 slack = _slack(acfg, wcet.t_w, vertex.rid, use)
@@ -229,19 +244,22 @@ def verify_miss_reduction(
     timing: TimingModel,
     base_address: int = 0,
     with_persistence: bool = True,
+    hierarchy: Optional[HierarchyConfig] = None,
 ) -> bool:
     """Condition 2 on the WCET path: misses must not have increased.
 
     Like Theorem 1 (see :func:`verify_wcet_guarantee`), the condition is
     relative to the analysis that gated the insertions — pass the same
-    ``with_persistence`` the optimizer used.
+    ``with_persistence`` and ``hierarchy`` the optimizer used.
     """
     acfg_orig = build_acfg(original, config.block_size, base_address)
     acfg_opt = build_acfg(optimized, config.block_size, base_address)
     wcet_orig = analyze_wcet(
-        acfg_orig, config, timing, with_persistence=with_persistence
+        acfg_orig, config, timing, with_persistence=with_persistence,
+        hierarchy=hierarchy,
     )
     wcet_opt = analyze_wcet(
-        acfg_opt, config, timing, with_persistence=with_persistence
+        acfg_opt, config, timing, with_persistence=with_persistence,
+        hierarchy=hierarchy,
     )
     return wcet_opt.wcet_path_misses <= wcet_orig.wcet_path_misses

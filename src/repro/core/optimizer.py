@@ -34,9 +34,9 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.analysis.pipeline import AnalysisPipeline, PipelineResult
 from repro.analysis.timing import TimingModel
-from repro.analysis.wcet import WCETResult
+from repro.analysis.wcet import WCETResult, prefetch_lambda
 from repro.cache.classify import Classification
-from repro.cache.config import CacheConfig
+from repro.cache.config import CacheConfig, parse_l2_spec
 from repro.core.profit import ProfitTerms, estimate_profit, wraparound_slack
 from repro.core.relocation import (
     InsertionPoint,
@@ -117,6 +117,14 @@ class OptimizerOptions:
     #: by the differential suite), or ``None`` to follow the
     #: ``REPRO_CACHE_KERNEL`` environment variable.
     kernel: Optional[str] = None
+    #: Second-level cache of the memory hierarchy, as an
+    #: ``assoc:block:capacity:latency`` spec (see
+    #: :func:`repro.cache.config.parse_l2_spec`), or ``None`` for the
+    #: classic single-level system.  With an L2 the analyses run the
+    #: Hardy & Puaut per-level fixpoint, Λ shrinks for prefetches whose
+    #: target is guaranteed L2-resident, and the timing model must carry
+    #: ``l2_hit_penalty_cycles``.
+    l2: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.placement not in ("earliest-survivable", "block-begin"):
@@ -129,6 +137,8 @@ class OptimizerOptions:
             raise OptimizationError(
                 f"unknown cache kernel {self.kernel!r}"
             )
+        if self.l2 is not None:
+            parse_l2_spec(self.l2)  # fail fast on a malformed spec
 
 
 @dataclass
@@ -523,6 +533,20 @@ def _price_candidate(
         n_miss = wcet.n_w(miss_rid)
     anchor = acfg.vertex(anchor_rid)
     anchor_uid = anchor.instr.uid if anchor.instr is not None else -1
+    mcost: Optional[float] = None
+    latency: Optional[float] = None
+    if timing.l2_hit_penalty_cycles is not None:
+        # Multi-level: credit the precluded miss at what it costs on the
+        # worst-case path (an L2-guaranteed hit saves only the L2
+        # penalty, not the full DRAM one), and use the per-prefetch Λ —
+        # it shrinks to the L2 penalty when the target is guaranteed
+        # L2-resident at the insertion point.
+        mcost = float(wcet.t_w[miss_rid]) - float(timing.hit_cycles)
+        latency = float(
+            prefetch_lambda(
+                wcet.cache, timing, anchor_rid, acfg.block_of(miss_rid)
+            )
+        )
     return estimate_profit(
         acfg,
         wcet.t_w,
@@ -532,6 +556,8 @@ def _price_candidate(
         n_miss=n_miss,
         n_insert=exec_count_by_uid.get(anchor_uid, 1),
         slack=slack,
+        mcost=mcost,
+        latency=latency,
     )
 
 

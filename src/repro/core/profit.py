@@ -89,6 +89,8 @@ def estimate_profit(
     n_miss: int,
     n_insert: int,
     slack: Optional[float] = None,
+    mcost: Optional[float] = None,
+    latency: Optional[float] = None,
 ) -> ProfitTerms:
     """Build the :class:`ProfitTerms` for one candidate.
 
@@ -105,21 +107,33 @@ def estimate_profit(
         slack: Precomputed Eq. 5 slack (wrap-around candidates pass
             :func:`wraparound_slack`); computed via
             :func:`min_path_slack` when omitted.
+        mcost: Per-execution saving override (Eq. 6).  Multi-level
+            callers pass ``t_w[miss_rid] - hit_cycles`` so a miss that
+            the L2 already catches is not credited the full DRAM
+            penalty.  Defaults to ``miss_cycles - hit_cycles``.
+        latency: ``Λ`` override.  Multi-level callers pass the result of
+            :func:`repro.analysis.wcet.prefetch_lambda`, which shrinks
+            to the L2 hit penalty when the target block is guaranteed
+            L2-resident at the insertion point.  Defaults to
+            ``timing.prefetch_latency``.
 
     Returns:
         The candidate's :class:`ProfitTerms`.
     """
-    mcost = float(timing.miss_cycles) - float(timing.hit_cycles)
+    if mcost is None:
+        mcost = float(timing.miss_cycles) - float(timing.hit_cycles)
     # Optimistic pcost: the prefetch's own fetch hits (it lands inside an
     # already-resident block most of the time) and costs its issue slot.
     pcost = float(timing.prefetch_issue_cycles) + float(timing.hit_cycles)
     if slack is None:
         slack = min_path_slack(acfg, t_w, insert_after_rid, miss_rid)
+    if latency is None:
+        latency = float(timing.prefetch_latency)
     return ProfitTerms(
         mcost=mcost,
         pcost=pcost,
         slack=slack,
-        latency=float(timing.prefetch_latency),
+        latency=float(latency),
         n_miss=n_miss,
         n_insert=n_insert,
     )

@@ -1,7 +1,13 @@
 """Energy substrate: technology nodes, CACTI-style cache model, DRAM,
 and per-run accounting."""
 
-from repro.energy.cacti import CacheEnergyModel, cacti_model
+from repro.energy.cacti import (
+    CacheEnergyModel,
+    HierarchyEnergyModel,
+    cacti_l2_model,
+    cacti_model,
+    hierarchy_model,
+)
 from repro.energy.dram import DRAM_SIZE_BYTES, DRAMModel
 from repro.energy.metrics import (
     EnergyBreakdown,
@@ -21,12 +27,15 @@ __all__ = [
     "DRAM_SIZE_BYTES",
     "DRAMModel",
     "EnergyBreakdown",
+    "HierarchyEnergyModel",
     "MemoryEventCounts",
     "TECH_32NM",
     "TECH_45NM",
     "TECHNOLOGIES",
     "TechnologyNode",
     "account_energy",
+    "cacti_l2_model",
     "cacti_model",
+    "hierarchy_model",
     "technology",
 ]

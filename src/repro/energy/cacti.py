@@ -20,10 +20,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.analysis.timing import TimingModel
-from repro.cache.config import CacheConfig
-from repro.energy.technology import TechnologyNode
+from repro.cache.config import CacheConfig, HierarchyConfig
+from repro.energy.technology import (
+    L2_DYNAMIC_FACTOR,
+    L2_LEAKAGE_FACTOR,
+    TechnologyNode,
+)
 
 #: Dynamic read energy of a 256 B direct-mapped 16 B-block cache at 45 nm.
 _BASE_READ_ENERGY_J = 4.0e-12
@@ -97,3 +102,66 @@ def cacti_model(config: CacheConfig, tech: TechnologyNode) -> CacheEnergyModel:
         hit_cycles=1,
         miss_penalty_cycles=miss_penalty,
     )
+
+
+def cacti_l2_model(config: CacheConfig, tech: TechnologyNode) -> CacheEnergyModel:
+    """Energy model of a second-level array with the same geometry rules.
+
+    L2 arrays use density-optimised cells: much lower leakage per bit,
+    slightly costlier accesses (see the ``L2_*`` factors in
+    :mod:`repro.energy.technology`).  ``miss_penalty_cycles`` here is the
+    L2-to-DRAM leg only; the hierarchy timing adds the L2 probe on top.
+    """
+    base = cacti_model(config, tech)
+    return CacheEnergyModel(
+        config=config,
+        tech=tech,
+        read_energy_j=base.read_energy_j * L2_DYNAMIC_FACTOR,
+        fill_energy_j=base.fill_energy_j * L2_DYNAMIC_FACTOR,
+        leakage_w=base.leakage_w * L2_LEAKAGE_FACTOR,
+        hit_cycles=base.hit_cycles,
+        miss_penalty_cycles=base.miss_penalty_cycles,
+    )
+
+
+@dataclass(frozen=True)
+class HierarchyEnergyModel:
+    """Energy/latency models for every level of one hierarchy.
+
+    Attributes:
+        l1: Model of the first-level cache.
+        l2: Model of the second-level cache, ``None`` when single-level.
+        timing: The :class:`TimingModel` the analyses and the simulator
+            should use — single-level it is exactly ``l1``'s, multi-level
+            the full miss penalty stacks the L2 probe latency on top of
+            the L2-to-DRAM leg and ``l2_hit_penalty_cycles`` is the L2
+            probe latency.
+    """
+
+    l1: CacheEnergyModel
+    l2: Optional[CacheEnergyModel]
+    timing: TimingModel
+
+
+def hierarchy_model(
+    hierarchy: HierarchyConfig,
+    tech: TechnologyNode,
+    prefetch_issue_cycles: int = 1,
+) -> HierarchyEnergyModel:
+    """Build the per-level energy models and timing for one hierarchy."""
+    l1 = cacti_model(hierarchy.l1, tech)
+    level2 = hierarchy.l2_level
+    if level2 is None:
+        return HierarchyEnergyModel(
+            l1=l1,
+            l2=None,
+            timing=l1.timing_model(prefetch_issue_cycles),
+        )
+    l2 = cacti_l2_model(level2.config, tech)
+    timing = TimingModel(
+        hit_cycles=l1.hit_cycles,
+        miss_penalty_cycles=level2.latency_cycles + l2.miss_penalty_cycles,
+        prefetch_issue_cycles=prefetch_issue_cycles,
+        l2_hit_penalty_cycles=level2.latency_cycles,
+    )
+    return HierarchyEnergyModel(l1=l1, l2=l2, timing=timing)

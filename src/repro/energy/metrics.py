@@ -16,6 +16,7 @@ Turns the event counts a trace simulation produces into the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.energy.cacti import CacheEnergyModel
 from repro.energy.dram import DRAMModel
@@ -28,11 +29,15 @@ class MemoryEventCounts:
 
     Attributes:
         fetches: Instruction fetches (cache reads), prefetches included.
-        demand_misses: Fetches that went to DRAM.
+        demand_misses: Fetches not served by the first level.
         prefetch_transfers: Blocks moved by software prefetches.
         fills: Blocks installed into the cache (miss fills + prefetch
             fills).
         memory_cycles: Total cycles spent in the memory system.
+        l2_accesses: Second-level probes (demand misses and prefetch
+            transfers); 0 in a single-level memory system.
+        l2_hits: Second-level probes that did not go on to DRAM.
+        l2_fills: Blocks installed into the second level.
     """
 
     fetches: int
@@ -40,34 +45,63 @@ class MemoryEventCounts:
     prefetch_transfers: int
     fills: int
     memory_cycles: float
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    l2_fills: int = 0
 
     def __post_init__(self) -> None:
-        for name in ("fetches", "demand_misses", "prefetch_transfers", "fills"):
+        for name in (
+            "fetches",
+            "demand_misses",
+            "prefetch_transfers",
+            "fills",
+            "l2_accesses",
+            "l2_hits",
+            "l2_fills",
+        ):
             if getattr(self, name) < 0:
                 raise ReproError(f"{name} must be >= 0")
         if self.memory_cycles < 0:
             raise ReproError("memory_cycles must be >= 0")
         if self.demand_misses > self.fetches:
             raise ReproError("demand_misses cannot exceed fetches")
+        if self.l2_hits > self.l2_accesses:
+            raise ReproError("l2_hits cannot exceed l2_accesses")
+        if self.l2_hits > self.demand_misses + self.prefetch_transfers:
+            raise ReproError(
+                "l2_hits cannot exceed demand_misses + prefetch_transfers"
+            )
+
+    @property
+    def dram_transfers(self) -> int:
+        """Block transfers that actually reached DRAM.
+
+        Every demand miss and prefetch transfer moves a block; the ones
+        the second level served never left the SRAM hierarchy.
+        """
+        return self.demand_misses + self.prefetch_transfers - self.l2_hits
 
 
 @dataclass(frozen=True)
 class EnergyBreakdown:
     """Energy of one run in joules.
 
-    ``total_j = cache_dynamic_j + dram_dynamic_j + cache_static_j +
-    dram_static_j``.
+    ``total_j = cache_dynamic_j + l2_dynamic_j + dram_dynamic_j +
+    cache_static_j + l2_static_j + dram_static_j``.  The ``l2_*`` parts
+    are 0 for a single-level memory system.
     """
 
     cache_dynamic_j: float
     dram_dynamic_j: float
     cache_static_j: float
     dram_static_j: float
+    l2_dynamic_j: float = 0.0
+    l2_static_j: float = 0.0
 
     @property
     def static_j(self) -> float:
         """Time-proportional part: cache leakage + DRAM background."""
-        return self.cache_static_j + self.dram_static_j
+        return self.cache_static_j + self.l2_static_j + self.dram_static_j
 
     @property
     def total_j(self) -> float:
@@ -77,7 +111,7 @@ class EnergyBreakdown:
     @property
     def dynamic_j(self) -> float:
         """Dynamic (switching) part."""
-        return self.cache_dynamic_j + self.dram_dynamic_j
+        return self.cache_dynamic_j + self.l2_dynamic_j + self.dram_dynamic_j
 
     @property
     def static_share(self) -> float:
@@ -92,13 +126,18 @@ def account_energy(
     counts: MemoryEventCounts,
     cache_model: CacheEnergyModel,
     dram: DRAMModel,
+    l2_model: Optional[CacheEnergyModel] = None,
 ) -> EnergyBreakdown:
     """Compute the memory system's energy for one run.
 
     Args:
         counts: Event counts from the simulation.
         cache_model: CACTI-style model of the primary cache.
-        dram: Level-two memory model.
+        dram: DRAM backstop model.
+        l2_model: CACTI-style model of the second-level cache, when the
+            hierarchy has one.  With it, DRAM is charged only for the
+            transfers L2 did not serve (``counts.dram_transfers``), and
+            L2 probes/fills and L2 leakage are accounted separately.
 
     Returns:
         The :class:`EnergyBreakdown`.
@@ -108,12 +147,21 @@ def account_energy(
         counts.fetches * cache_model.read_energy_j
         + counts.fills * cache_model.fill_energy_j
     )
-    transfers = counts.demand_misses + counts.prefetch_transfers
-    dram_dynamic = transfers * dram.access_energy_j(block_size)
     seconds = cache_model.tech.seconds(counts.memory_cycles)
+    l2_dynamic = 0.0
+    l2_static = 0.0
+    if l2_model is not None:
+        l2_dynamic = (
+            counts.l2_accesses * l2_model.read_energy_j
+            + counts.l2_fills * l2_model.fill_energy_j
+        )
+        l2_static = l2_model.leakage_w * seconds
+    dram_dynamic = counts.dram_transfers * dram.access_energy_j(block_size)
     return EnergyBreakdown(
         cache_dynamic_j=cache_dynamic,
         dram_dynamic_j=dram_dynamic,
         cache_static_j=cache_model.leakage_w * seconds,
         dram_static_j=dram.background_power_w * seconds,
+        l2_dynamic_j=l2_dynamic,
+        l2_static_j=l2_static,
     )

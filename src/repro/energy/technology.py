@@ -95,6 +95,18 @@ TECH_32NM = TechnologyNode(
     dram_background_power_w=2.2e-3,
 )
 
+#: Second-level arrays are built from density-optimised, higher-Vt SRAM
+#: cells: they leak far less per bit than the latency-optimised L1
+#: arrays (which is why a large L2 is affordable at all), at the price
+#: of a slower, slightly more expensive access.  The factors below scale
+#: the L1-calibrated CACTI stand-in (:mod:`repro.energy.cacti`) to an L2
+#: array of the same capacity; they match the leakage/dynamic spread
+#: CACTI 6.5 reports between its ``itrs-hp`` and ``itrs-lstp`` cells.
+L2_LEAKAGE_FACTOR = 0.35
+#: Per-access dynamic energy of an L2 array relative to an L1 array of
+#: the same geometry (longer, more heavily loaded wires).
+L2_DYNAMIC_FACTOR = 1.25
+
 #: The paper's two technologies, keyed by name.
 TECHNOLOGIES: Dict[str, TechnologyNode] = {
     TECH_45NM.name: TECH_45NM,

@@ -58,7 +58,7 @@ from repro.experiments.usecase import (
 #: Version tag of the result-producing code.  Bump whenever analysis,
 #: optimizer, simulator, or energy-model changes alter results — every
 #: cached record keyed under the old tag becomes unreachable.
-CODE_VERSION = "2026.08-2"
+CODE_VERSION = "2026.08-3"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
@@ -142,11 +142,16 @@ def usecase_key(
 
     Two evaluations share a key exactly when they are guaranteed to
     produce the same :class:`UseCaseResult`: same (program, config,
-    tech), same executor seed, same optimizer options, same code
-    version.
+    tech) — plus the L2 spec when the hierarchy has one — same executor
+    seed, same optimizer options, same code version.  Single-level use
+    cases keep the original three-element identity, so their keys never
+    collide with (or depend on) the hierarchy axis.
     """
+    identity = [usecase.program, usecase.config_id, usecase.tech]
+    if usecase.l2 is not None:
+        identity.append(usecase.l2)
     payload = {
-        "usecase": [usecase.program, usecase.config_id, usecase.tech],
+        "usecase": identity,
         "seed": seed,
         "options": options_fingerprint(options),
         "code_version": code_version,
@@ -171,24 +176,33 @@ def _config_from_dict(data: Dict[str, Any]) -> CacheConfig:
 
 
 def _timing_to_dict(timing: TimingModel) -> Dict[str, int]:
-    return {
+    data = {
         "hit_cycles": timing.hit_cycles,
         "miss_penalty_cycles": timing.miss_penalty_cycles,
         "prefetch_issue_cycles": timing.prefetch_issue_cycles,
     }
+    # Only multi-level records carry the L2 penalty: single-level
+    # records keep their original shape (and stay valid).
+    if timing.l2_hit_penalty_cycles is not None:
+        data["l2_hit_penalty_cycles"] = timing.l2_hit_penalty_cycles
+    return data
 
 
 def _energy_to_dict(energy: EnergyBreakdown) -> Dict[str, float]:
-    return {
+    data = {
         "cache_dynamic_j": energy.cache_dynamic_j,
         "dram_dynamic_j": energy.dram_dynamic_j,
         "cache_static_j": energy.cache_static_j,
         "dram_static_j": energy.dram_static_j,
     }
+    if energy.l2_dynamic_j or energy.l2_static_j:
+        data["l2_dynamic_j"] = energy.l2_dynamic_j
+        data["l2_static_j"] = energy.l2_static_j
+    return data
 
 
 def _measurement_to_dict(m: ProgramMeasurement) -> Dict[str, Any]:
-    return {
+    data = {
         "tau_w": m.tau_w,
         "tau_a": m.tau_a,
         "energy": _energy_to_dict(m.energy),
@@ -198,6 +212,12 @@ def _measurement_to_dict(m: ProgramMeasurement) -> Dict[str, Any]:
         "static_instructions": m.static_instructions,
         "prefetch_transfer_energy_j": m.prefetch_transfer_energy_j,
     }
+    if m.l2_accesses or m.l2_hits or m.l2_fills or m.prefetch_l2_hits:
+        data["l2_accesses"] = m.l2_accesses
+        data["l2_hits"] = m.l2_hits
+        data["l2_fills"] = m.l2_fills
+        data["prefetch_l2_hits"] = m.prefetch_l2_hits
+    return data
 
 
 def _measurement_from_dict(data: Dict[str, Any]) -> ProgramMeasurement:
@@ -249,12 +269,15 @@ def _report_from_dict(data: Dict[str, Any]) -> OptimizationReport:
 
 def result_to_dict(result: UseCaseResult) -> Dict[str, Any]:
     """Serialise a :class:`UseCaseResult` to plain JSON-able data."""
+    identity = [
+        result.usecase.program,
+        result.usecase.config_id,
+        result.usecase.tech,
+    ]
+    if result.usecase.l2 is not None:
+        identity.append(result.usecase.l2)
     return {
-        "usecase": [
-            result.usecase.program,
-            result.usecase.config_id,
-            result.usecase.tech,
-        ],
+        "usecase": identity,
         "original": _measurement_to_dict(result.original),
         "optimized": _measurement_to_dict(result.optimized),
         "report": _report_to_dict(result.report),

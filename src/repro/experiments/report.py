@@ -153,7 +153,7 @@ def render_figure7(data: Figure7Data, limit: Optional[int] = 20) -> str:
 # ----------------------------------------------------------------------
 def report_to_json(report) -> Dict[str, Any]:
     """An :class:`~repro.core.optimizer.OptimizationReport` as plain data."""
-    return {
+    data: Dict[str, Any] = {
         "program": report.program,
         "config": {
             "associativity": report.config.associativity,
@@ -173,6 +173,10 @@ def report_to_json(report) -> Dict[str, Any]:
         "static_instructions_final": report.static_instructions_final,
         "pipeline": dict(getattr(report, "pipeline", {}) or {}),
     }
+    l2_penalty = getattr(report.timing, "l2_hit_penalty_cycles", None)
+    if l2_penalty is not None:
+        data["l2_hit_penalty_cycles"] = l2_penalty
+    return data
 
 
 def guarantee_to_json(check) -> Dict[str, Any]:
@@ -226,9 +230,28 @@ def usecase_to_json(result) -> Dict[str, Any]:
     return data
 
 
-def sweep_case_to_json(result) -> Dict[str, Any]:
-    """One sweep row: identification + ratios, without the full report."""
+def _l2_measurement_json(m) -> Dict[str, Any]:
+    """Per-level counters + energy of one measurement (multi-level only)."""
     return {
+        "accesses": m.l2_accesses,
+        "hits": m.l2_hits,
+        "misses": m.l2_accesses - m.l2_hits,
+        "fills": m.l2_fills,
+        "prefetch_hits": m.prefetch_l2_hits,
+        "dynamic_j": m.energy.l2_dynamic_j,
+        "static_j": m.energy.l2_static_j,
+    }
+
+
+def sweep_case_to_json(result) -> Dict[str, Any]:
+    """One sweep row: identification + ratios, without the full report.
+
+    Multi-level rows additionally carry the L2 spec, the L2 hit penalty,
+    and per-level hit/miss/energy numbers for both builds — so hierarchy
+    records can never be mistaken for (or collide with) single-level
+    rows in a merged report.
+    """
+    data: Dict[str, Any] = {
         "program": result.usecase.program,
         "config": result.usecase.config_id,
         "tech": result.usecase.tech,
@@ -241,11 +264,21 @@ def sweep_case_to_json(result) -> Dict[str, Any]:
         "miss_rate_optimized": result.optimized.miss_rate_acet,
         "prefetches": result.report.prefetch_count,
     }
+    if result.usecase.l2 is not None:
+        data["l2"] = result.usecase.l2
+        l2_penalty = getattr(
+            result.report.timing, "l2_hit_penalty_cycles", None
+        )
+        if l2_penalty is not None:
+            data["l2_hit_penalty_cycles"] = l2_penalty
+        data["l2_original"] = _l2_measurement_json(result.original)
+        data["l2_optimized"] = _l2_measurement_json(result.optimized)
+    return data
 
 
 def failure_to_json(record) -> Dict[str, Any]:
     """A :class:`~repro.experiments.sweep.FailureRecord` as plain data."""
-    return {
+    data = {
         "program": record.usecase.program,
         "config": record.usecase.config_id,
         "tech": record.usecase.tech,
@@ -255,6 +288,9 @@ def failure_to_json(record) -> Dict[str, Any]:
         "worker_pid": record.worker_pid,
         "transient": record.transient,
     }
+    if record.usecase.l2 is not None:
+        data["l2"] = record.usecase.l2
+    return data
 
 
 def metrics_to_json(metrics) -> Dict[str, Any]:

@@ -102,6 +102,10 @@ class SweepSpec:
             result fingerprint, so cached records of the two kernels
             never alias (the differential CI job keeps them
             bit-identical anyway).
+        l2_specs: Memory-hierarchy axis, swept like any other grid
+            dimension.  Each entry is an ``assoc:block:capacity:latency``
+            L2 spec or ``None`` (the paper's single-level system); the
+            default ``(None,)`` keeps the classic three-axis grid.
     """
 
     programs: Tuple[str, ...]
@@ -111,6 +115,7 @@ class SweepSpec:
     max_evaluations: Optional[int] = None
     baseline: str = "classic"
     kernel: Optional[str] = None
+    l2_specs: Tuple[Optional[str], ...] = (None,)
 
     def __post_init__(self) -> None:
         if self.baseline not in ("classic", "persistence"):
@@ -123,6 +128,16 @@ class SweepSpec:
                 f"kernel must be 'python', 'vectorized' or None, got "
                 f"{self.kernel!r}"
             )
+        if not self.l2_specs:
+            raise ExperimentError(
+                "l2_specs must contain at least one entry (use None for "
+                "the single-level system)"
+            )
+        from repro.cache.config import parse_l2_spec
+
+        for spec in self.l2_specs:
+            if spec is not None:
+                parse_l2_spec(spec)  # fail fast on a malformed axis
 
     def optimizer_options(self):
         """The options every use case of this sweep runs with."""
@@ -135,18 +150,24 @@ class SweepSpec:
         )
 
     def usecases(self) -> List[UseCase]:
-        """Expand the grid in (program, config, tech) order."""
+        """Expand the grid in (program, config, tech, l2) order."""
         return [
-            UseCase(p, k, t)
+            UseCase(p, k, t, l2)
             for p in self.programs
             for k in self.config_ids
             for t in self.techs
+            for l2 in self.l2_specs
         ]
 
     @property
     def size(self) -> int:
         """Number of use cases in the grid."""
-        return len(self.programs) * len(self.config_ids) * len(self.techs)
+        return (
+            len(self.programs)
+            * len(self.config_ids)
+            * len(self.techs)
+            * len(self.l2_specs)
+        )
 
 
 def default_grid(

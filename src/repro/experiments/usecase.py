@@ -16,15 +16,20 @@ original on the full cache) is :func:`run_cross_capacity`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
 
 from repro.analysis.pipeline import AnalysisPipeline
 from repro.analysis.wcet import analyze_wcet
 from repro.bench.registry import load
-from repro.cache.config import CacheConfig, TABLE2
+from repro.cache.config import (
+    CacheConfig,
+    HierarchyConfig,
+    TABLE2,
+    hierarchy_for,
+)
 from repro.core.optimizer import OptimizationReport, OptimizerOptions, optimize
-from repro.energy.cacti import cacti_model
+from repro.energy.cacti import hierarchy_model
 from repro.energy.dram import DRAMModel
 from repro.energy.metrics import EnergyBreakdown, account_energy
 from repro.energy.technology import technology
@@ -43,11 +48,15 @@ class UseCase:
         program: Benchmark name (Table 1).
         config_id: Cache configuration id (Table 2, ``"k1"``..``"k36"``).
         tech: Technology name (``"45nm"``/``"32nm"``).
+        l2: Optional second-level cache spec
+            (``assoc:block:capacity:latency``); ``None`` is the paper's
+            single-level memory system.
     """
 
     program: str
     config_id: str
     tech: str
+    l2: Optional[str] = None
 
     def cache_config(self) -> CacheConfig:
         """Resolve the Table 2 configuration."""
@@ -57,6 +66,10 @@ class UseCase:
             raise ExperimentError(
                 f"unknown cache configuration id {self.config_id!r}"
             ) from None
+
+    def hierarchy_config(self) -> HierarchyConfig:
+        """The full memory hierarchy (single-level when ``l2`` unset)."""
+        return hierarchy_for(self.cache_config(), self.l2)
 
 
 @dataclass
@@ -77,6 +90,11 @@ class ProgramMeasurement:
             improvement exceeds its ACET improvement, which implies its
             trace-based estimation did not charge prefetch transfers;
             ours does by default — see EXPERIMENTS.md).
+        l2_accesses: Second-level probes in the trace run (0 when the
+            hierarchy is single-level).
+        l2_hits: Second-level probes served without a DRAM transfer.
+        l2_fills: Blocks installed into the second level.
+        prefetch_l2_hits: Prefetch transfers the second level served.
     """
 
     tau_w: float
@@ -87,6 +105,10 @@ class ProgramMeasurement:
     executed_instructions: int
     static_instructions: int
     prefetch_transfer_energy_j: float = 0.0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    l2_fills: int = 0
+    prefetch_l2_hits: int = 0
 
     @property
     def energy_paper_mode_j(self) -> float:
@@ -166,27 +188,35 @@ def measure_program(
     base_address: int = 0,
     with_persistence: bool = True,
     pipeline: Optional[AnalysisPipeline] = None,
+    l2: Optional[str] = None,
 ) -> ProgramMeasurement:
-    """Analyse + simulate one executable on one cache/technology.
+    """Analyse + simulate one executable on one hierarchy/technology.
 
     When ``pipeline`` is given the WCET analysis runs through it —
     sharing artifacts with the optimization phase of the same use case —
-    and the pipeline's own persistence/base-address settings apply.
+    and the pipeline's own persistence/base-address/hierarchy settings
+    apply (pass an ``l2`` that matches the pipeline's).
     """
     tech = technology(tech_name)
-    model = cacti_model(config, tech)
-    timing = model.timing_model()
+    hierarchy = hierarchy_for(config, l2)
+    models = hierarchy_model(hierarchy, tech)
+    model, l2_model, timing = models.l1, models.l2, models.timing
     if pipeline is not None:
         base_address = pipeline.base_address
         wcet = pipeline.analyze(cfg).wcet
     else:
         acfg = build_acfg(cfg, config.block_size, base_address)
         wcet = analyze_wcet(
-            acfg, config, timing, with_persistence=with_persistence
+            acfg, config, timing, with_persistence=with_persistence,
+            hierarchy=hierarchy if hierarchy.multi_level else None,
         )
-    sim = simulate(cfg, config, timing, seed=seed, base_address=base_address)
+    level2 = hierarchy.l2_level
+    sim = simulate(
+        cfg, config, timing, seed=seed, base_address=base_address,
+        l2_config=level2.config if level2 is not None else None,
+    )
     dram = DRAMModel(tech)
-    energy = account_energy(sim.event_counts(), model, dram)
+    energy = account_energy(sim.event_counts(), model, dram, l2_model=l2_model)
     return ProgramMeasurement(
         tau_w=wcet.tau_w,
         tau_a=sim.memory_cycles,
@@ -196,9 +226,39 @@ def measure_program(
         executed_instructions=sim.fetches,
         static_instructions=cfg.instruction_count,
         prefetch_transfer_energy_j=(
-            sim.prefetch_transfers * dram.access_energy_j(config.block_size)
+            (sim.prefetch_transfers - sim.prefetch_l2_hits)
+            * dram.access_energy_j(config.block_size)
         ),
+        l2_accesses=sim.l2_accesses,
+        l2_hits=sim.l2_hits,
+        l2_fills=sim.l2_fills,
+        prefetch_l2_hits=sim.prefetch_l2_hits,
     )
+
+
+def _effective_options(
+    usecase: UseCase,
+    options: Optional[OptimizerOptions],
+) -> Tuple[OptimizerOptions, Optional[str]]:
+    """Reconcile the use case's L2 axis with the optimizer options.
+
+    The use case is the authority on the hierarchy; options may carry
+    the same spec (or none), but never a conflicting one.
+    """
+    opts = options or OptimizerOptions()
+    if (
+        usecase.l2 is not None
+        and opts.l2 is not None
+        and usecase.l2 != opts.l2
+    ):
+        raise ExperimentError(
+            f"use case L2 spec {usecase.l2!r} conflicts with optimizer "
+            f"options L2 spec {opts.l2!r}"
+        )
+    l2 = usecase.l2 or opts.l2
+    if opts.l2 != l2:
+        opts = replace(opts, l2=l2)
+    return opts, l2
 
 
 def pipeline_for_usecase(
@@ -208,12 +268,14 @@ def pipeline_for_usecase(
     """One shared analysis pipeline for all phases of one use case.
 
     Honors the optimizer options' analysis-relevant knobs (persistence
-    domain, locked blocks, base address) so the same pipeline serves the
-    measure → optimize → measure sequence of :func:`run_usecase`.
+    domain, locked blocks, base address, hierarchy) so the same pipeline
+    serves the measure → optimize → measure sequence of
+    :func:`run_usecase`.
     """
     config = usecase.cache_config()
-    timing = cacti_model(config, technology(usecase.tech)).timing_model()
-    opts = options or OptimizerOptions()
+    opts, l2 = _effective_options(usecase, options)
+    tech = technology(usecase.tech)
+    timing = hierarchy_model(hierarchy_for(config, l2), tech).timing
     return AnalysisPipeline.for_options(config, timing, opts)
 
 
@@ -235,10 +297,10 @@ def run_usecase(
     """
     config = usecase.cache_config()
     tech = technology(usecase.tech)
-    model = cacti_model(config, tech)
-    timing = model.timing_model()
+    opts, l2 = _effective_options(usecase, options)
+    timing = hierarchy_model(hierarchy_for(config, l2), tech).timing
     if pipeline is None:
-        pipeline = pipeline_for_usecase(usecase, options)
+        pipeline = pipeline_for_usecase(usecase, opts)
     tracer = active_tracer()
     with tracer.start_span(
         "usecase",
@@ -251,11 +313,12 @@ def run_usecase(
         original_cfg = load(usecase.program)
         with tracer.start_span("usecase.measure_original"):
             original = measure_program(
-                original_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
+                original_cfg, config, usecase.tech, seed=seed,
+                pipeline=pipeline, l2=l2,
             )
         with tracer.start_span("usecase.optimize") as opt_span:
             optimized_cfg, report = optimize(
-                original_cfg, config, timing, options=options, pipeline=pipeline
+                original_cfg, config, timing, options=opts, pipeline=pipeline
             )
             if opt_span.recording:
                 opt_span.set_attributes(
@@ -267,7 +330,8 @@ def run_usecase(
                 )
         with tracer.start_span("usecase.measure_optimized"):
             optimized = measure_program(
-                optimized_cfg, config, usecase.tech, seed=seed, pipeline=pipeline,
+                optimized_cfg, config, usecase.tech, seed=seed,
+                pipeline=pipeline, l2=l2,
             )
     return UseCaseResult(
         usecase=usecase, original=original, optimized=optimized, report=report
@@ -301,12 +365,11 @@ def run_cross_capacity(
     big = usecase.cache_config()
     small = big.scaled_capacity(capacity_factor)
     tech = technology(usecase.tech)
-    small_model = cacti_model(small, tech)
-    timing_small = small_model.timing_model()
-    persistence = options.with_persistence if options is not None else True
+    opts, l2 = _effective_options(usecase, options)
+    timing_small = hierarchy_model(hierarchy_for(small, l2), tech).timing
+    persistence = opts.with_persistence
     # One pipeline for the small-cache phases; the original's big-cache
     # measurement is a different configuration and stays standalone.
-    opts = options or OptimizerOptions()
     small_pipeline = AnalysisPipeline.for_options(small, timing_small, opts)
     original_cfg = load(usecase.program)
     # Same base address as the optimized build (the pipeline's): both
@@ -315,15 +378,15 @@ def run_cross_capacity(
     original = measure_program(
         original_cfg, big, usecase.tech, seed=seed,
         base_address=opts.base_address,
-        with_persistence=persistence,
+        with_persistence=persistence, l2=l2,
     )
     optimized_cfg, report = optimize(
-        original_cfg, small, timing_small, options=options,
+        original_cfg, small, timing_small, options=opts,
         pipeline=small_pipeline,
     )
     optimized = measure_program(
         optimized_cfg, small, usecase.tech, seed=seed,
-        pipeline=small_pipeline,
+        pipeline=small_pipeline, l2=l2,
     )
     return UseCaseResult(
         usecase=usecase, original=original, optimized=optimized, report=report

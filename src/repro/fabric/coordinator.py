@@ -150,7 +150,7 @@ class FabricSweep:
         self.keys = keys
         self.key_to_index = {key: idx for idx, key in enumerate(keys)}
         self.case_to_index = {
-            (c.program, c.config_id, c.tech): idx
+            (c.program, c.config_id, c.tech, c.l2): idx
             for idx, c in enumerate(cases)
         }
         n = len(cases)
@@ -399,10 +399,13 @@ class Coordinator:
                 "no workers registered with this coordinator", status=503
             )
         cases = [
-            UseCase(p, k, t)
+            UseCase(p, k, t, l2)
             for p in params["programs"]
             for k in params["configs"]
             for t in params["techs"]
+            # Innermost, like SweepSpec.usecases(): the merged document
+            # keeps the exact case order of a local `repro sweep`.
+            for l2 in (params.get("l2") or (None,))
         ]
         from repro.fabric.worker import options_from_params
 
@@ -701,7 +704,8 @@ class Coordinator:
         sweep = self.sweeps[shard.sweep_id]
         return {
             "cases": [
-                [c.program, c.config_id, c.tech]
+                [c.program, c.config_id, c.tech] if c.l2 is None
+                else [c.program, c.config_id, c.tech, c.l2]
                 for c in (sweep.cases[i] for i in shard.indices)
             ],
             "seed": sweep.params["seed"],
@@ -890,6 +894,7 @@ class Coordinator:
                 failure.get("program"),
                 failure.get("config"),
                 failure.get("tech"),
+                failure.get("l2"),
             )
             idx = sweep.case_to_index.get(triple)
             if idx is None:

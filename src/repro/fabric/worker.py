@@ -150,13 +150,16 @@ def execute_shard(
 def _case_row(
     key: str, result, elapsed: float, pid: int, source: str
 ) -> Dict[str, Any]:
+    case = [
+        result.usecase.program,
+        result.usecase.config_id,
+        result.usecase.tech,
+    ]
+    if result.usecase.l2 is not None:
+        case.append(result.usecase.l2)
     return {
         "key": key,
-        "case": [
-            result.usecase.program,
-            result.usecase.config_id,
-            result.usecase.tech,
-        ],
+        "case": case,
         "result": result_to_dict(result),
         "wall_s": elapsed,
         "pid": pid,

@@ -139,6 +139,7 @@ def _execute(kind, params, cache_dir) -> Dict[str, Any]:
             max_evaluations=params["budget"],
             baseline=params["baseline"],
             kernel=params.get("kernel"),
+            l2_specs=tuple(params["l2"]) if params.get("l2") else (None,),
         )
         metrics = SweepMetrics()
         # Never raise on per-case failures: the job's response document

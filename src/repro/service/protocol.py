@@ -38,9 +38,9 @@ from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.bench.registry import TABLE1, program_names
-from repro.cache.config import TABLE2
+from repro.cache.config import TABLE2, parse_l2_spec
 from repro.energy.technology import TECHNOLOGIES
-from repro.errors import ProtocolError
+from repro.errors import CacheConfigError, ProtocolError
 from repro.experiments.cache import CODE_VERSION
 
 #: The job kinds the service accepts.
@@ -161,6 +161,29 @@ def _resolve_kernel(field: str, value: Any) -> Optional[str]:
     return value
 
 
+def _resolve_l2(field: str, value: Any) -> Optional[str]:
+    """One second-level cache spec; ``None`` keeps the level out."""
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise _fail(field, f"expected an assoc:block:capacity:latency "
+                           f"L2 spec or null, got {value!r}")
+    try:
+        parse_l2_spec(value)
+    except CacheConfigError as exc:
+        raise _fail(field, str(exc)) from None
+    return value
+
+
+def _resolve_l2_list(field: str, value: Any) -> Tuple[Optional[str], ...]:
+    """The sweep's L2 axis: specs and/or nulls (null = single-level)."""
+    if not isinstance(value, (list, tuple)) or not value:
+        raise _fail(field, f"expected a non-empty list of L2 specs "
+                           f"(null entries mean single-level), got {value!r}")
+    return tuple(_resolve_l2(f"{field}[{i}]", item)
+                 for i, item in enumerate(value))
+
+
 def _resolve_int(field: str, value: Any, minimum: int,
                  maximum: Optional[int] = None) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
@@ -233,11 +256,22 @@ def _parse_sweep_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...
                               minimum=0)),
         ("kernel", _resolve_kernel("params.kernel",
                                    params.get("kernel"))),
+    ) + (
+        # The L2 axis joins the canonical form only when requested, so
+        # every pre-hierarchy fingerprint stays byte-identical.
+        (("l2", _resolve_l2_list("params.l2", params["l2"])),)
+        if params.get("l2") is not None else ()
     )
 
 
 def _resolve_case_list(field: str, value: Any) -> Tuple[Tuple[str, ...], ...]:
-    """An explicit ``[[program, config, tech], ...]`` shard case list."""
+    """An explicit ``[[program, config, tech(, l2)], ...]`` case list.
+
+    A fourth element selects a second-level cache for that case (the
+    sweep grid's L2 axis, sharded); a missing or null fourth element is
+    the single-level system and normalises to the triple form so the
+    shard fingerprint matches pre-hierarchy submissions.
+    """
     if not isinstance(value, (list, tuple)) or not value:
         raise _fail(field, f"expected a non-empty list of "
                            f"[program, config, tech] triples, got {value!r}")
@@ -246,14 +280,18 @@ def _resolve_case_list(field: str, value: Any) -> Tuple[Tuple[str, ...], ...]:
                            f"got {len(value)}")
     cases = []
     for i, triple in enumerate(value):
-        if not isinstance(triple, (list, tuple)) or len(triple) != 3:
+        if not isinstance(triple, (list, tuple)) or len(triple) not in (3, 4):
             raise _fail(f"{field}[{i}]",
-                        f"expected [program, config, tech], got {triple!r}")
-        cases.append((
+                        f"expected [program, config, tech] or "
+                        f"[program, config, tech, l2], got {triple!r}")
+        case = (
             _resolve_program(f"{field}[{i}].program", triple[0]),
             _resolve_config(f"{field}[{i}].config", triple[1]),
             _resolve_tech(f"{field}[{i}].tech", triple[2]),
-        ))
+        )
+        if len(triple) == 4 and triple[3] is not None:
+            case += (_resolve_l2(f"{field}[{i}].l2", triple[3]),)
+        cases.append(case)
     return tuple(cases)
 
 
@@ -274,7 +312,8 @@ def _parse_shard_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...
 _KNOWN_POINT_PARAMS = frozenset(
     ("program", "config", "tech", "baseline", "budget", "seed"))
 _KNOWN_SWEEP_PARAMS = frozenset(
-    ("programs", "configs", "techs", "baseline", "budget", "seed", "kernel"))
+    ("programs", "configs", "techs", "baseline", "budget", "seed", "kernel",
+     "l2"))
 _KNOWN_SHARD_PARAMS = frozenset(
     ("cases", "baseline", "budget", "seed", "kernel"))
 

@@ -12,7 +12,11 @@ non-blocking prefetch port:
   slot, then transfers its target block in the background, installing it
   ``Λ`` cycles later;
 * an optional hardware prefetcher (:mod:`repro.sim.prefetchers`)
-  observes the demand stream and issues its own background transfers.
+  observes the demand stream and issues its own background transfers;
+* with an optional second-level cache, an L1 miss that hits L2 pays only
+  the (smaller) L2 penalty, and a prefetch whose block is L2-resident
+  completes after the L2 latency instead of the full DRAM latency —
+  blocks fetched from DRAM are installed into both levels.
 
 Only memory time is accounted (``τ_a``), matching the paper's scope: the
 processor micro-architecture is not modelled, and the measured
@@ -43,18 +47,31 @@ class MemorySystem:
         prefetcher: Optional["object"] = None,
         record_trace: bool = False,
         locked_blocks: Optional[frozenset] = None,
+        l2_config: Optional[CacheConfig] = None,
     ):
         self.config = config
         self.timing = timing
         self.cache = ConcreteCache(config)
+        self.l2: Optional[ConcreteCache] = None
+        if l2_config is not None:
+            if timing.l2_hit_penalty_cycles is None:
+                raise SimulationError(
+                    "l2_config given but the timing model has no second level"
+                )
+            if l2_config.block_size != config.block_size:
+                raise SimulationError(
+                    "L1 and L2 must share one block size"
+                )
+            self.l2 = ConcreteCache(l2_config)
         self.prefetcher = prefetcher
         self.record_trace = record_trace
         #: Blocks pinned in locked ways (hybrid scheme): always hit,
         #: never touch the LRU state of ``config``'s (residual) ways.
         self.locked_blocks = locked_blocks or frozenset()
         self.now = 0.0
-        #: block -> completion time of an in-flight transfer.
-        self._in_flight: Dict[int, float] = {}
+        #: block -> (completion time, transfer latency, served by L2)
+        #: of an in-flight transfer.
+        self._in_flight: Dict[int, Tuple[float, float, bool]] = {}
         #: blocks installed by a prefetch and not yet demanded.
         self._prefetched_unused: set = set()
         self.result = SimulationResult(program="")
@@ -87,20 +104,35 @@ class MemorySystem:
                 self._prefetched_unused.discard(block)
                 self.result.useful_prefetches += 1
         elif block in self._in_flight:
-            remaining = max(0.0, self._in_flight.pop(block) - self.now)
+            completion, latency, from_l2 = self._in_flight.pop(block)
+            remaining = max(0.0, completion - self.now)
+            if self.l2 is not None and not from_l2:
+                self.l2.install(block)
+                self.result.l2_fills += 1
             self._install(block)
             self.cache.access(block)
             cycles = float(self.timing.hit_cycles) + remaining
             hit = remaining == 0.0
-            hidden = float(self.timing.miss_penalty_cycles) - remaining
+            hidden = latency - remaining
             self.result.stall_cycles_hidden += max(0.0, hidden)
             if block in self._prefetched_unused:
                 self._prefetched_unused.discard(block)
                 self.result.useful_prefetches += 1
         else:
+            if self.l2 is not None:
+                self.result.l2_accesses += 1
+                if self.l2.contains(block):
+                    self.l2.access(block)  # LRU touch in L2
+                    self.result.l2_hits += 1
+                    cycles = float(self.timing.l2_hit_cycles)
+                else:
+                    self.l2.install(block)
+                    self.result.l2_fills += 1
+                    cycles = float(self.timing.miss_cycles)
+            else:
+                cycles = float(self.timing.miss_cycles)
             self.cache.access(block)  # installs on miss
             self.result.fills += 1
-            cycles = float(self.timing.miss_cycles)
             hit = False
         if is_prefetch_instr:
             cycles += float(self.timing.prefetch_issue_cycles)
@@ -132,7 +164,17 @@ class MemorySystem:
             return False  # pinned content never needs a transfer
         if self.cache.contains(block) or block in self._in_flight:
             return False
-        self._in_flight[block] = self.now + float(self.timing.prefetch_latency)
+        latency = float(self.timing.prefetch_latency)
+        from_l2 = False
+        if self.l2 is not None:
+            self.result.l2_accesses += 1
+            if self.l2.contains(block):
+                self.l2.access(block)  # LRU touch in L2
+                self.result.l2_hits += 1
+                self.result.prefetch_l2_hits += 1
+                latency = float(self.timing.l2_hit_penalty_cycles)
+                from_l2 = True
+        self._in_flight[block] = (self.now + latency, latency, from_l2)
         self.result.prefetch_transfers += 1
         return True
 
@@ -152,10 +194,15 @@ class MemorySystem:
     def _complete_arrivals(self) -> None:
         if not self._in_flight:
             return
-        arrived = [b for b, t in self._in_flight.items() if t <= self.now]
-        arrived.sort(key=lambda b: self._in_flight[b])
+        arrived = [
+            b for b, (t, _, _) in self._in_flight.items() if t <= self.now
+        ]
+        arrived.sort(key=lambda b: self._in_flight[b][0])
         for block in arrived:
-            del self._in_flight[block]
+            _, _, from_l2 = self._in_flight.pop(block)
+            if self.l2 is not None and not from_l2:
+                self.l2.install(block)
+                self.result.l2_fills += 1
             self._install(block)
             self._prefetched_unused.add(block)
 
@@ -176,6 +223,7 @@ def simulate(
     record_trace: bool = False,
     base_address: int = 0,
     locked_blocks: Optional[frozenset] = None,
+    l2_config: Optional[CacheConfig] = None,
 ) -> SimulationResult:
     """Run a program once and return its memory-system summary.
 
@@ -190,13 +238,20 @@ def simulate(
         repeat: Number of back-to-back runs (cache stays warm).
         record_trace: Keep per-fetch events (memory heavy).
         base_address: Code base address.
+        l2_config: Optional second-level cache; requires a timing model
+            with ``l2_hit_penalty_cycles`` set.
 
     Returns:
         A validated :class:`SimulationResult`.
     """
     layout = AddressLayout(cfg, base_address)
     machine = MemorySystem(
-        config, timing, prefetcher, record_trace, locked_blocks=locked_blocks
+        config,
+        timing,
+        prefetcher,
+        record_trace,
+        locked_blocks=locked_blocks,
+        l2_config=l2_config,
     )
     machine.result.program = cfg.name
     memory_map_cache: Dict[int, int] = {}

@@ -55,6 +55,12 @@ class SimulationResult:
             (informational).
         hw_table_probes: Lookups performed by a hardware prefetcher's
             tables (0 for pure software prefetching).
+        l2_accesses: Second-level probes (L1 misses and prefetch
+            transfers); 0 in a single-level memory system.
+        l2_hits: Second-level probes served without a DRAM transfer.
+        l2_fills: Blocks installed into the second level.
+        prefetch_l2_hits: Prefetch transfers served by the second level
+            (subset of both ``prefetch_transfers`` and ``l2_hits``).
         trace: Recorded fetch events (empty unless tracing enabled).
     """
 
@@ -69,6 +75,10 @@ class SimulationResult:
     memory_cycles: float = 0.0
     stall_cycles_hidden: float = 0.0
     hw_table_probes: int = 0
+    l2_accesses: int = 0
+    l2_hits: int = 0
+    l2_fills: int = 0
+    prefetch_l2_hits: int = 0
     trace: List[FetchEvent] = field(default_factory=list)
 
     @property
@@ -91,6 +101,9 @@ class SimulationResult:
             prefetch_transfers=self.prefetch_transfers,
             fills=self.fills,
             memory_cycles=self.memory_cycles,
+            l2_accesses=self.l2_accesses,
+            l2_hits=self.l2_hits,
+            l2_fills=self.l2_fills,
         )
 
     def validate(self) -> None:
@@ -108,3 +121,9 @@ class SimulationResult:
             raise SimulationError(
                 "software prefetch transfers exceed executed prefetches"
             )
+        if self.l2_hits > self.l2_accesses:
+            raise SimulationError("l2_hits exceeds l2_accesses")
+        if self.prefetch_l2_hits > self.prefetch_transfers:
+            raise SimulationError("prefetch_l2_hits exceeds prefetch_transfers")
+        if self.prefetch_l2_hits > self.l2_hits:
+            raise SimulationError("prefetch_l2_hits exceeds l2_hits")

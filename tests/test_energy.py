@@ -114,6 +114,27 @@ class TestEventCounts:
         with pytest.raises(ReproError):
             MemoryEventCounts(1, 0, 0, 0, -5.0)
 
+    def test_l2_counter_validation(self):
+        with pytest.raises(ReproError):
+            MemoryEventCounts(10, 5, 0, 5, 0.0, l2_accesses=-1)
+        with pytest.raises(ReproError):
+            MemoryEventCounts(10, 5, 0, 5, 0.0, l2_hits=-1)
+        with pytest.raises(ReproError):
+            MemoryEventCounts(10, 5, 0, 5, 0.0, l2_fills=-2)
+        with pytest.raises(ReproError):  # hits > accesses
+            MemoryEventCounts(10, 5, 0, 5, 0.0, l2_accesses=3, l2_hits=4)
+        with pytest.raises(ReproError):  # hits > misses + prefetches
+            MemoryEventCounts(10, 2, 1, 2, 0.0, l2_accesses=9, l2_hits=4)
+
+    def test_dram_transfers_subtracts_l2_service(self):
+        counts = MemoryEventCounts(
+            100, 20, 10, 30, 500.0, l2_accesses=30, l2_hits=12, l2_fills=18
+        )
+        assert counts.dram_transfers == 18
+        # without an L2, the legacy formula: every transfer hits DRAM
+        legacy = MemoryEventCounts(100, 20, 10, 30, 500.0)
+        assert legacy.dram_transfers == 30
+
 
 class TestAccounting:
     def _counts(self, fetches=1000, misses=50, pf=0, fills=50, cycles=3000.0):
@@ -159,6 +180,52 @@ class TestAccounting:
         )
         assert breakdown.total_j == 0.0
         assert breakdown.static_share == 0.0
+
+    def test_zero_run_with_l2_model(self):
+        from repro.energy.cacti import cacti_l2_model
+
+        l1 = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        l2 = cacti_l2_model(CacheConfig(4, 16, 4096), TECH_45NM)
+        breakdown = account_energy(
+            MemoryEventCounts(0, 0, 0, 0, 0.0), l1, DRAMModel(TECH_45NM),
+            l2_model=l2,
+        )
+        assert breakdown.total_j == 0.0
+        assert breakdown.l2_dynamic_j == 0.0
+        assert breakdown.l2_static_j == 0.0
+        assert breakdown.static_share == 0.0
+
+    def test_l2_breakdown_fields_default_zero(self):
+        breakdown = EnergyBreakdown(
+            cache_dynamic_j=1.0, dram_dynamic_j=2.0,
+            cache_static_j=3.0, dram_static_j=4.0,
+        )
+        assert breakdown.l2_dynamic_j == 0.0
+        assert breakdown.l2_static_j == 0.0
+        assert breakdown.dynamic_j == pytest.approx(3.0)
+        assert breakdown.static_j == pytest.approx(7.0)
+        assert breakdown.total_j == pytest.approx(10.0)
+
+    def test_l2_hits_redirect_dram_energy_to_sram(self):
+        """Every L2-served transfer drops one (expensive) DRAM access
+        and adds one (cheap) L2 read — energy must strictly fall."""
+        from repro.energy.cacti import cacti_l2_model
+
+        l1 = cacti_model(CacheConfig(2, 16, 1024), TECH_45NM)
+        l2 = cacti_l2_model(CacheConfig(4, 16, 4096), TECH_45NM)
+        dram = DRAMModel(TECH_45NM)
+        cold = account_energy(
+            MemoryEventCounts(1000, 50, 0, 50, 3000.0,
+                              l2_accesses=50, l2_hits=0, l2_fills=50),
+            l1, dram, l2_model=l2,
+        )
+        warm = account_energy(
+            MemoryEventCounts(1000, 50, 0, 50, 3000.0,
+                              l2_accesses=50, l2_hits=40, l2_fills=10),
+            l1, dram, l2_model=l2,
+        )
+        assert warm.dram_dynamic_j < cold.dram_dynamic_j
+        assert warm.total_j < cold.total_j
 
     def test_big_cache_leaks_more_than_small(self):
         dram = DRAMModel(TECH_45NM)
