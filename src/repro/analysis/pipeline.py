@@ -49,6 +49,12 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.analysis.refine import (
+    RefinementResult,
+    apply_promotions,
+    explore_concrete_states,
+    refine_classifications,
+)
 from repro.analysis.slack import rest_instance_spans
 from repro.analysis.structural import solve_wcet_path_tables
 from repro.analysis.timing import TimingModel
@@ -118,6 +124,10 @@ class PipelineStats:
     delta_fallbacks: int = 0
     invalidations: int = 0
     differential_checks: int = 0
+    refine_runs: int = 0
+    refine_promotions: int = 0
+    refine_states: int = 0
+    refine_exhausted: int = 0
     stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def add_time(self, stage: str, seconds: float) -> None:
@@ -126,7 +136,7 @@ class PipelineStats:
 
     def counters(self) -> Dict[str, int]:
         """Deterministic counter snapshot (safe to serialize in reports)."""
-        return {
+        data = {
             "result_hits": self.result_hits,
             "structural_hits": self.structural_hits,
             "structural_misses": self.structural_misses,
@@ -142,6 +152,16 @@ class PipelineStats:
             "invalidations": self.invalidations,
             "differential_checks": self.differential_checks,
         }
+        # The refinement counters join the snapshot only when the stage
+        # ran, so every refine-off report stays byte-identical to the
+        # pre-refinement serialization (mirroring the l2 treatment of
+        # the service protocol's canonical params).
+        if self.refine_runs:
+            data["refine_runs"] = self.refine_runs
+            data["refine_promotions"] = self.refine_promotions
+            data["refine_states"] = self.refine_states
+            data["refine_exhausted"] = self.refine_exhausted
+        return data
 
     def profile(self) -> Dict[str, float]:
         """Per-stage wall-clock snapshot (never serialized into reports)."""
@@ -527,6 +547,15 @@ class AnalysisPipeline:
             classification-filtered stream, delta-warm-started at the
             same divergence boundary) after classification.  ``None``
             keeps the single-level analysis bit-identical to before.
+        refine: Run the model-checking refinement
+            (:mod:`repro.analysis.refine`) after classification and
+            apply its NC->AH / NC->AM promotions before the L2, guard
+            and IPET stages.  The exploration is cached per program
+            content and warm-started at the divergence boundary like
+            the abstract fixpoints.  ``False`` keeps every output
+            byte-identical to before.
+        refine_budget: Exploration budget override for the refinement
+            (:data:`repro.analysis.refine.DEFAULT_BUDGET` when ``None``).
     """
 
     #: LRU capacities.  Structural artifacts and dataflow results are
@@ -548,6 +577,8 @@ class AnalysisPipeline:
         stats: Optional[PipelineStats] = None,
         kernel: Optional[str] = None,
         hierarchy: Optional[HierarchyConfig] = None,
+        refine: bool = False,
+        refine_budget: Optional[int] = None,
     ):
         self.config = config
         self.timing = timing
@@ -557,6 +588,8 @@ class AnalysisPipeline:
         self.differential = differential
         self.stats = stats if stats is not None else PipelineStats()
         self.kernel = resolve_kernel(kernel)
+        self.refine = bool(refine)
+        self.refine_budget = refine_budget
         if hierarchy is not None and hierarchy.l1 != config:
             raise AnalysisError(
                 f"hierarchy L1 {hierarchy.l1.label()} does not match the "
@@ -599,6 +632,7 @@ class AnalysisPipeline:
             base_address=options.base_address,
             kernel=getattr(options, "kernel", None),
             hierarchy=hierarchy_for(config, l2_spec) if l2_spec else None,
+            refine=bool(getattr(options, "refine", False)),
             **kwargs,
         )
 
@@ -612,6 +646,7 @@ class AnalysisPipeline:
             and self.base_address == options.base_address
             and self.kernel == resolve_kernel(getattr(options, "kernel", None))
             and self.hierarchy == wanted
+            and self.refine == bool(getattr(options, "refine", False))
         )
 
     # ------------------------------------------------------------------
@@ -728,13 +763,58 @@ class AnalysisPipeline:
                 dataflows.get("persistence"),
             )
 
+        # Downstream warm-starts (l2/guard/ipet) rely on the prefix
+        # classifications matching the base run; refinement can break
+        # that (a budget flip changes promotions without changing the
+        # prefix equations), in which case they run cold.
+        warm_boundary = boundary
+        if self.refine:
+            with self._stage("refine") as refine_span:
+                exploration = self._refine_stage(
+                    artifacts, base if use_delta else None, boundary
+                )
+                # PS promotions would charge the one-time penalty at
+                # the DRAM rate; with an L2 the unrefined bound can be
+                # tighter (L2 service time), so they are single-level
+                # only (see the refine module's soundness note).
+                promotions = refine_classifications(
+                    acfg,
+                    exploration,
+                    classifications,
+                    persistence=level2 is None,
+                )
+                self.stats.refine_runs += 1
+                self.stats.refine_promotions += len(promotions)
+                if exploration.exhausted:
+                    self.stats.refine_exhausted += 1
+                if promotions:
+                    classifications = apply_promotions(
+                        classifications, promotions
+                    )
+                    cache_analysis.classifications = classifications
+                dataflows["refine"] = exploration
+                if refine_span.recording:
+                    refine_span.set_attributes(
+                        {
+                            "promotions": len(promotions),
+                            "states": exploration.explored,
+                            "exhausted": exploration.exhausted,
+                        }
+                    )
+            if use_delta and classifications[:boundary] != (
+                base.wcet.cache.classifications[:boundary]
+            ):
+                warm_boundary = 0
+                self.stats.delta_fallbacks += 1
+        use_warm = use_delta and warm_boundary > 0
+
         if level2 is not None:
             with self._stage("l2"):
                 l2_must = self._l2_stage(
                     artifacts,
                     classifications,
-                    base if use_delta else None,
-                    boundary,
+                    base if use_warm else None,
+                    warm_boundary,
                     level2.config,
                     dataflows.get("may"),
                 )
@@ -751,14 +831,14 @@ class AnalysisPipeline:
                 cache_analysis,
                 self.timing,
                 t_w,
-                boundary=boundary,
-                base_guarded=base.wcet.latency_guarded if use_delta else frozenset(),
+                boundary=warm_boundary,
+                base_guarded=base.wcet.latency_guarded if use_warm else frozenset(),
             )
             for rid in guarded:
                 t_w[rid] = float(self.timing.miss_cycles)
 
         with self._stage("ipet"):
-            warm = (boundary, base.best, base.best_pred) if use_delta else None
+            warm = (warm_boundary, base.best, base.best_pred) if use_warm else None
             solution, best, best_pred = solve_wcet_path_tables(acfg, t_w, warm=warm)
             charged = _charged_persistent_blocks(acfg, cache_analysis, solution)
             wcet = WCETResult(
@@ -933,6 +1013,49 @@ class AnalysisPipeline:
             self.stats.invalidations += 1
         return result
 
+    def _refine_stage(
+        self,
+        artifacts: StructuralArtifacts,
+        base: Optional[PipelineResult],
+        boundary: int,
+    ) -> RefinementResult:
+        """The bounded concrete-state exploration of one program.
+
+        The exploration walks the same default access plan for every
+        classification of the same content, so it is cached per
+        ``artifacts.key`` alone (shared across ``with_may`` modes) and
+        warm-started at the divergence boundary like the abstract
+        fixpoints — reusing only completed (non-exhausted) base sets,
+        whose prefix line sets are converged and therefore sound to
+        copy under the boundary closure.
+        """
+        key = (artifacts.key, "refine")
+        hit = self._dataflow_cache.get(key)
+        if hit is not None:
+            self._dataflow_cache.move_to_end(key)
+            self.stats.dataflow_hits += 1
+            return hit
+        self.stats.dataflow_misses += 1
+        base_df = (
+            base.dataflows.get("refine")
+            if base is not None and boundary > 0
+            else None
+        )
+        warm = (boundary, base_df) if base_df is not None else None
+        result = explore_concrete_states(
+            artifacts.acfg,
+            self.config,
+            locked_blocks=self.locked_blocks or None,
+            budget=self.refine_budget,
+            warm=warm,
+        )
+        self.stats.refine_states += result.explored
+        self._dataflow_cache[key] = result
+        while len(self._dataflow_cache) > self.MAX_DATAFLOW:
+            self._dataflow_cache.popitem(last=False)
+            self.stats.invalidations += 1
+        return result
+
     def _dense_dataflow_stage(
         self,
         artifacts: StructuralArtifacts,
@@ -1052,6 +1175,8 @@ class AnalysisPipeline:
             with_persistence=self.with_persistence,
             locked_blocks=self.locked_blocks or None,
             hierarchy=self.hierarchy,
+            refine=self.refine,
+            refine_budget=self.refine_budget,
         )
         problems = []
         if wcet.tau_w != cold.tau_w:

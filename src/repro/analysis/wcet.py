@@ -27,6 +27,8 @@ from repro.cache.classify import (
     CacheAnalysis,
     Classification,
     analyze_cache,
+    analyze_l2_must,
+    l2_guaranteed_hits,
 )
 from repro.cache.config import CacheConfig
 from repro.errors import AnalysisError
@@ -42,9 +44,13 @@ def compute_ref_times(
     and not-classified references are conservatively charged the miss
     latency — unless the second-level analysis proved the block resident
     in L2 (``analysis.l2_hits``), in which case the L2 service time
-    bounds the worst case.  A software prefetch additionally occupies
-    its issue slot (its block transfer is non-blocking and not charged
-    here).  Non-reference vertices cost nothing.
+    bounds the worst case.  When the model-checking refinement
+    (:mod:`repro.analysis.refine`) ran, ``analysis.classifications``
+    already carries its NC->AH promotions, so those references are
+    charged the hit latency here — and dropped from the L2 access plan
+    — without any special casing.  A software prefetch additionally
+    occupies its issue slot (its block transfer is non-blocking and not
+    charged here).  Non-reference vertices cost nothing.
     """
     times: List[float] = [0.0] * len(acfg.vertices)
     l2_hits = (
@@ -187,6 +193,8 @@ def analyze_wcet(
     with_persistence: bool = True,
     locked_blocks: Optional[frozenset] = None,
     hierarchy=None,
+    refine: bool = False,
+    refine_budget: Optional[int] = None,
 ) -> WCETResult:
     """Run the full preliminary WCET analysis.
 
@@ -196,7 +204,9 @@ def analyze_wcet(
         timing: Timing model.
         backend: ``"structural"`` (exact DP, default) or ``"ilp"``
             (scipy/HiGHS IPET; slower, used for cross-validation).
-        cache_analysis: Optionally reuse an existing classification.
+        cache_analysis: Optionally reuse an existing classification
+            (``refine`` is then the caller's business: the reused
+            classification is taken as-is).
         with_may: Forwarded to :func:`repro.cache.classify.analyze_cache`
             (the WCET bound is identical either way; ``False`` is faster).
         with_persistence: Include the persistence ("first miss") domain.
@@ -212,18 +222,81 @@ def analyze_wcet(
             equal ``config`` and ``timing`` must carry the matching
             ``l2_hit_penalty_cycles``); adds the L2 must fixpoint and
             charges proven L2 hits the L2 service time.
+        refine: Run the model-checking refinement
+            (:mod:`repro.analysis.refine`) on the ``NOT_CLASSIFIED``
+            references and apply its NC->AH / NC->AM promotions before
+            computing ``t_w`` — and, in hierarchy mode, before deriving
+            the L2 access plan, mirroring the staged pipeline's
+            classify -> refine -> l2 order exactly.
+        refine_budget: Exploration budget override
+            (:data:`repro.analysis.refine.DEFAULT_BUDGET` when ``None``).
 
     Returns:
         The :class:`WCETResult`.
     """
-    cache = cache_analysis or analyze_cache(
-        acfg,
-        config,
-        with_may=with_may,
-        with_persistence=with_persistence,
-        locked_blocks=locked_blocks,
-        hierarchy=hierarchy,
-    )
+    if cache_analysis is not None:
+        cache = cache_analysis
+    elif not refine:
+        cache = analyze_cache(
+            acfg,
+            config,
+            with_may=with_may,
+            with_persistence=with_persistence,
+            locked_blocks=locked_blocks,
+            hierarchy=hierarchy,
+        )
+    else:
+        from repro.analysis.refine import (
+            apply_promotions,
+            explore_concrete_states,
+            refine_classifications,
+        )
+
+        # Promotions must land before the L2 plan is derived (an NC->AH
+        # promotion removes the reference from the L2 access stream),
+        # so in hierarchy mode the L1 analysis runs alone, refinement
+        # is applied, and the L2 stage re-runs on the refined labels —
+        # the exact stage order of the incremental pipeline.
+        level2 = hierarchy.l2_level if hierarchy is not None else None
+        cache = analyze_cache(
+            acfg,
+            config,
+            # A second level implies the may analysis (see analyze_cache);
+            # re-force it here since the L1-only call cannot know.
+            with_may=with_may or level2 is not None,
+            with_persistence=with_persistence,
+            locked_blocks=locked_blocks,
+            hierarchy=None,
+        )
+        exploration = explore_concrete_states(
+            acfg, config, locked_blocks=locked_blocks, budget=refine_budget
+        )
+        promotions = refine_classifications(
+            acfg,
+            exploration,
+            cache.classifications,
+            persistence=level2 is None,
+        )
+        if promotions:
+            cache.classifications = apply_promotions(
+                cache.classifications, promotions
+            )
+        if level2 is not None:
+            if hierarchy.l1 != config:
+                raise AnalysisError(
+                    f"hierarchy L1 {hierarchy.l1.label()} does not match "
+                    f"the analysed configuration {config.label()}"
+                )
+            cache.l2_must = analyze_l2_must(
+                acfg,
+                level2.config,
+                cache.classifications,
+                locked_blocks,
+                may=cache.may,
+            )
+            cache.l2_hits = l2_guaranteed_hits(
+                acfg, cache.classifications, cache.l2_must
+            )
     t_w = compute_ref_times(acfg, cache, timing)
     guarded = _latency_guard(acfg, cache, timing, t_w)
     for rid in guarded:

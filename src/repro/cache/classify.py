@@ -66,6 +66,28 @@ class Classification(enum.Enum):
         return self is Classification.ALWAYS_HIT
 
 
+#: The layered precedence of the classification lattice, weakest claim
+#: first: ``NC < AM < PS < AH``.  This is exactly the code table the
+#: dense kernel bakes into its precompiled gather arrays
+#: (:func:`repro.cache.kernel.classify_references_dense`), and the
+#: order :func:`classify_references` applies its overwrites in — keep
+#: the three in sync.  Refinement promotions
+#: (:mod:`repro.analysis.refine`) may only move a reference to a
+#: *later* layer, so a promoted label can never be weakened by either
+#: classifier.
+CLASSIFICATION_LAYERS: Tuple[Classification, ...] = (
+    Classification.NOT_CLASSIFIED,
+    Classification.ALWAYS_MISS,
+    Classification.PERSISTENT,
+    Classification.ALWAYS_HIT,
+)
+
+
+def classification_rank(classification: Classification) -> int:
+    """Index of a classification in :data:`CLASSIFICATION_LAYERS`."""
+    return CLASSIFICATION_LAYERS.index(classification)
+
+
 @dataclass
 class DataflowResult:
     """Per-vertex in/out states of one abstract interpretation run."""
@@ -420,22 +442,21 @@ def classify_references(
         must_in = must.in_states[rid]
         may_in = may.in_states[rid] if may is not None else None
         pers_in = persistence.in_states[rid] if persistence is not None else None
-        if block in locked:
-            classifications[rid] = Classification.ALWAYS_HIT
-        elif must_in is not None and block in must_in:
-            classifications[rid] = Classification.ALWAYS_HIT
-        elif pers_in is not None and pers_in.is_persistent(block):
-            classifications[rid] = Classification.PERSISTENT
-        elif may is None:
-            classifications[rid] = Classification.NOT_CLASSIFIED
-        elif may_in is not None and block not in may_in:
-            classifications[rid] = Classification.ALWAYS_MISS
-        elif may_in is None:
-            # Vertex never reached by the may analysis: dead under the
-            # given bounds; treat as always-miss (it contributes nothing).
-            classifications[rid] = Classification.ALWAYS_MISS
-        else:
-            classifications[rid] = Classification.NOT_CLASSIFIED
+        # Layered overwrite in :data:`CLASSIFICATION_LAYERS` order,
+        # weakest claim first — the same ``NC < AM < PS < AH`` code
+        # table the dense kernel precompiles, so both classifiers (and
+        # any later refinement promotion) agree on precedence.
+        label = Classification.NOT_CLASSIFIED
+        if may is not None and (may_in is None or block not in may_in):
+            # Absent from the may in-state, or never reached by the may
+            # analysis at all (dead under the given bounds — it
+            # contributes nothing either way): cannot hit.
+            label = Classification.ALWAYS_MISS
+        if pers_in is not None and pers_in.is_persistent(block):
+            label = Classification.PERSISTENT
+        if block in locked or (must_in is not None and block in must_in):
+            label = Classification.ALWAYS_HIT
+        classifications[rid] = label
     return classifications
 
 

@@ -31,7 +31,15 @@ class ConcreteCache:
         self._sets: Dict[int, List[int]] = {}
         self.hits = 0
         self.misses = 0
-        self.fills = 0
+        # Line fills are split by cause: a demand miss installs the
+        # block (demand_fills), a prefetch installs it without a demand
+        # access (prefetch_fills).  `fills` is their sum — historically
+        # it silently counted prefetch installs only while reading as
+        # total line fills.  Note the trace simulator
+        # (repro.sim.machine) and the energy model keep their own
+        # per-event counters and never read these.
+        self.demand_fills = 0
+        self.prefetch_fills = 0
 
     # ------------------------------------------------------------------
     # core operations
@@ -71,7 +79,7 @@ class ConcreteCache:
         if len(line) >= self.config.associativity:
             evicted = line.pop()
         line.insert(0, block)
-        self.fills += 1
+        self.prefetch_fills += 1
         return evicted
 
     def contains(self, block: int) -> bool:
@@ -89,6 +97,7 @@ class ConcreteCache:
         if len(line) >= self.config.associativity:
             line.pop()
         line.insert(0, block)
+        self.demand_fills += 1
         return False
 
     # ------------------------------------------------------------------
@@ -98,6 +107,11 @@ class ConcreteCache:
     def accesses(self) -> int:
         """Total demand accesses so far."""
         return self.hits + self.misses
+
+    @property
+    def fills(self) -> int:
+        """Total line fills: demand-miss installs plus prefetch installs."""
+        return self.demand_fills + self.prefetch_fills
 
     @property
     def miss_rate(self) -> float:
@@ -134,7 +148,8 @@ class ConcreteCache:
         """Zero the hit/miss/fill counters, keeping the cache contents."""
         self.hits = 0
         self.misses = 0
-        self.fills = 0
+        self.demand_fills = 0
+        self.prefetch_fills = 0
 
     def flush(self) -> None:
         """Invalidate the whole cache and reset counters."""
@@ -147,7 +162,8 @@ class ConcreteCache:
         other._sets = {k: list(v) for k, v in self._sets.items()}
         other.hits = self.hits
         other.misses = self.misses
-        other.fills = self.fills
+        other.demand_fills = self.demand_fills
+        other.prefetch_fills = self.prefetch_fills
         return other
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -72,7 +72,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cache.abstract import MayState, MustState
-from repro.cache.classify import Classification, DataflowResult
+from repro.cache.classify import CLASSIFICATION_LAYERS, DataflowResult
 from repro.cache.config import CacheConfig
 from repro.cache.persistence import PersistenceState
 from repro.errors import AnalysisError
@@ -911,8 +911,11 @@ def classify_references_dense(
         must_hit |= locked_arr
 
     # Layered precedence via a small code table: start at NC, overwrite
-    # with AM, then PS, then AH — later layers win, matching the python
-    # classifier's ALWAYS_HIT > PERSISTENT > ALWAYS_MISS > NC order.
+    # with AM, then PS, then AH — later layers win.  The codes are the
+    # indices of classify.CLASSIFICATION_LAYERS, the same layered order
+    # the python classifier applies its overwrites in and the only
+    # direction refinement promotions (analysis/refine.py) may move a
+    # label — keep all three in sync.
     codes = np.zeros(len(rids), dtype=np.int8)
     if may is not None:
         may_reached = may.reachable[rids]
@@ -924,12 +927,7 @@ def classify_references_dense(
         ] = 2
     codes[must_hit] = 3
 
-    table = (
-        Classification.NOT_CLASSIFIED,
-        Classification.ALWAYS_MISS,
-        Classification.PERSISTENT,
-        Classification.ALWAYS_HIT,
-    )
+    table = CLASSIFICATION_LAYERS
     classifications: list = [None] * len(acfg.vertices)
     for rid, code in zip(rids.tolist(), codes.tolist()):
         classifications[rid] = table[code]

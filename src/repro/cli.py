@@ -88,6 +88,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="second-level cache as assoc:block:capacity:latency "
              "(e.g. 4:16:4096:6); default: single-level memory system",
     )
+    opt.add_argument(
+        "--refine",
+        action="store_true",
+        help="model-check the NOT_CLASSIFIED references (bounded "
+             "concrete-state exploration) and promote the decided ones "
+             "to always-hit/always-miss before placement",
+    )
     opt.add_argument("--json", action="store_true",
                      help="machine-readable result on stdout "
                           "(human text moves to stderr)")
@@ -108,6 +115,12 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="SPEC",
         help="second-level cache as assoc:block:capacity:latency "
              "(default: single-level memory system)",
+    )
+    usecase.add_argument(
+        "--refine",
+        action="store_true",
+        help="model-checking refinement of NOT_CLASSIFIED references "
+             "(see `repro optimize --refine`)",
     )
 
     fig = sub.add_parser("figure", help="regenerate a figure of the paper")
@@ -167,6 +180,10 @@ def _build_parser() -> argparse.ArgumentParser:
                             "assoc:block:capacity:latency specs, swept "
                             "like any other grid dimension (default: "
                             "single-level memory system)")
+    sweep.add_argument("--refine", action="store_true",
+                       help="run every use case with the model-checking "
+                            "refinement enabled (ablation axis; see "
+                            "`repro optimize --refine`)")
     sweep.add_argument("--coordinator", default=None, metavar="URL",
                        help="run the sweep on a fabric coordinator "
                             "(e.g. http://127.0.0.1:8080) instead of "
@@ -280,12 +297,14 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         max_evaluations=args.budget,
         kernel=args.kernel,
         l2=args.l2,
+        refine=args.refine,
     )
     optimized, report = optimize(cfg, config, timing, options=options)
     check = verify_wcet_guarantee(
         cfg, optimized, config, timing,
         with_persistence=args.baseline == "persistence",
         hierarchy=hierarchy if hierarchy.multi_level else None,
+        refine=args.refine,
     )
     # In --json mode the human rendering moves to stderr so stdout stays
     # a clean machine-readable document.
@@ -331,7 +350,10 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_usecase(args: argparse.Namespace) -> int:
-    result = run_usecase(UseCase(args.program, args.config, args.tech, args.l2))
+    result = run_usecase(
+        UseCase(args.program, args.config, args.tech, args.l2),
+        options=OptimizerOptions(refine=True) if args.refine else None,
+    )
     where = args.config if args.l2 is None else f"{args.config}+L2 {args.l2}"
     print(f"{args.program} on {where} @ {args.tech}")
     print(f"  WCET ratio   : {result.wcet_ratio:.3f}")
@@ -381,13 +403,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     l2_specs = tuple(args.l2) if args.l2 else (None,)
     if args.full:
         spec = full_grid(seed=args.seed, max_evaluations=args.budget)
-        if args.kernel or args.l2:
+        if args.kernel or args.l2 or args.refine:
             import dataclasses
 
             spec = dataclasses.replace(
                 spec,
                 kernel=args.kernel or spec.kernel,
                 l2_specs=l2_specs if args.l2 else spec.l2_specs,
+                refine=args.refine or spec.refine,
             )
         if args.programs or args.configs:
             print("note: --full overrides --programs/--configs", file=sys.stderr)
@@ -407,6 +430,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             baseline=args.baseline,
             kernel=args.kernel,
             l2_specs=l2_specs,
+            refine=args.refine,
         )
     if args.coordinator:
         return _cmd_sweep_fabric(args, spec)
@@ -505,6 +529,7 @@ def _cmd_sweep_fabric(args: argparse.Namespace, spec: SweepSpec) -> int:
         seed=spec.seed,
         **({"kernel": spec.kernel} if spec.kernel else {}),
         **({"l2": list(spec.l2_specs)} if spec.l2_specs != (None,) else {}),
+        **({"refine": True} if spec.refine else {}),
     )
     sweep_id = record["id"]
     total = record["cases"]

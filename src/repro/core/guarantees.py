@@ -75,6 +75,7 @@ def verify_wcet_guarantee(
     strict: bool = True,
     with_persistence: bool = True,
     hierarchy: Optional[HierarchyConfig] = None,
+    refine: bool = False,
 ) -> GuaranteeCheck:
     """Independently re-derive Theorem 1 for a program pair.
 
@@ -83,7 +84,8 @@ def verify_wcet_guarantee(
     guaranteed non-regressing under that baseline, but may look worse
     under the tighter persistence baseline (and vice versa) — verify
     with the same ``with_persistence`` the optimizer used.  The same
-    applies to the memory hierarchy: pass the same ``hierarchy``.
+    applies to the memory hierarchy and to the model-checking
+    refinement: pass the same ``hierarchy`` and ``refine``.
 
     Args:
         original: The prefetch-free program.
@@ -96,6 +98,8 @@ def verify_wcet_guarantee(
         with_persistence: Analysis fidelity (match the optimizer's).
         hierarchy: Memory hierarchy (match the optimizer's; ``None`` is
             the single-level system).
+        refine: Model-checking refinement of NOT_CLASSIFIED references
+            (match the optimizer's).
 
     Returns:
         The :class:`GuaranteeCheck` with all measurements.
@@ -104,15 +108,16 @@ def verify_wcet_guarantee(
     acfg_opt = build_acfg(optimized, config.block_size, base_address)
     wcet_orig = analyze_wcet(
         acfg_orig, config, timing, with_persistence=with_persistence,
-        hierarchy=hierarchy,
+        hierarchy=hierarchy, refine=refine,
     )
     wcet_opt = analyze_wcet(
         acfg_opt, config, timing, with_persistence=with_persistence,
-        hierarchy=hierarchy,
+        hierarchy=hierarchy, refine=refine,
     )
     ineffective = verify_effectiveness(
         optimized, config, timing, base_address,
         with_persistence=with_persistence, hierarchy=hierarchy,
+        refine=refine,
     )
     check = GuaranteeCheck(
         tau_original=wcet_orig.tau_w,
@@ -160,6 +165,7 @@ def verify_effectiveness(
     base_address: int = 0,
     with_persistence: bool = True,
     hierarchy: Optional[HierarchyConfig] = None,
+    refine: bool = False,
 ) -> List[int]:
     """Timing soundness of every prefetch-enabled hit (Definition 10).
 
@@ -178,7 +184,7 @@ def verify_effectiveness(
     acfg = build_acfg(optimized, config.block_size, base_address)
     wcet = analyze_wcet(
         acfg, config, timing, with_persistence=with_persistence,
-        hierarchy=hierarchy,
+        hierarchy=hierarchy, refine=refine,
     )
     return find_undercharged_references(acfg, wcet, timing)
 
@@ -245,21 +251,23 @@ def verify_miss_reduction(
     base_address: int = 0,
     with_persistence: bool = True,
     hierarchy: Optional[HierarchyConfig] = None,
+    refine: bool = False,
 ) -> bool:
     """Condition 2 on the WCET path: misses must not have increased.
 
     Like Theorem 1 (see :func:`verify_wcet_guarantee`), the condition is
     relative to the analysis that gated the insertions — pass the same
-    ``with_persistence`` and ``hierarchy`` the optimizer used.
+    ``with_persistence``, ``hierarchy`` and ``refine`` the optimizer
+    used.
     """
     acfg_orig = build_acfg(original, config.block_size, base_address)
     acfg_opt = build_acfg(optimized, config.block_size, base_address)
     wcet_orig = analyze_wcet(
         acfg_orig, config, timing, with_persistence=with_persistence,
-        hierarchy=hierarchy,
+        hierarchy=hierarchy, refine=refine,
     )
     wcet_opt = analyze_wcet(
         acfg_opt, config, timing, with_persistence=with_persistence,
-        hierarchy=hierarchy,
+        hierarchy=hierarchy, refine=refine,
     )
     return wcet_opt.wcet_path_misses <= wcet_orig.wcet_path_misses

@@ -125,6 +125,15 @@ class OptimizerOptions:
     #: target is guaranteed L2-resident, and the timing model must carry
     #: ``l2_hit_penalty_cycles``.
     l2: Optional[str] = None
+    #: Run the model-checking refinement (:mod:`repro.analysis.refine`)
+    #: after classification: NOT_CLASSIFIED references decided by the
+    #: bounded concrete-state exploration are promoted to
+    #: always-hit/always-miss, tightening ``t_w`` and the L2 access
+    #: plan.  Sound (Theorem 1 is preserved; the differential suite
+    #: proves refined WCET <= unrefined) but opt-in: the exploration
+    #: costs extra analysis time and ``False`` keeps every output
+    #: byte-identical to the unrefined analysis.
+    refine: bool = False
 
     def __post_init__(self) -> None:
         if self.placement not in ("earliest-survivable", "block-begin"):

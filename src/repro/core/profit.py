@@ -20,6 +20,12 @@ The static estimate here is a *pre-filter*: the optimizer's final accept
 decision re-analyses the transformed program (Conditions 1 and 2 checked
 on the real ``τ_w`` and worst-case miss count), so an optimistic
 estimate can never break the guarantee — it only costs an evaluation.
+
+All terms derive from the classification-dependent ``t_w`` vector, so
+when the model-checking refinement is on (:mod:`repro.analysis.refine`)
+a promoted NC→AH reference stops being a miss candidate and a promoted
+NC→AM reference's slack contribution grows to the full miss time —
+tighter inputs, same criterion.
 """
 
 from __future__ import annotations

@@ -58,7 +58,7 @@ from repro.experiments.usecase import (
 #: Version tag of the result-producing code.  Bump whenever analysis,
 #: optimizer, simulator, or energy-model changes alter results — every
 #: cached record keyed under the old tag becomes unreachable.
-CODE_VERSION = "2026.08-3"
+CODE_VERSION = "2026.08-4"
 
 #: Environment variable naming the default cache directory.
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
@@ -129,6 +129,10 @@ def options_fingerprint(options: OptimizerOptions) -> Dict[str, Any]:
     for name, value in data.items():
         if isinstance(value, (set, frozenset)):
             data[name] = sorted(value)
+    # Like the use-case L2 axis, refinement enters the fingerprint only
+    # when enabled: keys of pre-refinement records stay unchanged.
+    if not data.get("refine"):
+        data.pop("refine", None)
     return data
 
 

@@ -106,6 +106,11 @@ class SweepSpec:
             dimension.  Each entry is an ``assoc:block:capacity:latency``
             L2 spec or ``None`` (the paper's single-level system); the
             default ``(None,)`` keeps the classic three-axis grid.
+        refine: Model-check NOT_CLASSIFIED references via bounded
+            concrete-state exploration (see
+            :mod:`repro.analysis.refine`).  Off by default; like
+            ``l2``, the flag enters the result fingerprint only when
+            enabled, so pre-refinement disk-cache records stay valid.
     """
 
     programs: Tuple[str, ...]
@@ -116,6 +121,7 @@ class SweepSpec:
     baseline: str = "classic"
     kernel: Optional[str] = None
     l2_specs: Tuple[Optional[str], ...] = (None,)
+    refine: bool = False
 
     def __post_init__(self) -> None:
         if self.baseline not in ("classic", "persistence"):
@@ -147,6 +153,7 @@ class SweepSpec:
             max_evaluations=self.max_evaluations,
             with_persistence=self.baseline == "persistence",
             kernel=self.kernel,
+            refine=self.refine,
         )
 
     def usecases(self) -> List[UseCase]:

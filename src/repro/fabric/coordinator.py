@@ -712,6 +712,9 @@ class Coordinator:
             "budget": sweep.params["budget"],
             "baseline": sweep.params["baseline"],
             "kernel": sweep.params.get("kernel"),
+            # Omitted (not false) when off, so shard fingerprints of
+            # pre-refinement sweeps are unchanged.
+            **({"refine": True} if sweep.params.get("refine") else {}),
         }
 
     async def _run_on_worker(self, shard: Shard, worker: WorkerNode,

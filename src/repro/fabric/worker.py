@@ -43,6 +43,7 @@ def options_from_params(params: Dict[str, Any]):
         max_evaluations=params["budget"],
         with_persistence=params["baseline"] == "persistence",
         kernel=params.get("kernel"),
+        refine=bool(params.get("refine", False)),
     )
 
 

@@ -64,6 +64,7 @@ def _options_for(params: Dict[str, Any]):
     return OptimizerOptions(
         max_evaluations=params["budget"],
         with_persistence=params["baseline"] == "persistence",
+        refine=bool(params.get("refine", False)),
     )
 
 
@@ -140,6 +141,7 @@ def _execute(kind, params, cache_dir) -> Dict[str, Any]:
             baseline=params["baseline"],
             kernel=params.get("kernel"),
             l2_specs=tuple(params["l2"]) if params.get("l2") else (None,),
+            refine=bool(params.get("refine", False)),
         )
         metrics = SweepMetrics()
         # Never raise on per-case failures: the job's response document

@@ -184,6 +184,15 @@ def _resolve_l2_list(field: str, value: Any) -> Tuple[Optional[str], ...]:
                  for i, item in enumerate(value))
 
 
+def _resolve_refine(field: str, value: Any) -> bool:
+    """The refinement flag; ``None``/``False`` keep the stage off."""
+    if value is None:
+        return False
+    if not isinstance(value, bool):
+        raise _fail(field, f"expected a boolean or null, got {value!r}")
+    return value
+
+
 def _resolve_int(field: str, value: Any, minimum: int,
                  maximum: Optional[int] = None) -> int:
     if isinstance(value, bool) or not isinstance(value, int):
@@ -226,6 +235,12 @@ def _parse_point_params(params: Mapping[str, Any],
                                    params.get("budget", 120))),
         ("seed", _resolve_int("params.seed", params.get("seed", 1),
                               minimum=0)),
+    ) + (
+        # Like the sweep L2 axis, the refinement flag joins the
+        # canonical form only when on: pre-refinement fingerprints stay
+        # byte-identical.
+        (("refine", True),)
+        if _resolve_refine("params.refine", params.get("refine")) else ()
     )
 
 
@@ -261,6 +276,9 @@ def _parse_sweep_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...
         # every pre-hierarchy fingerprint stays byte-identical.
         (("l2", _resolve_l2_list("params.l2", params["l2"])),)
         if params.get("l2") is not None else ()
+    ) + (
+        (("refine", True),)
+        if _resolve_refine("params.refine", params.get("refine")) else ()
     )
 
 
@@ -306,16 +324,19 @@ def _parse_shard_params(params: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...
                               minimum=0)),
         ("kernel", _resolve_kernel("params.kernel",
                                    params.get("kernel"))),
+    ) + (
+        (("refine", True),)
+        if _resolve_refine("params.refine", params.get("refine")) else ()
     )
 
 
 _KNOWN_POINT_PARAMS = frozenset(
-    ("program", "config", "tech", "baseline", "budget", "seed"))
+    ("program", "config", "tech", "baseline", "budget", "seed", "refine"))
 _KNOWN_SWEEP_PARAMS = frozenset(
     ("programs", "configs", "techs", "baseline", "budget", "seed", "kernel",
-     "l2"))
+     "l2", "refine"))
 _KNOWN_SHARD_PARAMS = frozenset(
-    ("cases", "baseline", "budget", "seed", "kernel"))
+    ("cases", "baseline", "budget", "seed", "kernel", "refine"))
 
 
 def parse_job(payload: Any) -> JobRequest:

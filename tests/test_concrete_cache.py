@@ -82,6 +82,55 @@ class TestInstall:
         assert evicted == 2
 
 
+class TestFillAccounting:
+    """Regression: `fills` historically counted prefetch installs only."""
+
+    def test_demand_miss_counts_demand_fill(self, cache):
+        cache.access(0)  # miss -> fill
+        cache.access(0)  # hit -> no fill
+        assert cache.demand_fills == 1
+        assert cache.prefetch_fills == 0
+        assert cache.fills == 1
+
+    def test_install_counts_prefetch_fill(self, cache):
+        cache.install(0)
+        assert cache.prefetch_fills == 1
+        assert cache.demand_fills == 0
+        assert cache.fills == 1
+
+    def test_install_of_resident_block_is_not_a_fill(self, cache):
+        cache.access(0)
+        cache.install(0)  # already resident: promote only
+        assert cache.fills == 1
+        assert cache.demand_fills == 1
+        assert cache.prefetch_fills == 0
+
+    def test_fills_is_sum_of_both_causes(self, cache):
+        cache.access(0)  # demand fill
+        cache.install(2)  # prefetch fill
+        cache.access(4)  # demand fill (evicts 0)
+        assert cache.demand_fills == 2
+        assert cache.prefetch_fills == 1
+        assert cache.fills == 3
+
+    def test_reset_counters_zeros_both_causes(self, cache):
+        cache.access(0)
+        cache.install(2)
+        cache.reset_counters()
+        assert cache.demand_fills == 0
+        assert cache.prefetch_fills == 0
+        assert cache.fills == 0
+
+    def test_clone_copies_both_fill_counters(self, cache):
+        cache.access(0)
+        cache.install(2)
+        copy = cache.clone()
+        assert copy.demand_fills == 1
+        assert copy.prefetch_fills == 1
+        copy.access(4)
+        assert cache.demand_fills == 1  # original unaffected
+
+
 class TestInspection:
     def test_set_contents_mru_order(self, cache):
         cache.access(0)

@@ -1,0 +1,422 @@
+"""Tests for the model-checking refinement of NOT_CLASSIFIED references.
+
+Three layers, mirroring the refine module's soundness note:
+
+* **unit / fallback** — promotion validation in ``apply_promotions``,
+  and budget exhaustion falling back soundly to the unrefined labels
+  (same WCET, ``exhausted`` flagged, nothing promoted for abandoned
+  sets);
+* **acceptance** — the refinement visibly tightens the classic-baseline
+  grid (bs/crc/ndes x k1/k15): pinned analysis bounds, a pinned
+  optimizer improvement on bs/k1 attributable to the promoted
+  reference, and cross-kernel bit-identity of refined runs;
+* **differential (slow)** — over generated programs, every NC -> AH /
+  NC -> AM / NC -> PS promotion agrees with exhaustive concrete
+  simulation (AH never misses, AM never hits, a PS block misses at
+  most once per run), and refined WCET <= unrefined WCET.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.pipeline import AnalysisPipeline
+from repro.analysis.refine import (
+    apply_promotions,
+    explore_concrete_states,
+    refine_classifications,
+)
+from repro.analysis.wcet import analyze_wcet
+from repro.bench.generator import random_program
+from repro.bench.registry import load
+from repro.cache.classify import Classification, analyze_cache
+from repro.cache.concrete import ConcreteCache
+from repro.cache.config import TABLE2, CacheConfig, hierarchy_for
+from repro.core.optimizer import OptimizerOptions, optimize
+from repro.energy.cacti import hierarchy_model
+from repro.energy.technology import TECH_45NM
+from repro.errors import AnalysisError
+from repro.program.acfg import build_acfg
+from repro.program.layout import AddressLayout
+from repro.sim.executor import block_trace
+
+#: Small shapes the bounded exploration converges on quickly; the same
+#: family the abstract-vs-concrete differential suite sweeps.
+REFINE_CONFIGS = (
+    CacheConfig(1, 16, 256),   # direct-mapped
+    CacheConfig(2, 16, 256),   # set-associative
+    CacheConfig(4, 32, 512),   # wider blocks, more ways
+)
+
+
+def _single_level_timing(config):
+    return hierarchy_model(hierarchy_for(config, None), TECH_45NM).timing
+
+
+def _refined(acfg, config, with_persistence=False, budget=None):
+    """(classifications, promotions, exploration) of one refined run."""
+    analysis = analyze_cache(acfg, config, with_persistence=with_persistence)
+    exploration = explore_concrete_states(acfg, config, budget=budget)
+    promotions = refine_classifications(
+        acfg, exploration, analysis.classifications
+    )
+    return analysis.classifications, promotions, exploration
+
+
+class TestApplyPromotions:
+    def test_applies_promotion_to_nc_slot(self):
+        refined = apply_promotions(
+            [Classification.NOT_CLASSIFIED, Classification.ALWAYS_HIT],
+            {0: Classification.ALWAYS_MISS},
+        )
+        assert refined == [
+            Classification.ALWAYS_MISS, Classification.ALWAYS_HIT
+        ]
+
+    def test_rejects_promotion_of_classified_reference(self):
+        with pytest.raises(AnalysisError, match="only promote"):
+            apply_promotions(
+                [Classification.ALWAYS_MISS],
+                {0: Classification.ALWAYS_HIT},
+            )
+
+    def test_rejects_non_strengthening_label(self):
+        with pytest.raises(AnalysisError, match="invalid refinement"):
+            apply_promotions(
+                [Classification.NOT_CLASSIFIED],
+                {0: Classification.NOT_CLASSIFIED},
+            )
+
+    def test_accepts_persistent_promotion(self):
+        refined = apply_promotions(
+            [Classification.NOT_CLASSIFIED],
+            {0: Classification.PERSISTENT},
+        )
+        assert refined == [Classification.PERSISTENT]
+
+
+class TestBudgetExhaustion:
+    """Exhaustion must degrade to the unrefined analysis, never break it."""
+
+    def test_tiny_budget_promotes_nothing(self):
+        config = TABLE2["k1"]
+        acfg = build_acfg(load("bs"), block_size=config.block_size)
+        _, promotions, exploration = _refined(acfg, config, budget=1)
+        assert exploration.exhausted
+        assert promotions == {}
+
+    def test_exhausted_wcet_equals_unrefined(self):
+        config = TABLE2["k1"]
+        timing = _single_level_timing(config)
+        acfg = build_acfg(load("bs"), block_size=config.block_size)
+        base = analyze_wcet(acfg, config, timing, with_persistence=False)
+        exhausted = analyze_wcet(
+            acfg, config, timing, with_persistence=False,
+            refine=True, refine_budget=1,
+        )
+        assert exhausted.solution.objective == base.solution.objective
+        assert list(exhausted.t_w) == list(base.t_w)
+
+    def test_completed_sets_survive_partial_exhaustion(self):
+        """Abandoned sets are absent; completed ones keep their fixpoint."""
+        config = TABLE2["k1"]
+        acfg = build_acfg(load("crc"), block_size=config.block_size)
+        full = explore_concrete_states(acfg, config)
+        assert not full.exhausted
+        partial = explore_concrete_states(
+            acfg, config, budget=max(1, full.explored // 2)
+        )
+        assert partial.exhausted
+        assert set(partial.per_set) < set(full.per_set)
+        for set_index, exploration in partial.per_set.items():
+            assert exploration.in_lines == full.per_set[set_index].in_lines
+
+    def test_pipeline_counts_exhaustion(self):
+        config = TABLE2["k1"]
+        timing = _single_level_timing(config)
+        pipeline = AnalysisPipeline(
+            config, timing, with_persistence=False,
+            refine=True, refine_budget=1,
+        )
+        result = pipeline.analyze(load("bs"))
+        assert pipeline.stats.refine_runs == 1
+        assert pipeline.stats.refine_exhausted == 1
+        assert pipeline.stats.refine_promotions == 0
+        base = analyze_wcet(
+            acfg=result.wcet.acfg, config=config, timing=timing,
+            with_persistence=False,
+        )
+        assert result.wcet.solution.objective == base.solution.objective
+
+
+class TestRefineOffIdentity:
+    """With the flag off, nothing in any serialized surface changes."""
+
+    def test_pipeline_counters_omit_refine_keys_when_off(self):
+        config = TABLE2["k1"]
+        pipeline = AnalysisPipeline(
+            config, _single_level_timing(config), with_persistence=False
+        )
+        pipeline.analyze(load("bs"))
+        counters = pipeline.stats.counters()
+        assert not any(key.startswith("refine") for key in counters)
+
+    def test_pipeline_counters_include_refine_keys_when_on(self):
+        config = TABLE2["k1"]
+        pipeline = AnalysisPipeline(
+            config, _single_level_timing(config), with_persistence=False,
+            refine=True,
+        )
+        pipeline.analyze(load("bs"))
+        counters = pipeline.stats.counters()
+        assert counters["refine_runs"] == 1
+        assert counters["refine_promotions"] >= 1
+        assert counters["refine_exhausted"] == 0
+
+    def test_options_fingerprint_omits_refine_when_off(self):
+        from repro.experiments.cache import options_fingerprint
+
+        off = options_fingerprint(OptimizerOptions())
+        assert "refine" not in off
+        on = options_fingerprint(OptimizerOptions(refine=True))
+        assert on["refine"] is True
+        assert {k: v for k, v in on.items() if k != "refine"} == off
+
+    def test_job_fingerprint_stable_for_refine_off_submissions(self):
+        from repro.service.protocol import parse_job
+
+        body = {"kind": "optimize", "params": {"program": "bs",
+                                               "config": "k1"}}
+        base = parse_job(body)
+        explicit_off = parse_job(
+            {"kind": "optimize",
+             "params": {"program": "bs", "config": "k1", "refine": False}}
+        )
+        assert explicit_off.params == base.params
+        refined = parse_job(
+            {"kind": "optimize",
+             "params": {"program": "bs", "config": "k1", "refine": True}}
+        )
+        assert dict(refined.params)["refine"] is True
+        assert refined.fingerprint() != base.fingerprint()
+
+
+GRID_BOUNDS = {
+    # (program, config): classic-baseline tau_w, unrefined -> refined.
+    ("bs", "k1"): (348.0, 316.0),
+    ("bs", "k15"): (348.0, 316.0),
+    ("crc", "k1"): (3319.0, 3287.0),
+    ("crc", "k15"): (3319.0, 3287.0),
+    ("ndes", "k1"): (67219.0, 67219.0),   # promotions are all NC->AM
+    ("ndes", "k15"): (18419.0, 14355.0),
+}
+
+
+class TestAcceptanceGrid:
+    @pytest.mark.parametrize(
+        "program,config_id",
+        [("bs", "k1"), ("bs", "k15"), ("crc", "k1"), ("crc", "k15")],
+    )
+    def test_refined_bound_on_grid(self, program, config_id):
+        config = TABLE2[config_id]
+        timing = _single_level_timing(config)
+        acfg = build_acfg(load(program), block_size=config.block_size)
+        base = analyze_wcet(acfg, config, timing, with_persistence=False)
+        refined = analyze_wcet(
+            acfg, config, timing, with_persistence=False, refine=True
+        )
+        expect_base, expect_refined = GRID_BOUNDS[(program, config_id)]
+        assert base.solution.objective == expect_base
+        assert refined.solution.objective == expect_refined
+        assert refined.solution.objective <= base.solution.objective
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("program,config_id", sorted(GRID_BOUNDS))
+    def test_refined_bound_full_grid(self, program, config_id):
+        config = TABLE2[config_id]
+        timing = _single_level_timing(config)
+        acfg = build_acfg(load(program), block_size=config.block_size)
+        base = analyze_wcet(acfg, config, timing, with_persistence=False)
+        refined = analyze_wcet(
+            acfg, config, timing, with_persistence=False, refine=True
+        )
+        expect_base, expect_refined = GRID_BOUNDS[(program, config_id)]
+        assert base.solution.objective == expect_base
+        assert refined.solution.objective == expect_refined
+
+    def test_promotion_tightens_optimized_usecase(self):
+        """Acceptance criterion: a grid use case gains a tighter WCET
+        attributable to a promoted reference (bs/k1, classic baseline:
+        the single NC->PS promotion tightens both the original bound
+        and the optimized one)."""
+        config = TABLE2["k1"]
+        timing = _single_level_timing(config)
+        acfg = build_acfg(load("bs"), block_size=config.block_size)
+        _, promotions, _ = _refined(acfg, config)
+        assert Counter(promotions.values()) == {Classification.PERSISTENT: 1}
+
+        reports = {}
+        for refine in (False, True):
+            opts = OptimizerOptions(with_persistence=False, refine=refine)
+            _, reports[refine] = optimize(
+                load("bs"), config, timing, options=opts
+            )
+        assert reports[False].tau_original == 348.0
+        assert reports[True].tau_original == 316.0
+        assert reports[False].tau_final == 226.0
+        assert reports[True].tau_final == 225.0
+        assert len(reports[True].inserted) == 3
+
+    @pytest.mark.parametrize("with_persistence", (False, True))
+    def test_refine_never_looser_with_either_baseline(self, with_persistence):
+        config = TABLE2["k15"]
+        timing = _single_level_timing(config)
+        for program in ("bs", "crc"):
+            acfg = build_acfg(load(program), block_size=config.block_size)
+            base = analyze_wcet(
+                acfg, config, timing, with_persistence=with_persistence
+            )
+            refined = analyze_wcet(
+                acfg, config, timing, with_persistence=with_persistence,
+                refine=True,
+            )
+            assert refined.solution.objective <= base.solution.objective
+
+
+class TestCrossKernelBitIdentity:
+    """Refined runs must stay bit-identical across cache kernels."""
+
+    @pytest.mark.parametrize("program", ("bs", "crc"))
+    def test_refined_pipeline_identical_across_kernels(self, program):
+        config = TABLE2["k1"]
+        timing = _single_level_timing(config)
+        results = {}
+        for kernel in ("python", "vectorized"):
+            pipeline = AnalysisPipeline(
+                config, timing, with_persistence=False,
+                kernel=kernel, refine=True,
+            )
+            results[kernel] = pipeline.analyze(load(program)).wcet
+        python, vectorized = results["python"], results["vectorized"]
+        assert python.solution.objective == vectorized.solution.objective
+        assert list(python.t_w) == list(vectorized.t_w)
+        assert (
+            list(python.cache.classifications)
+            == list(vectorized.cache.classifications)
+        )
+
+
+# ----------------------------------------------------------------------
+# differential: promotions vs. exhaustive concrete simulation
+# ----------------------------------------------------------------------
+def _per_block_concrete_misses(cfg, config, seed):
+    """One concrete run: per-uid hit outcomes and per-block miss counts."""
+    layout = AddressLayout(cfg)
+    cache = ConcreteCache(config)
+    outcomes = []
+    misses = Counter()
+    for block in block_trace(cfg, seed=seed):
+        for instr in block.instructions:
+            mem_block = config.block_of_address(layout.address(instr.uid))
+            hit = cache.access(mem_block)
+            outcomes.append((instr.uid, hit))
+            if not hit:
+                misses[mem_block] += 1
+    return outcomes, misses
+
+
+def _assert_promotions_sound(program_seed, config, run_seeds):
+    cfg = random_program(program_seed, target_size=90)
+    acfg = build_acfg(cfg, block_size=config.block_size)
+    classifications, promotions, exploration = _refined(acfg, config)
+    if exploration.exhausted:
+        return  # sound fallback; covered by the budget tests
+    refined = apply_promotions(classifications, promotions)
+
+    # Promotions are per analysis context (rid); a dynamic fetch only
+    # pins down the uid, so the definite per-uid claims need every
+    # context of the uid to agree.  The PS claim is per memory block
+    # (never evicted => at most one miss per run) and needs no such
+    # grouping.
+    per_uid = {}
+    for vertex in acfg.ref_vertices():
+        per_uid.setdefault(vertex.instr.uid, set()).add(refined[vertex.rid])
+    promoted_uids = {
+        acfg.vertices[rid].instr.uid for rid in promotions
+    }
+    persistent_blocks = {
+        acfg.block_of(rid)
+        for rid, label in promotions.items()
+        if label is Classification.PERSISTENT
+    }
+
+    for run_seed in run_seeds:
+        outcomes, misses = _per_block_concrete_misses(cfg, config, run_seed)
+        for uid, hit in outcomes:
+            if uid not in promoted_uids:
+                continue
+            classes = per_uid[uid]
+            if classes == {Classification.ALWAYS_HIT}:
+                assert hit, (
+                    f"promoted always-hit uid {uid} missed concretely "
+                    f"(program seed {program_seed}, {config.label()})"
+                )
+            if classes == {Classification.ALWAYS_MISS}:
+                assert not hit, (
+                    f"promoted always-miss uid {uid} hit concretely "
+                    f"(program seed {program_seed}, {config.label()})"
+                )
+        for block in persistent_blocks:
+            assert misses[block] <= 1, (
+                f"promoted persistent block {block} missed "
+                f"{misses[block]} times (program seed {program_seed}, "
+                f"{config.label()})"
+            )
+
+
+class TestDifferentialDeterministic:
+    @pytest.mark.parametrize("config", REFINE_CONFIGS,
+                             ids=lambda c: c.label())
+    @pytest.mark.parametrize("program_seed", (3, 17))
+    def test_promotions_sound_on_generated_programs(
+        self, program_seed, config
+    ):
+        _assert_promotions_sound(program_seed, config, run_seeds=(0, 1))
+
+
+@pytest.mark.slow
+class TestDifferentialPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        program_seed=st.integers(min_value=0, max_value=10_000),
+        config=st.sampled_from(REFINE_CONFIGS),
+    )
+    def test_promotions_agree_with_concrete_simulation(
+        self, program_seed, config
+    ):
+        _assert_promotions_sound(program_seed, config, run_seeds=(0, 1, 2))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        program_seed=st.integers(min_value=0, max_value=10_000),
+        config=st.sampled_from(REFINE_CONFIGS),
+        with_persistence=st.booleans(),
+    )
+    def test_refined_wcet_never_exceeds_unrefined(
+        self, program_seed, config, with_persistence
+    ):
+        cfg = random_program(program_seed, target_size=80)
+        acfg = build_acfg(cfg, block_size=config.block_size)
+        timing = _single_level_timing(config)
+        base = analyze_wcet(
+            acfg, config, timing, with_persistence=with_persistence
+        )
+        refined = analyze_wcet(
+            acfg, config, timing, with_persistence=with_persistence,
+            refine=True,
+        )
+        assert refined.solution.objective <= base.solution.objective
